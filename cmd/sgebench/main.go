@@ -1,0 +1,161 @@
+// Command sgebench regenerates the tables and figures of the paper's
+// evaluation (Kimmig et al. §5) on the synthetic data collections.
+//
+// Usage:
+//
+//	sgebench -exp all                     # every table, figure, ablation
+//	sgebench -exp table2 -scale 0.05      # just Table 2, bigger instances
+//	sgebench -exp fig4,fig3               # a comma-separated subset
+//
+// The -scale flag sizes the synthetic collections relative to the
+// paper's Table 1 (1.0 reproduces the original node counts; expect very
+// long runs). The per-instance -timeout mirrors the paper's 180 s budget
+// proportionally. Each speedup table reports both wall-clock speedup and
+// the hardware-independent work-division speedup (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"parsge/internal/bench"
+)
+
+var experiments = []string{
+	"table1", "fig3", "fig4", "table2", "fig5", "fig6",
+	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
+	"ablations",
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiments to run: all, or comma-separated subset of "+strings.Join(experiments, ","))
+		scale   = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
+		seed    = flag.Int64("seed", 20170525, "generation and scheduling seed")
+		timeout = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
+		long    = flag.Duration("long", 50*time.Millisecond, "short/long split threshold (paper: 1s at scale 1.0)")
+		maxInst = flag.Int("max", 60, "max instances per experiment (0 = all)")
+		workers = flag.String("workers", "1,2,4,8,16", "comma-separated worker sweep")
+		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	ws, err := parseWorkers(*workers)
+	exitOn(err)
+
+	s := (&bench.Suite{
+		Scale:         *scale,
+		Seed:          *seed,
+		Timeout:       *timeout,
+		LongThreshold: *long,
+		Workers:       ws,
+		MaxInstances:  *maxInst,
+		Out:           os.Stdout,
+		CSVDir:        *csvDir,
+	}).Defaults()
+
+	selected := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range experiments {
+			selected[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			e = strings.TrimSpace(strings.ToLower(e))
+			if e == "" {
+				continue
+			}
+			if !contains(experiments, e) {
+				exitOn(fmt.Errorf("unknown experiment %q (want one of %s)", e, strings.Join(experiments, ", ")))
+			}
+			selected[e] = true
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("sgebench: scale=%.3g seed=%d timeout=%v long-threshold=%v workers=%v\n",
+		*scale, *seed, *timeout, *long, ws)
+
+	if selected["table1"] {
+		s.Table1()
+	}
+	if selected["fig3"] {
+		s.Fig3()
+	}
+	if selected["fig4"] {
+		s.Fig4()
+	}
+	if selected["table2"] {
+		s.Table2()
+	}
+	if selected["fig5"] {
+		s.Fig5()
+	}
+	if selected["fig6"] {
+		s.Fig6()
+	}
+	if selected["fig7"] {
+		s.Fig7()
+	}
+	if selected["fig8"] {
+		s.Fig8()
+	}
+	if selected["fig9"] {
+		s.Fig9()
+	}
+	// Fig 10 and Fig 11 share one measurement (11 is 10 split
+	// short/long); run it if either was requested.
+	if selected["fig10"] || selected["fig11"] {
+		s.Fig10()
+	}
+	if selected["fig12"] {
+		s.Fig12()
+	}
+	if selected["table3"] {
+		s.Table3()
+	}
+	if selected["ablations"] {
+		s.Ablations()
+	}
+
+	fmt.Printf("\nsgebench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgebench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Command sgegen writes the synthetic stand-ins for the paper's data
+// collections (PPIS32, GRAEMLIN32, PDBSv1) to disk in the GFF-style text
+// format, so they can be inspected, archived, or fed to sgesolve.
+//
+// Usage:
+//
+//	sgegen -collection PPIS32 -scale 0.05 -seed 1 -out ./data
+//
+// produces ./data/PPIS32-targets.gff (all target graphs) and
+// ./data/PPIS32-patterns.gff (all pattern graphs, named with their
+// provenance: target index, edge class, density class).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parsge/internal/datasets"
+	"parsge/internal/graphio"
+)
+
+func main() {
+	var (
+		collection = flag.String("collection", "PPIS32", "PPIS32, GRAEMLIN32 or PDBSv1")
+		scale      = flag.Float64("scale", 0.05, "size factor relative to the paper's Table 1 (1.0 = full size)")
+		seed       = flag.Int64("seed", 20170525, "generation seed")
+		patterns   = flag.Int("patterns", 0, "number of patterns (0 = scaled default)")
+		out        = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	c, err := datasets.ByName(*collection, datasets.Config{
+		Scale:       *scale,
+		Seed:        *seed,
+		NumPatterns: *patterns,
+	})
+	exitOn(err)
+
+	exitOn(os.MkdirAll(*out, 0o755))
+	table := graphio.NewLabelTable()
+
+	targetsPath := filepath.Join(*out, c.Name+"-targets.gff")
+	tf, err := os.Create(targetsPath)
+	exitOn(err)
+	for i, g := range c.Targets {
+		exitOn(graphio.Write(tf, fmt.Sprintf("%s-t%02d", c.Name, i), g, table))
+	}
+	exitOn(tf.Close())
+
+	patternsPath := filepath.Join(*out, c.Name+"-patterns.gff")
+	pf, err := os.Create(patternsPath)
+	exitOn(err)
+	for _, p := range c.Patterns {
+		exitOn(graphio.Write(pf, p.Name, p.Graph, table))
+	}
+	exitOn(pf.Close())
+
+	row := datasets.Table1(c)
+	fmt.Printf("%s: %d targets (|V| %d..%d, |E| %d..%d, deg µ=%.2f σ=%.2f), %d patterns\n",
+		c.Name, row.NumTargets, row.MinNodes, row.MaxNodes, row.MinEdges, row.MaxEdges,
+		row.DegreeMean, row.DegreeSD, row.NumPatterns)
+	fmt.Println("wrote", targetsPath)
+	fmt.Println("wrote", patternsPath)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+// Command sgestats summarizes the graphs in a GFF-style file: sizes,
+// degree statistics, label distribution and connectivity — the numbers
+// Table 1 of the paper reports per collection. It can also export any
+// section as Graphviz DOT for visual inspection.
+//
+// Usage:
+//
+//	sgestats -in data/PPIS32-targets.gff
+//	sgestats -in data/PPIS32-patterns.gff -labels
+//	sgestats -in q.gff -dot 0 > q.dot     # section 0 as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"parsge/internal/graph"
+	"parsge/internal/graphio"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input graph file (required)")
+		withLabels = flag.Bool("labels", false, "print the node-label histogram per graph")
+		dotIndex   = flag.Int("dot", -1, "write section N as Graphviz DOT to stdout and exit")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	exitOn(err)
+	defer f.Close()
+	table := graphio.NewLabelTable()
+	gs, err := graphio.NewReader(f, table).ReadAll()
+	exitOn(err)
+	if len(gs) == 0 {
+		exitOn(fmt.Errorf("%s: no graph sections", *in))
+	}
+
+	if *dotIndex >= 0 {
+		if *dotIndex >= len(gs) {
+			exitOn(fmt.Errorf("section %d out of range (file has %d)", *dotIndex, len(gs)))
+		}
+		exitOn(graphio.WriteDOT(os.Stdout, gs[*dotIndex].Name, gs[*dotIndex].Graph, table))
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "graph\tnodes\tedges\tdeg µ\tdeg σ\tdeg max\tlabels\tconnected")
+	for _, ng := range gs {
+		g := ng.Graph
+		mean, sd, maxDeg := degreeStats(g)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%.2f\t%d\t%d\t%v\n",
+			ng.Name, g.NumNodes(), g.NumEdges(), mean, sd, maxDeg,
+			distinctLabels(g), g.ConnectedUndirected())
+	}
+	w.Flush()
+
+	if *withLabels {
+		for _, ng := range gs {
+			printLabelHistogram(ng, table)
+		}
+	}
+}
+
+// degreeStats returns mean, population stddev and max of total degree.
+func degreeStats(g *graph.Graph) (mean, sd float64, max int) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sum := 0.0
+	for v := int32(0); v < int32(n); v++ {
+		d := g.Degree(v)
+		sum += float64(d)
+		if d > max {
+			max = d
+		}
+	}
+	mean = sum / float64(n)
+	sq := 0.0
+	for v := int32(0); v < int32(n); v++ {
+		d := float64(g.Degree(v)) - mean
+		sq += d * d
+	}
+	return mean, math.Sqrt(sq / float64(n)), max
+}
+
+func distinctLabels(g *graph.Graph) int {
+	seen := map[graph.Label]bool{}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		seen[g.NodeLabel(v)] = true
+	}
+	return len(seen)
+}
+
+func printLabelHistogram(ng graphio.NamedGraph, table *graphio.LabelTable) {
+	g := ng.Graph
+	counts := map[graph.Label]int{}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		counts[g.NodeLabel(v)]++
+	}
+	type lc struct {
+		l graph.Label
+		c int
+	}
+	var all []lc
+	for l, c := range counts {
+		all = append(all, lc{l, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].l < all[j].l
+	})
+	fmt.Printf("\n%s label histogram:\n", ng.Name)
+	for _, e := range all {
+		name := table.Name(e.l)
+		if name == "" {
+			name = "_"
+		}
+		fmt.Printf("  %-12s %6d (%.1f%%)\n", name, e.c, 100*float64(e.c)/float64(g.NumNodes()))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgestats:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+package parsge_test
+
+import (
+	"fmt"
+
+	"parsge"
+)
+
+// Example enumerates a labeled triangle pattern in a small target graph.
+func Example() {
+	// Pattern: directed triangle with node labels 1→2→3.
+	pb := parsge.NewBuilder(3, 3)
+	a := pb.AddNode(1)
+	b := pb.AddNode(2)
+	c := pb.AddNode(3)
+	pb.AddEdge(a, b, parsge.NoLabel)
+	pb.AddEdge(b, c, parsge.NoLabel)
+	pb.AddEdge(c, a, parsge.NoLabel)
+	pattern := pb.MustBuild()
+
+	// Target: two such triangles.
+	tb := parsge.NewBuilder(6, 6)
+	for i := 0; i < 2; i++ {
+		x := tb.AddNode(1)
+		y := tb.AddNode(2)
+		z := tb.AddNode(3)
+		tb.AddEdge(x, y, parsge.NoLabel)
+		tb.AddEdge(y, z, parsge.NoLabel)
+		tb.AddEdge(z, x, parsge.NoLabel)
+	}
+	target := tb.MustBuild()
+
+	res, err := parsge.Enumerate(pattern, target, parsge.Options{Algorithm: parsge.RIDSSIFC})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("matches:", res.Matches)
+	// Output: matches: 2
+}
+
+// ExampleFindAll collects every embedding as a slice of mappings.
+func ExampleFindAll() {
+	pb := parsge.NewBuilder(2, 1)
+	pb.AddNodes(2)
+	pb.AddEdge(0, 1, parsge.NoLabel)
+	pattern := pb.MustBuild()
+
+	tb := parsge.NewBuilder(3, 2)
+	tb.AddNodes(3)
+	tb.AddEdge(0, 1, parsge.NoLabel)
+	tb.AddEdge(1, 2, parsge.NoLabel)
+	target := tb.MustBuild()
+
+	maps, err := parsge.FindAll(pattern, target, parsge.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("embeddings:", len(maps))
+	// Output: embeddings: 2
+}
+
+// ExampleEnumerateStream consumes matches as they are produced.
+func ExampleEnumerateStream() {
+	pb := parsge.NewBuilder(1, 0)
+	pb.AddNode(7)
+	pattern := pb.MustBuild()
+
+	tb := parsge.NewBuilder(4, 0)
+	for i := 0; i < 4; i++ {
+		tb.AddNode(7)
+	}
+	target := tb.MustBuild()
+
+	matches, done := parsge.EnumerateStream(pattern, target, parsge.Options{})
+	n := 0
+	for range matches {
+		n++
+	}
+	if err := <-done; err != nil {
+		panic(err)
+	}
+	fmt.Println("streamed:", n)
+	// Output: streamed: 4
+}

@@ -1,0 +1,159 @@
+// PPI: the paper's motivating workload — enumerating a labeled query in
+// protein-protein interaction networks (Kimmig et al. §1, §5.1).
+//
+// This example synthesizes a PPI-style target (heavy-tailed degrees, 32
+// protein-family labels), extracts a query subgraph the way the
+// benchmark collections were built, and compares the four RI-family
+// algorithms and the VF2 baseline on it, sequentially and in parallel.
+//
+//	go run ./examples/ppi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"parsge"
+)
+
+const (
+	numProteins   = 1500
+	meanDegree    = 14
+	labelAlphabet = 32
+	queryEdges    = 24
+	seed          = 42
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(seed))
+	target := buildPPINetwork(rng)
+	query := extractQuery(rng, target, queryEdges)
+	fmt.Printf("target: %d proteins, %d interactions; query: %d nodes, %d edges\n\n",
+		target.NumNodes(), target.NumEdges()/2, query.NumNodes(), query.NumEdges()/2)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tworkers\tmatches\tstates\tpreproc\tmatch time")
+	run := func(alg parsge.Algorithm, workers int) {
+		res, err := parsge.Enumerate(query, target, parsge.Options{
+			Algorithm: alg,
+			Workers:   workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%v\t%v\n",
+			alg, workers, res.Matches, res.States, res.PreprocTime, res.MatchTime)
+	}
+	for _, alg := range []parsge.Algorithm{parsge.RI, parsge.RIDS, parsge.RIDSSI, parsge.RIDSSIFC, parsge.VF2} {
+		run(alg, 1)
+	}
+	run(parsge.RIDSSIFC, 4)
+	run(parsge.RIDSSIFC, 16)
+	w.Flush()
+	fmt.Println("\nNote how the DS variants shrink the explored states on this dense,")
+	fmt.Println("label-rich network — the effect behind the paper's Figs 7 and 12.")
+}
+
+// buildPPINetwork samples a Chung-Lu-style graph with lognormal degree
+// weights (heavy tail) and Gaussian-distributed labels, the shape of the
+// paper's PPIS32 collection.
+func buildPPINetwork(rng *rand.Rand) *parsge.Graph {
+	weights := make([]float64, numProteins)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Exp(rng.NormFloat64())
+		sum += weights[i]
+	}
+	cum := make([]float64, numProteins)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	pick := func() int32 {
+		x := rng.Float64() * sum
+		lo, hi := 0, numProteins-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+
+	b := parsge.NewBuilder(numProteins, numProteins*meanDegree)
+	for i := 0; i < numProteins; i++ {
+		lab := int(float64(labelAlphabet)/2 + rng.NormFloat64()*float64(labelAlphabet)/6)
+		if lab < 0 {
+			lab = 0
+		}
+		if lab >= labelAlphabet {
+			lab = labelAlphabet - 1
+		}
+		b.AddNode(parsge.Label(lab))
+	}
+	seen := map[int64]bool{}
+	for added := 0; added < numProteins*meanDegree/2; {
+		u, v := pick(), pick()
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)<<32 | int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdgeBoth(u, v, parsge.NoLabel)
+		added++
+	}
+	return b.MustBuild()
+}
+
+// extractQuery grows a connected subgraph with the requested number of
+// undirected edges — the construction used by the benchmark collections,
+// guaranteeing at least one embedding exists.
+func extractQuery(rng *rand.Rand, gt *parsge.Graph, wantEdges int) *parsge.Graph {
+	start := int32(rng.Intn(gt.NumNodes()))
+	nodes := []int32{start}
+	index := map[int32]int32{start: 0}
+	type und struct{ a, b int32 }
+	chosen := map[und]bool{}
+	for len(chosen) < wantEdges {
+		v := nodes[rng.Intn(len(nodes))]
+		adj := gt.OutNeighbors(v)
+		if len(adj) == 0 {
+			break
+		}
+		u := adj[rng.Intn(len(adj))]
+		a, b := v, u
+		if a > b {
+			a, b = b, a
+		}
+		if chosen[und{a, b}] {
+			continue
+		}
+		chosen[und{a, b}] = true
+		if _, ok := index[u]; !ok {
+			index[u] = int32(len(nodes))
+			nodes = append(nodes, u)
+		}
+	}
+	qb := parsge.NewBuilder(len(nodes), 2*len(chosen))
+	for _, tv := range nodes {
+		qb.AddNode(gt.NodeLabel(tv))
+	}
+	for e := range chosen {
+		qb.AddEdgeBoth(index[e.a], index[e.b], parsge.NoLabel)
+	}
+	return qb.MustBuild()
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"parsge/internal/order"
+	"parsge/internal/ri"
+	"parsge/internal/stats"
+)
+
+// Ablations beyond the paper's figures: each isolates one design choice
+// called out in DESIGN.md and measures its effect on a hard sample.
+
+// AblationRow is one configuration of an ablation experiment.
+type AblationRow struct {
+	Name          string
+	MeanMatchTime float64
+	MeanTotalTime float64
+	MeanSteals    float64
+	MeanStates    float64
+	MeanPreproc   float64
+	WorkSpeedup   float64
+}
+
+// AblationResult is a titled list of configurations.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// aggregate folds records into an AblationRow.
+func aggregate(name string, recs []Record) AblationRow {
+	var ws []float64
+	for _, r := range recs {
+		ws = append(ws, r.WorkSpeedup())
+	}
+	return AblationRow{
+		Name:          name,
+		MeanMatchTime: meanSeconds(matchTimes(recs)),
+		MeanTotalTime: meanSeconds(totalTimes(recs)),
+		MeanSteals:    meanSteals(recs),
+		MeanStates:    meanStates(recs),
+		MeanPreproc:   meanSeconds(preprocTimes(recs)),
+		WorkSpeedup:   stats.Mean(ws),
+	}
+}
+
+func (s *Suite) printAblation(res AblationResult) {
+	s.printf("\n== Ablation: %s ==\n", res.Title)
+	w := s.tab()
+	row(w, "configuration\tmatch (s)\ttotal (s)\tsteals\tstates\tpreproc (s)\twork speedup")
+	for _, r := range res.Rows {
+		row(w, "%s\t%.4f\t%.4f\t%.1f\t%.0f\t%.5f\t%.2f",
+			r.Name, r.MeanMatchTime, r.MeanTotalTime, r.MeanSteals, r.MeanStates, r.MeanPreproc, r.WorkSpeedup)
+	}
+	flush(w)
+}
+
+// AblationStealEnd compares stealing from the back of the victim's deque
+// (the paper's design: tasks near the root, long-running, few steals)
+// against stealing from the front (deep, short-lived tasks).
+func (s *Suite) AblationStealEnd() AblationResult {
+	insts := s.hardestInstances("PPIS32", 8)
+	res := AblationResult{Title: "load balancing (steal end §3.2(ii); receiver vs sender)"}
+	back := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, seed: s.Seed,
+	})
+	front := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, frontSteal: true, seed: s.Seed,
+	})
+	sender := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, senderInitiated: true, seed: s.Seed,
+	})
+	res.Rows = append(res.Rows,
+		aggregate("steal from back (paper)", back),
+		aggregate("steal from front", front),
+		aggregate("sender-initiated dealing", sender))
+	s.printAblation(res)
+	s.csvAblation(res)
+	return res
+}
+
+// AblationEagerCopy compares the paper's lazy mapping transfer (copy only
+// on steals) against copying the mapping prefix with every spawned task
+// group — the overhead the paper attributes to the Cilk++ VF2
+// parallelization (§2.2.2).
+func (s *Suite) AblationEagerCopy() AblationResult {
+	insts := s.hardestInstances("GRAEMLIN32", 8)
+	res := AblationResult{Title: "mapping copies (lazy on steal vs eager per task)"}
+	lazy := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, seed: s.Seed,
+	})
+	eager := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, eagerCopy: true, seed: s.Seed,
+	})
+	res.Rows = append(res.Rows, aggregate("lazy copy (paper)", lazy), aggregate("eager copy", eager))
+	s.printAblation(res)
+	s.csvAblation(res)
+	return res
+}
+
+// AblationInitialDistribution compares the paper's round-robin initial
+// work distribution (§3.3) against seeding all root tasks on worker 0,
+// which forces every other worker to bootstrap via stealing.
+func (s *Suite) AblationInitialDistribution() AblationResult {
+	insts := s.hardestInstances("PPIS32", 8)
+	res := AblationResult{Title: "initial distribution (§3.3)"}
+	rr := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, seed: s.Seed,
+	})
+	w0 := s.runAll(insts, runConfig{
+		variant: ri.VariantRIDS, workers: 8, group: 4, stealing: true, noInitDist: true, seed: s.Seed,
+	})
+	res.Rows = append(res.Rows, aggregate("round-robin (paper)", rr), aggregate("all on worker 0", w0))
+	s.printAblation(res)
+	s.csvAblation(res)
+	return res
+}
+
+// AblationArcConsistency compares domain preprocessing depth: no arc
+// consistency, a single pass (the original RI-DS description), and the
+// fixpoint this implementation defaults to.
+func (s *Suite) AblationArcConsistency() AblationResult {
+	insts := s.instances("GRAEMLIN32")
+	res := AblationResult{Title: "arc-consistency depth (domains, §4.1)"}
+	none := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, skipAC: true})
+	one := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, acPasses: 1})
+	fix := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1})
+	res.Rows = append(res.Rows,
+		aggregate("no AC (label+degree only)", none),
+		aggregate("single pass (RI-DS paper)", one),
+		aggregate("fixpoint (this impl)", fix))
+	s.printAblation(res)
+	s.csvAblation(res)
+	return res
+}
+
+// Ablations runs every ablation.
+func (s *Suite) Ablations() []AblationResult {
+	return []AblationResult{
+		s.AblationStealEnd(),
+		s.AblationEagerCopy(),
+		s.AblationInitialDistribution(),
+		s.AblationArcConsistency(),
+		s.AblationOrdering(),
+	}
+}
+
+// AblationOrdering compares RI's GreatestConstraintFirst static ordering
+// against a degree-only ordering — the kind of weaker static strategy the
+// variable-ordering study underlying RI rules out (Bonnici & Giugno,
+// TCBB 2017, cited as [17] in the paper).
+func (s *Suite) AblationOrdering() AblationResult {
+	insts := s.hardestInstances("PDBSv1", 10)
+	res := AblationResult{Title: "node ordering (GCF vs degree-only)"}
+	gcf := s.runAll(insts, runConfig{variant: ri.VariantRI, workers: 1})
+	deg := s.runAll(insts, runConfig{variant: ri.VariantRI, workers: 1, orderStrategy: order.DegreeOnly})
+	res.Rows = append(res.Rows,
+		aggregate("GreatestConstraintFirst (paper)", gcf),
+		aggregate("degree-only", deg))
+	s.printAblation(res)
+	s.csvAblation(res)
+	return res
+}

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySuite keeps experiments fast for unit tests: minuscule scale, few
+// instances, short timeout.
+func tinySuite(out *bytes.Buffer) *Suite {
+	s := &Suite{
+		Scale:         0.012,
+		Seed:          7,
+		Timeout:       3 * time.Second,
+		LongThreshold: 2 * time.Millisecond,
+		Workers:       []int{1, 2, 4},
+		MaxInstances:  8,
+	}
+	if out != nil {
+		// Assign only non-nil buffers: a nil *bytes.Buffer inside the
+		// io.Writer interface would pass != nil checks and then panic.
+		s.Out = out
+	}
+	return s.Defaults()
+}
+
+func TestDefaults(t *testing.T) {
+	s := (&Suite{}).Defaults()
+	if s.Scale <= 0 || s.Timeout <= 0 || len(s.Workers) == 0 || s.MaxInstances == 0 {
+		t.Fatalf("defaults incomplete: %+v", s)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Table1()
+	if len(res.Rows) != 3 {
+		t.Fatalf("Table1 rows = %d, want 3", len(res.Rows))
+	}
+	if !strings.Contains(out.String(), "PPIS32") {
+		t.Error("printed table misses PPIS32")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig3()
+	if len(res.Rows) != 2 {
+		t.Fatalf("Fig3 rows = %d, want 2 (stealing off/on)", len(res.Rows))
+	}
+	if res.Rows[0].Stealing || !res.Rows[1].Stealing {
+		t.Error("rows out of order")
+	}
+	// With stealing the division of work can only improve (or tie).
+	if res.Rows[1].MeanWorkSpeedup+1e-9 < res.Rows[0].MeanWorkSpeedup {
+		t.Errorf("stealing reduced work speedup: off=%.3f on=%.3f",
+			res.Rows[0].MeanWorkSpeedup, res.Rows[1].MeanWorkSpeedup)
+	}
+	if !strings.Contains(out.String(), "work stealing") {
+		t.Error("Fig3 output missing")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig4()
+	// 3 collections × 5 group sizes × 4 worker counts
+	if len(res.Cells) != 3*5*4 {
+		t.Fatalf("Fig4 cells = %d, want 60", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.MeanMatchTime < 0 || c.MeanSteals < 0 {
+			t.Fatalf("negative means: %+v", c)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Table2()
+	if res.Collection != "PDBSv1" || res.Algorithm != "RI" {
+		t.Fatalf("Table2 config wrong: %+v", res)
+	}
+	if len(res.Rows) != 2 { // workers 2 and 4 of {1,2,4}
+		t.Fatalf("Table2 rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.WorkAvg < 1-1e9 || r.WorkAvg > float64(r.Workers)+1e-9 {
+			t.Errorf("work speedup %f out of [1, %d]", r.WorkAvg, r.Workers)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Table3()
+	if len(res) != 2 {
+		t.Fatalf("Table3 tables = %d, want 2", len(res))
+	}
+	names := map[string]bool{}
+	for _, tb := range res {
+		names[tb.Collection] = true
+		if tb.Algorithm != "RI-DS-SI-FC" || !tb.UseTotal {
+			t.Errorf("Table3 config wrong: %+v", tb)
+		}
+	}
+	if !names["GRAEMLIN32"] || !names["PPIS32"] {
+		t.Error("Table3 collections wrong")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig5()
+	if res.Total == 0 || len(res.Rows) != 3 {
+		t.Fatalf("Fig5 shape wrong: %+v", res)
+	}
+	for _, r := range res.Rows {
+		if r.TimeoutsParallel > res.Total || r.TimeoutsBaseline > res.Total {
+			t.Fatalf("timeout counts exceed instance count: %+v", r)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig6()
+	if res.Instances == 0 || len(res.Rows) != 3 {
+		t.Fatalf("Fig6 shape wrong: %+v", res)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig7()
+	if len(res.Cells) != 9 { // 3 collections × 3 variants
+		t.Fatalf("Fig7 cells = %d, want 9", len(res.Cells))
+	}
+	// SI-FC must never enlarge the search space relative to RI-DS on the
+	// same collection (FC only removes candidates).
+	byCollection := map[string]map[string]float64{}
+	for _, c := range res.Cells {
+		if byCollection[c.Collection] == nil {
+			byCollection[c.Collection] = map[string]float64{}
+		}
+		byCollection[c.Collection][c.Variant] = c.MeanStates
+	}
+	for name, m := range byCollection {
+		if m["RI-DS-SI-FC"] > m["RI-DS"]*1.001 {
+			t.Errorf("%s: FC enlarged search space: %v", name, m)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig8()
+	if len(res.Cells) != 6 { // 2 collections × 3 variants
+		t.Fatalf("Fig8 cells = %d, want 6", len(res.Cells))
+	}
+	if !res.LongSample {
+		t.Error("Fig8 should flag the long sample")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig9()
+	if len(res.Cells) != 6 {
+		t.Fatalf("Fig9 cells = %d, want 6", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.TotalTime+1e-12 < c.MatchTime {
+			t.Errorf("%s/%s: total %.6f < match %.6f", c.Collection, c.Variant, c.TotalTime, c.MatchTime)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	res := s.Fig10()
+	// 2 collections × 3 algorithms × 3 worker counts
+	if len(res.Cells) != 18 {
+		t.Fatalf("Fig10 cells = %d, want 18", len(res.Cells))
+	}
+}
+
+func TestFig12(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Fig12()
+	if len(res.Cells) != 4 {
+		t.Fatalf("Fig12 cells = %d, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.MeanStatesShort < 0 || c.MeanStatesLong < 0 {
+			t.Fatalf("negative search space: %+v", c)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).Ablations()
+	if len(res) != 5 {
+		t.Fatalf("ablations = %d, want 5", len(res))
+	}
+	for _, a := range res {
+		if len(a.Rows) < 2 {
+			t.Fatalf("%s: only %d rows", a.Title, len(a.Rows))
+		}
+	}
+	// AC ablation: fixpoint search space ≤ single pass ≤ none.
+	ac := res[3]
+	if ac.Rows[2].MeanStates > ac.Rows[1].MeanStates*1.001 ||
+		ac.Rows[1].MeanStates > ac.Rows[0].MeanStates*1.001 {
+		t.Errorf("AC depth did not shrink search space: %+v", ac.Rows)
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := Record{Preproc: time.Second, Match: 2 * time.Second}
+	if r.Total() != 3*time.Second {
+		t.Error("Total wrong")
+	}
+	if r.WorkSpeedup() != 1 {
+		t.Error("sequential work speedup should be 1")
+	}
+	r.PerWorkerStates = []int64{50, 50}
+	if r.WorkSpeedup() != 2 {
+		t.Errorf("balanced 2-worker speedup = %f, want 2", r.WorkSpeedup())
+	}
+	r.PerWorkerStates = []int64{100, 0}
+	if r.WorkSpeedup() != 1 {
+		t.Errorf("degenerate speedup = %f, want 1", r.WorkSpeedup())
+	}
+	r.PerWorkerStates = []int64{0, 0}
+	if r.WorkSpeedup() != 1 {
+		t.Error("zero-state speedup should be 1")
+	}
+}
+
+func TestHardestInstancesOrdering(t *testing.T) {
+	s := tinySuite(nil)
+	insts := s.hardestInstances("PPIS32", 3)
+	if len(insts) != 3 {
+		t.Fatalf("hardest = %d, want 3", len(insts))
+	}
+	all := s.hardestInstances("PPIS32", 10000)
+	if len(all) > s.MaxInstances {
+		t.Fatalf("hardest returned %d > MaxInstances %d", len(all), s.MaxInstances)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySuite(nil)
+	s.CSVDir = dir
+	s.Table1()
+	s.Fig3()
+	res := s.Table2()
+	if len(res.Rows) == 0 {
+		t.Fatal("table2 empty")
+	}
+	for _, f := range []string{"table1.csv", "fig3.csv", "table2.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Errorf("%s has only %d lines", f, lines)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("steal end (§3.2(ii): back = near root)"); got != "steal_end_32ii_back_near_root" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// csvOut writes one experiment's data as <CSVDir>/<name>.csv when the
+// suite has a CSV directory configured. Plotting the paper's figures from
+// these files is a five-line matplotlib/gnuplot job.
+func (s *Suite) csvOut(name string, header []string, rows [][]string) {
+	if s.CSVDir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.CSVDir, 0o755); err != nil {
+		s.printf("csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(s.CSVDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		s.printf("csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		s.printf("csv: %v\n", err)
+		return
+	}
+	if err := w.WriteAll(rows); err != nil {
+		s.printf("csv: %v\n", err)
+		return
+	}
+	s.printf("(csv written to %s)\n", path)
+}
+
+func f64(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+func i64(x int64) string   { return strconv.FormatInt(x, 10) }
+
+// WriteCSVs exports every experiment result the suite knows how to
+// serialize; experiments call these hooks from their Print step.
+
+func (s *Suite) csvTable1(res Table1Result) {
+	rows := make([][]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Name, strconv.Itoa(r.MinNodes), strconv.Itoa(r.MaxNodes),
+			strconv.Itoa(r.MinEdges), strconv.Itoa(r.MaxEdges),
+			f64(r.DegreeMean), f64(r.DegreeSD),
+			strconv.Itoa(r.NumTargets), strconv.Itoa(r.NumPatterns),
+		})
+	}
+	s.csvOut("table1", []string{"collection", "min_nodes", "max_nodes", "min_edges", "max_edges", "deg_mean", "deg_sd", "targets", "patterns"}, rows)
+}
+
+func (s *Suite) csvFig3(res Fig3Result) {
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%v", r.Stealing), f64(r.MeanMatchTime),
+			f64(r.MeanStddevWorkerStates), f64(r.MeanWorkSpeedup),
+		})
+	}
+	s.csvOut("fig3", []string{"stealing", "mean_match_s", "mean_stddev_worker_states", "mean_work_speedup"}, rows)
+}
+
+func (s *Suite) csvFig4(res Fig4Result) {
+	var rows [][]string
+	for _, c := range res.Cells {
+		rows = append(rows, []string{
+			c.Collection, strconv.Itoa(c.GroupSize), strconv.Itoa(c.Workers),
+			f64(c.MeanMatchTime), f64(c.MeanSteals),
+		})
+	}
+	s.csvOut("fig4", []string{"collection", "group", "workers", "mean_match_s", "mean_steals"}, rows)
+}
+
+func (s *Suite) csvSpeedupTable(name string, t SpeedupTable) {
+	var rows [][]string
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			t.Collection, t.Algorithm, strconv.Itoa(r.Workers),
+			f64(r.All.Avg), f64(r.All.GMean), f64(r.All.Max),
+			f64(r.Short.Avg), f64(r.Short.GMean), f64(r.Short.Max),
+			f64(r.Long.Avg), f64(r.Long.GMean), f64(r.Long.Max),
+			f64(r.WorkAvg), f64(r.WorkMax), strconv.Itoa(r.Timeouts),
+		})
+	}
+	s.csvOut(name, []string{
+		"collection", "algorithm", "workers",
+		"all_avg", "all_gmean", "all_max",
+		"short_avg", "short_gmean", "short_max",
+		"long_avg", "long_gmean", "long_max",
+		"work_avg", "work_max", "timeouts",
+	}, rows)
+}
+
+func (s *Suite) csvFig5(res Fig5Result) {
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			strconv.Itoa(r.Workers), strconv.Itoa(r.TimeoutsParallel), strconv.Itoa(r.TimeoutsBaseline),
+		})
+	}
+	s.csvOut("fig5", []string{"workers", "timeouts_parallel_ri", "timeouts_ri36_standin"}, rows)
+}
+
+func (s *Suite) csvFig6(res Fig6Result) {
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{strconv.Itoa(r.Workers), f64(r.MeanMatchTime), f64(r.MeanWorkSpeed)})
+	}
+	s.csvOut("fig6", []string{"workers", "mean_match_s", "mean_work_speedup"}, rows)
+}
+
+func (s *Suite) csvVariantComparison(name string, res VariantComparison) {
+	var rows [][]string
+	for _, c := range res.Cells {
+		rows = append(rows, []string{
+			c.Collection, c.Variant, f64(c.TotalTime), f64(c.MatchTime), f64(c.PreprocTime),
+			f64(c.MeanStates), f64(c.StddevStates), f64(c.StatesPerSec), f64(c.TimeoutPercent),
+		})
+	}
+	s.csvOut(name, []string{"collection", "algorithm", "total_s", "match_s", "preproc_s", "mean_states", "sd_states", "states_per_s", "timeout_pct"}, rows)
+}
+
+func (s *Suite) csvFig10(res Fig10Result) {
+	var rows [][]string
+	for _, c := range res.Cells {
+		rows = append(rows, []string{
+			c.Collection, c.Algorithm, strconv.Itoa(c.Workers),
+			f64(c.MeanTotal), f64(c.MeanTotalShort), f64(c.MeanTotalLong),
+		})
+	}
+	s.csvOut("fig10_fig11", []string{"collection", "algorithm", "workers", "total_s", "total_short_s", "total_long_s"}, rows)
+}
+
+func (s *Suite) csvFig12(res Fig12Result) {
+	var rows [][]string
+	for _, c := range res.Cells {
+		rows = append(rows, []string{c.Collection, c.Algorithm, f64(c.MeanStatesShort), f64(c.MeanStatesLong)})
+	}
+	s.csvOut("fig12", []string{"collection", "algorithm", "states_short", "states_long"}, rows)
+}
+
+func (s *Suite) csvAblation(res AblationResult) {
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			res.Title, r.Name, f64(r.MeanMatchTime), f64(r.MeanTotalTime),
+			f64(r.MeanSteals), f64(r.MeanStates), f64(r.MeanPreproc), f64(r.WorkSpeedup),
+		})
+	}
+	s.csvOut("ablation_"+sanitize(res.Title), []string{"ablation", "configuration", "match_s", "total_s", "steals", "states", "preproc_s", "work_speedup"}, rows)
+}
+
+// sanitize turns a title into a file-name-safe slug.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+32)
+		case c == ' ' || c == '-' || c == '_':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '_' {
+		out = out[:len(out)-1]
+	}
+	return string(out)
+}
+
+// unused placeholder to keep i64 referenced until more exporters need it.
+var _ = i64

@@ -1,0 +1,510 @@
+package bench
+
+import (
+	"time"
+
+	"parsge/internal/datasets"
+	"parsge/internal/ri"
+	"parsge/internal/stats"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Result reproduces the collection-statistics table.
+type Table1Result struct {
+	Rows []datasets.Table1Row
+}
+
+// Table1 generates all three collections and summarizes them.
+func (s *Suite) Table1() Table1Result {
+	var res Table1Result
+	for _, name := range datasets.Names() {
+		res.Rows = append(res.Rows, datasets.Table1(s.collection(name)))
+	}
+	s.printTable1(res)
+	s.csvTable1(res)
+	return res
+}
+
+// ----------------------------------------------------------------- Fig 3
+
+// Fig3Row is one bar pair of Fig 3: work stealing on or off.
+type Fig3Row struct {
+	Stealing bool
+	// MeanMatchTime is the mean match time over the sample (left plot).
+	MeanMatchTime float64
+	// MeanStddevWorkerStates is the mean (over instances) standard
+	// deviation (over workers) of explored states (right plot) — the
+	// paper's load-imbalance indicator.
+	MeanStddevWorkerStates float64
+	// MeanWorkSpeedup is the hardware-independent division-of-work
+	// speedup; with stealing off it collapses towards 1.
+	MeanWorkSpeedup float64
+}
+
+// Fig3Result reproduces Fig 3 (effects of work stealing, 16 workers,
+// random PPIS32 sample).
+type Fig3Result struct {
+	Workers int
+	Rows    []Fig3Row
+}
+
+// Fig3 measures the work-stealing ablation.
+func (s *Suite) Fig3() Fig3Result {
+	insts := s.hardestInstances("PPIS32", 10)
+	res := Fig3Result{Workers: 16}
+	for _, stealing := range []bool{false, true} {
+		recs := s.runAll(insts, runConfig{
+			variant: ri.VariantRIDS, workers: res.Workers, group: 4,
+			stealing: stealing, seed: s.Seed,
+		})
+		row := Fig3Row{Stealing: stealing, MeanMatchTime: meanSeconds(matchTimes(recs))}
+		var sds, wss []float64
+		for _, r := range recs {
+			perWorker := make([]float64, len(r.PerWorkerStates))
+			for i, v := range r.PerWorkerStates {
+				perWorker[i] = float64(v)
+			}
+			sds = append(sds, stats.StdDev(perWorker))
+			wss = append(wss, r.WorkSpeedup())
+		}
+		row.MeanStddevWorkerStates = stats.Mean(sds)
+		row.MeanWorkSpeedup = stats.Mean(wss)
+		res.Rows = append(res.Rows, row)
+	}
+	s.printFig3(res)
+	s.csvFig3(res)
+	return res
+}
+
+// ----------------------------------------------------------------- Fig 4
+
+// Fig4Cell is one (collection, group size, workers) measurement.
+type Fig4Cell struct {
+	Collection    string
+	GroupSize     int
+	Workers       int
+	MeanMatchTime float64
+	MeanSteals    float64
+}
+
+// Fig4Result reproduces Fig 4 (task coalescing sweep).
+type Fig4Result struct {
+	Cells []Fig4Cell
+}
+
+// fig4Variant picks the paper's engine per collection: RI on the sparse
+// PDBSv1, RI-DS on the dense collections.
+func fig4Variant(name string) ri.Variant {
+	if name == "PDBSv1" {
+		return ri.VariantRI
+	}
+	return ri.VariantRIDS
+}
+
+// Fig4 sweeps task group sizes {1, 2, 4, 8, 16} over worker counts
+// {2, 4, 8, 16} on samples of all three collections.
+func (s *Suite) Fig4() Fig4Result {
+	var res Fig4Result
+	for _, name := range datasets.Names() {
+		insts := s.hardestInstances(name, 8)
+		for _, g := range []int{1, 2, 4, 8, 16} {
+			for _, w := range []int{2, 4, 8, 16} {
+				recs := s.runAll(insts, runConfig{
+					variant: fig4Variant(name), workers: w, group: g,
+					stealing: true, seed: s.Seed + int64(g*100+w),
+				})
+				res.Cells = append(res.Cells, Fig4Cell{
+					Collection:    name,
+					GroupSize:     g,
+					Workers:       w,
+					MeanMatchTime: meanSeconds(matchTimes(recs)),
+					MeanSteals:    meanSteals(recs),
+				})
+			}
+		}
+	}
+	s.printFig4(res)
+	s.csvFig4(res)
+	return res
+}
+
+// ------------------------------------------------- speedup tables (2, 3)
+
+// SpeedupRow aggregates one worker count of a speedup table.
+type SpeedupRow struct {
+	Workers int
+	// All/Short/Long follow the paper's instance split.
+	All, Short, Long stats.SpeedupSummary
+	// WorkAvg and WorkMax summarize the hardware-independent work-
+	// division speedup over all instances.
+	WorkAvg, WorkMax float64
+	// Timeouts counts instances hitting the time budget at this width.
+	Timeouts int
+}
+
+// SpeedupTable reproduces the layout of Tables 2 and 3.
+type SpeedupTable struct {
+	Collection string
+	Algorithm  string
+	// UseTotal selects total time (Table 3) over match time (Table 2).
+	UseTotal bool
+	Rows     []SpeedupRow
+	// BaseTimeouts counts timeouts of the 1-worker base run.
+	BaseTimeouts int
+}
+
+// speedupTable runs the base (1 worker) and the sweep and aggregates.
+func (s *Suite) speedupTable(name string, variant ri.Variant, useTotal bool) SpeedupTable {
+	insts := s.instances(name)
+	base := s.runAll(insts, runConfig{variant: variant, workers: 1})
+	shortIdx, longIdx := s.splitByReference(base)
+
+	pick := matchTimes
+	if useTotal {
+		pick = totalTimes
+	}
+	table := SpeedupTable{
+		Collection:   name,
+		Algorithm:    variant.String(),
+		UseTotal:     useTotal,
+		BaseTimeouts: countTimeouts(base),
+	}
+	for _, w := range s.Workers {
+		if w <= 1 {
+			continue
+		}
+		recs := s.runAll(insts, runConfig{
+			variant: variant, workers: w, group: 4, stealing: true,
+			seed: s.Seed + int64(w),
+		})
+		row := SpeedupRow{
+			Workers:  w,
+			All:      stats.Speedups(pick(base), pick(recs)),
+			Short:    stats.Speedups(pick(selectRecords(base, shortIdx)), pick(selectRecords(recs, shortIdx))),
+			Long:     stats.Speedups(pick(selectRecords(base, longIdx)), pick(selectRecords(recs, longIdx))),
+			Timeouts: countTimeouts(recs),
+		}
+		var ws []float64
+		for _, r := range recs {
+			ws = append(ws, r.WorkSpeedup())
+		}
+		row.WorkAvg = stats.Mean(ws)
+		row.WorkMax = stats.Max(ws)
+		table.Rows = append(table.Rows, row)
+	}
+	return table
+}
+
+// Table2 reproduces Table 2: speedup of parallel RI on PDBSv1 over the
+// one-worker run, split all/short/long.
+func (s *Suite) Table2() SpeedupTable {
+	t := s.speedupTable("PDBSv1", ri.VariantRI, false)
+	s.printSpeedupTable("Table 2", t)
+	s.csvSpeedupTable("table2", t)
+	return t
+}
+
+// Table3 reproduces Table 3: speedup of parallel RI-DS-SI-FC over itself
+// with one worker, on GRAEMLIN32 and PPIS32.
+func (s *Suite) Table3() []SpeedupTable {
+	var out []SpeedupTable
+	for _, name := range []string{"GRAEMLIN32", "PPIS32"} {
+		t := s.speedupTable(name, ri.VariantRIDSSIFC, true)
+		s.printSpeedupTable("Table 3 — "+name, t)
+		s.csvSpeedupTable("table3_"+name, t)
+		out = append(out, t)
+	}
+	return out
+}
+
+// ----------------------------------------------------------------- Fig 5
+
+// Fig5Row is one point of the timed-out-instances plot.
+type Fig5Row struct {
+	Workers          int
+	TimeoutsParallel int
+	TimeoutsBaseline int // RI 3.6 stand-in: flat across worker counts
+}
+
+// Fig5Result reproduces Fig 5 (unsolved instances on PDBSv1).
+type Fig5Result struct {
+	Total int // instances measured
+	Rows  []Fig5Row
+}
+
+// Fig5 counts instances not solved within the timeout per worker count,
+// for parallel RI and for the sequential RI 3.6 stand-in.
+func (s *Suite) Fig5() Fig5Result {
+	insts := s.instances("PDBSv1")
+	baseline := s.runAll(insts, runConfig{
+		variant: ri.VariantRI, workers: 1, eagerCopy: true, stealing: false, group: 1,
+	})
+	baseTimeouts := countTimeouts(baseline)
+	res := Fig5Result{Total: len(insts)}
+	for _, w := range s.Workers {
+		recs := s.runAll(insts, runConfig{
+			variant: ri.VariantRI, workers: w, group: 4, stealing: true,
+			seed: s.Seed + int64(w),
+		})
+		res.Rows = append(res.Rows, Fig5Row{
+			Workers:          w,
+			TimeoutsParallel: countTimeouts(recs),
+			TimeoutsBaseline: baseTimeouts,
+		})
+	}
+	s.printFig5(res)
+	s.csvFig5(res)
+	return res
+}
+
+// ----------------------------------------------------------------- Fig 6
+
+// Fig6Row is one point of the long-instance match-time plot.
+type Fig6Row struct {
+	Workers       int
+	MeanMatchTime float64
+	MeanWorkSpeed float64 // work-division speedup
+}
+
+// Fig6Result reproduces Fig 6 (match time on long PDBSv1 instances).
+type Fig6Result struct {
+	Instances int
+	Rows      []Fig6Row
+}
+
+// Fig6 measures mean match time of parallel RI on the hardest PDBSv1
+// instances across the worker sweep.
+func (s *Suite) Fig6() Fig6Result {
+	insts := s.hardestInstances("PDBSv1", 10)
+	res := Fig6Result{Instances: len(insts)}
+	for _, w := range s.Workers {
+		recs := s.runAll(insts, runConfig{
+			variant: ri.VariantRI, workers: w, group: 4, stealing: true,
+			seed: s.Seed + int64(w),
+		})
+		var ws []float64
+		for _, r := range recs {
+			ws = append(ws, r.WorkSpeedup())
+		}
+		res.Rows = append(res.Rows, Fig6Row{
+			Workers:       w,
+			MeanMatchTime: meanSeconds(matchTimes(recs)),
+			MeanWorkSpeed: stats.Mean(ws),
+		})
+	}
+	s.printFig6(res)
+	s.csvFig6(res)
+	return res
+}
+
+// ------------------------------------------------------------ Figs 7/8/9
+
+// variantCell holds one (collection, variant) aggregate for Figs 7-9.
+type variantCell struct {
+	Collection string
+	Variant    string
+	// Mean times in seconds.
+	TotalTime, MatchTime, PreprocTime float64
+	// Search-space statistics.
+	MeanStates     float64
+	StatesPerSec   float64
+	StddevStates   float64
+	TimeoutPercent float64
+}
+
+// VariantComparison underlies Figs 7, 8 and 9: the three RI-DS variants
+// measured sequentially per collection.
+type VariantComparison struct {
+	LongSample bool
+	Cells      []variantCell
+}
+
+// dsVariants are the three algorithms compared in §5.2.4.
+var dsVariants = []ri.Variant{ri.VariantRIDS, ri.VariantRIDSSI, ri.VariantRIDSSIFC}
+
+// variantComparison measures the RI-DS variants on the given instances.
+func (s *Suite) variantComparison(name string, insts []datasets.Instance, long bool) []variantCell {
+	var cells []variantCell
+	for _, v := range dsVariants {
+		recs := s.runAll(insts, runConfig{variant: v, workers: 1})
+		var states []float64
+		var sps []float64
+		timeouts := 0
+		for _, r := range recs {
+			states = append(states, float64(r.States))
+			if sec := r.Match.Seconds(); sec > 0 {
+				sps = append(sps, float64(r.States)/sec)
+			}
+			if r.TimedOut {
+				timeouts++
+			}
+		}
+		cells = append(cells, variantCell{
+			Collection:     name,
+			Variant:        v.String(),
+			TotalTime:      meanSeconds(totalTimes(recs)),
+			MatchTime:      meanSeconds(matchTimes(recs)),
+			PreprocTime:    meanSeconds(preprocTimes(recs)),
+			MeanStates:     stats.Mean(states),
+			StddevStates:   stats.StdDev(states),
+			StatesPerSec:   stats.Mean(sps),
+			TimeoutPercent: 100 * float64(timeouts) / float64(max(1, len(recs))),
+		})
+	}
+	return cells
+}
+
+func preprocTimes(recs []Record) []time.Duration {
+	out := make([]time.Duration, len(recs))
+	for i, r := range recs {
+		out[i] = r.Preproc
+	}
+	return out
+}
+
+// Fig7 reproduces Fig 7: search-space reduction and single-threaded run
+// time of RI-DS vs RI-DS-SI vs RI-DS-SI-FC on short instances of all
+// three collections.
+func (s *Suite) Fig7() VariantComparison {
+	var res VariantComparison
+	for _, name := range datasets.Names() {
+		res.Cells = append(res.Cells, s.variantComparison(name, s.instances(name), false)...)
+	}
+	s.printVariantComparison("Fig 7 — short instances (mean total time, search space)", res)
+	s.csvVariantComparison("fig7", res)
+	return res
+}
+
+// Fig8 reproduces Fig 8: search space size and search speed (states/sec)
+// on long-running samples of PPIS32 and GRAEMLIN32.
+func (s *Suite) Fig8() VariantComparison {
+	res := VariantComparison{LongSample: true}
+	for _, name := range []string{"PPIS32", "GRAEMLIN32"} {
+		res.Cells = append(res.Cells, s.variantComparison(name, s.hardestInstances(name, 8), true)...)
+	}
+	s.printVariantComparison("Fig 8 — long samples (search space, states/sec)", res)
+	s.csvVariantComparison("fig8", res)
+	return res
+}
+
+// Fig9 reproduces Fig 9: total / match / preprocessing time of the
+// variants on PPIS32 and GRAEMLIN32 ("preprocessing time is negligible").
+func (s *Suite) Fig9() VariantComparison {
+	var res VariantComparison
+	for _, name := range []string{"PPIS32", "GRAEMLIN32"} {
+		res.Cells = append(res.Cells, s.variantComparison(name, s.instances(name), false)...)
+	}
+	s.printVariantComparison("Fig 9 — time breakdown (total/match/preproc)", res)
+	s.csvVariantComparison("fig9", res)
+	return res
+}
+
+// ------------------------------------------------------------ Figs 10/11
+
+// Fig10Cell is one (collection, algorithm, workers) mean total time.
+type Fig10Cell struct {
+	Collection string
+	Algorithm  string // "parallel RI-DS-SI-FC", "parallel RI-DS", "RI-DS 3.51*"
+	Workers    int
+	MeanTotal  float64
+	// Short/long means (Fig 11); NaN-free: zero when the split is empty.
+	MeanTotalShort, MeanTotalLong float64
+}
+
+// Fig10Result underlies Figs 10 and 11.
+type Fig10Result struct {
+	Cells []Fig10Cell
+}
+
+// Fig10 compares parallel RI-DS-SI-FC, parallel RI-DS and the RI-DS 3.51
+// stand-in across worker counts on GRAEMLIN32 and PPIS32; Fig 11 is the
+// same data split at the short/long threshold.
+func (s *Suite) Fig10() Fig10Result {
+	var res Fig10Result
+	for _, name := range []string{"GRAEMLIN32", "PPIS32"} {
+		insts := s.instances(name)
+		ref := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1})
+		shortIdx, longIdx := s.splitByReference(ref)
+
+		baseline := s.runAll(insts, runConfig{
+			variant: ri.VariantRIDS, workers: 1, eagerCopy: true, group: 1,
+		})
+		for _, w := range s.Workers {
+			res.Cells = append(res.Cells, fig10Cell(name, "RI-DS 3.51*", w, baseline, shortIdx, longIdx))
+		}
+		for _, w := range s.Workers {
+			recs := s.runAll(insts, runConfig{
+				variant: ri.VariantRIDS, workers: w, group: 4, stealing: true, seed: s.Seed + int64(w),
+			})
+			res.Cells = append(res.Cells, fig10Cell(name, "parallel RI-DS", w, recs, shortIdx, longIdx))
+		}
+		for _, w := range s.Workers {
+			recs := s.runAll(insts, runConfig{
+				variant: ri.VariantRIDSSIFC, workers: w, group: 4, stealing: true, seed: s.Seed + int64(w),
+			})
+			res.Cells = append(res.Cells, fig10Cell(name, "parallel RI-DS-SI-FC", w, recs, shortIdx, longIdx))
+		}
+	}
+	s.printFig10(res)
+	s.csvFig10(res)
+	return res
+}
+
+func fig10Cell(name, alg string, w int, recs []Record, shortIdx, longIdx []int) Fig10Cell {
+	return Fig10Cell{
+		Collection:     name,
+		Algorithm:      alg,
+		Workers:        w,
+		MeanTotal:      meanSeconds(totalTimes(recs)),
+		MeanTotalShort: meanSeconds(totalTimes(selectRecords(recs, shortIdx))),
+		MeanTotalLong:  meanSeconds(totalTimes(selectRecords(recs, longIdx))),
+	}
+}
+
+// ----------------------------------------------------------------- Fig 12
+
+// Fig12Cell is one (collection, algorithm, split) search-space mean.
+type Fig12Cell struct {
+	Collection                      string
+	Algorithm                       string
+	MeanStatesShort, MeanStatesLong float64
+}
+
+// Fig12Result reproduces Fig 12 (search space, RI-DS vs RI-DS-SI-FC,
+// split short/long).
+type Fig12Result struct {
+	Cells []Fig12Cell
+}
+
+// Fig12 measures search-space sizes of RI-DS and RI-DS-SI-FC.
+func (s *Suite) Fig12() Fig12Result {
+	var res Fig12Result
+	for _, name := range []string{"GRAEMLIN32", "PPIS32"} {
+		insts := s.instances(name)
+		ref := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1})
+		shortIdx, longIdx := s.splitByReference(ref)
+		for _, v := range []ri.Variant{ri.VariantRIDS, ri.VariantRIDSSIFC} {
+			recs := ref
+			if v != ri.VariantRIDS {
+				recs = s.runAll(insts, runConfig{variant: v, workers: 1})
+			}
+			res.Cells = append(res.Cells, Fig12Cell{
+				Collection:      name,
+				Algorithm:       v.String(),
+				MeanStatesShort: meanStates(selectRecords(recs, shortIdx)),
+				MeanStatesLong:  meanStates(selectRecords(recs, longIdx)),
+			})
+		}
+	}
+	s.printFig12(res)
+	s.csvFig12(res)
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+// Package bitset provides a dense, fixed-capacity bitset.
+//
+// RI-DS represents candidate domains as bitmasks over the target graph's
+// vertex set ("In RI, domains are implemented as bitmasks", Kimmig et al.
+// §4.2.2); this package is that representation. It is deliberately free of
+// synchronization: domains are computed once during preprocessing and read
+// concurrently afterwards, and the search engines own private scratch sets.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset over [0, Len()). The zero value is an empty set of
+// capacity zero; use New to create one with capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set able to hold bits [0, n), all initially clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set (number of addressable bits).
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetAll sets every bit in [0, Len()).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// ClearAll clears every bit.
+func (s *Set) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trim clears the unaddressable tail bits of the last word so that Count,
+// Empty and Equal see a canonical representation.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Copy overwrites s with the contents of other. The sets must have equal
+// capacity.
+func (s *Set) Copy(other *Set) {
+	s.mustMatch(other)
+	copy(s.words, other.words)
+}
+
+// And intersects s with other in place.
+func (s *Set) And(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// Or unions other into s in place.
+func (s *Set) Or(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// AndNot removes from s every bit set in other.
+func (s *Set) AndNot(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether s and other contain exactly the same bits.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every bit of s is also set in other.
+func (s *Set) Subset(other *Set) bool {
+	s.mustMatch(other)
+	for i := range s.words {
+		if s.words[i]&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the index of the first set bit ≥ i, or -1 if none exists.
+// Iterating all members:
+//
+//	for v := s.Next(0); v >= 0; v = s.Next(v + 1) { ... }
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order. It stops early if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the indices of all set bits to dst and returns it.
+func (s *Set) Members(dst []int) []int {
+	s.ForEach(func(i int) bool {
+		dst = append(dst, i)
+		return true
+	})
+	return dst
+}
+
+// First returns the lowest set bit, or -1 if the set is empty. For a
+// singleton domain this is the unique member.
+func (s *Set) First() int { return s.Next(0) }
+
+// String renders the set as "{1, 5, 9}" — intended for tests and debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) mustMatch(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+}

@@ -1,0 +1,315 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("new set not empty: count=%d", s.Count())
+	}
+	if s.First() != -1 {
+		t.Fatalf("First on empty = %d, want -1", s.First())
+	}
+}
+
+func TestNewZeroCapacity(t *testing.T) {
+	s := New(0)
+	if !s.Empty() || s.Count() != 0 || s.Next(0) != -1 {
+		t.Fatal("zero-capacity set should behave as empty")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Error("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestSetAllRespectsCapacity(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128, 129} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Errorf("n=%d: Count after SetAll = %d", n, got)
+		}
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	s := New(100)
+	s.SetAll()
+	s.ClearAll()
+	if !s.Empty() {
+		t.Fatal("set not empty after ClearAll")
+	}
+}
+
+func TestNextIteration(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 191, 192, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	for v := s.Next(0); v >= 0; v = s.Next(v + 1) {
+		got = append(got, v)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Next(-5) != 3 {
+		t.Errorf("Next(-5) = %d, want 3", s.Next(-5))
+	}
+	if s.Next(300) != -1 {
+		t.Errorf("Next(300) = %d, want -1", s.Next(300))
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 64; i += 2 {
+		s.Set(i)
+	}
+	n := 0
+	s.ForEach(func(i int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d bits, want 5", n)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	s := New(70)
+	s.Set(2)
+	s.Set(69)
+	m := s.Members(nil)
+	if len(m) != 2 || m[0] != 2 || m[1] != 69 {
+		t.Fatalf("Members = %v", m)
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := New(130), New(130)
+	a.Set(1)
+	a.Set(100)
+	a.Set(129)
+	b.Set(100)
+	b.Set(64)
+
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Test(100) {
+		t.Errorf("And wrong: %v", and)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 4 {
+		t.Errorf("Or wrong: %v", or)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 2 || diff.Test(100) {
+		t.Errorf("AndNot wrong: %v", diff)
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a, b := New(80), New(80)
+	a.Set(5)
+	b.Set(5)
+	b.Set(70)
+	if !a.Subset(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.Subset(a) {
+		t.Error("b should not be subset of a")
+	}
+	if a.Equal(b) {
+		t.Error("a and b should differ")
+	}
+	a.Set(70)
+	if !a.Equal(b) {
+		t.Error("a and b should now be equal")
+	}
+	if a.Equal(New(81)) {
+		t.Error("different capacities should not be Equal")
+	}
+}
+
+func TestCopyClone(t *testing.T) {
+	a := New(64)
+	a.Set(10)
+	c := a.Clone()
+	c.Set(11)
+	if a.Test(11) {
+		t.Error("Clone aliases the original")
+	}
+	b := New(64)
+	b.Copy(a)
+	if !b.Equal(a) {
+		t.Error("Copy did not reproduce contents")
+	}
+}
+
+func TestMismatchedCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched capacity did not panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(1)
+	s.Set(5)
+	if got := s.String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomSet builds a set of capacity n from a seed, for property tests.
+func randomSet(n int, seed int64) *Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// complement(a OR b) == complement(a) AND complement(b)
+	f := func(seedA, seedB int64) bool {
+		const n = 257
+		a, b := randomSet(n, seedA), randomSet(n, seedB)
+		or := a.Clone()
+		or.Or(b)
+		notOr := New(n)
+		notOr.SetAll()
+		notOr.AndNot(or)
+
+		notA := New(n)
+		notA.SetAll()
+		notA.AndNot(a)
+		notB := New(n)
+		notB.SetAll()
+		notB.AndNot(b)
+		notA.And(notB)
+		return notOr.Equal(notA)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountMatchesIteration(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSet(191, seed)
+		n := 0
+		s.ForEach(func(int) bool { n++; return true })
+		return n == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAndIsIntersection(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		const n = 200
+		a, b := randomSet(n, seedA), randomSet(n, seedB)
+		got := a.Clone()
+		got.And(b)
+		for i := 0; i < n; i++ {
+			if got.Test(i) != (a.Test(i) && b.Test(i)) {
+				return false
+			}
+		}
+		return got.Subset(a) && got.Subset(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextVisitsExactlyMembers(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSet(130, seed)
+		seen := make(map[int]bool)
+		for v := s.Next(0); v >= 0; v = s.Next(v + 1) {
+			if seen[v] || !s.Test(v) {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetAndCount(b *testing.B) {
+	s := randomSet(4096, 42)
+	o := randomSet(4096, 43)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := s.Clone()
+		t.And(o)
+		_ = t.Count()
+	}
+}
+
+func BenchmarkNextIteration(b *testing.B) {
+	s := randomSet(4096, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for v := s.Next(0); v >= 0; v = s.Next(v + 1) {
+			n++
+		}
+	}
+}

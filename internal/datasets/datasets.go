@@ -1,0 +1,568 @@
+// Package datasets synthesizes stand-ins for the three biochemical data
+// collections of the paper's evaluation (Kimmig et al. §5.1, Table 1):
+//
+//	PPIS32     — 10 large, dense protein-protein interaction networks,
+//	             32 node labels with a normal (Gaussian) distribution,
+//	             heavy-tailed degrees (Table 1: µ=27.38, σ=60.88);
+//	GRAEMLIN32 — 10 medium/large dense microbial networks, 32 uniformly
+//	             distributed labels (µ=55.41, σ=88.74);
+//	PDBSv1     — 30 large sparse RNA/DNA/protein molecular graphs
+//	             (µ=3.06, σ=2.67).
+//
+// The original .gff files from the RI distribution are not
+// redistributable, so each generator reproduces the *shape* that drives
+// the algorithms: node/edge scale, degree distribution (Chung–Lu heavy
+// tail for the PPI-like sets, tree-plus-chords for the molecular set),
+// label alphabet and label distribution. Pattern graphs are extracted as
+// connected subgraphs of the targets with 4–256 edges and classified
+// dense / semi-dense / sparse, exactly like the original collections
+// (which were produced the same way) — guaranteeing every instance has
+// at least one match. Everything is deterministic in Config.Seed.
+//
+// All graphs are undirected in nature and encoded, as throughout this
+// repository, with both directed arcs per undirected edge.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parsge/internal/graph"
+)
+
+// DensityClass is the paper's pattern taxonomy (§5.1).
+type DensityClass int
+
+const (
+	// Sparse patterns have fewer than 1.2 undirected edges per node.
+	Sparse DensityClass = iota
+	// SemiDense patterns have between 1.2 and 1.8 edges per node.
+	SemiDense
+	// Dense patterns have at least 1.8 edges per node.
+	Dense
+)
+
+// String names the class as in the paper.
+func (d DensityClass) String() string {
+	switch d {
+	case Sparse:
+		return "sparse"
+	case SemiDense:
+		return "semi-dense"
+	case Dense:
+		return "dense"
+	default:
+		return fmt.Sprintf("DensityClass(%d)", int(d))
+	}
+}
+
+// Classify assigns the density class from undirected edge and node counts.
+func Classify(nodes, edges int) DensityClass {
+	if nodes == 0 {
+		return Sparse
+	}
+	ratio := float64(edges) / float64(nodes)
+	switch {
+	case ratio >= 1.8:
+		return Dense
+	case ratio >= 1.2:
+		return SemiDense
+	default:
+		return Sparse
+	}
+}
+
+// Pattern is one query graph with its provenance metadata.
+type Pattern struct {
+	// Graph is the pattern graph.
+	Graph *graph.Graph
+	// TargetIndex is the collection target it was extracted from (and
+	// is benchmarked against).
+	TargetIndex int
+	// WantEdges is the nominal undirected edge count class (4, 8, ...).
+	WantEdges int
+	// Class is the density classification.
+	Class DensityClass
+	// Name identifies the pattern for reports ("ppis32-p0017-e32-dense").
+	Name string
+}
+
+// Collection bundles targets and patterns.
+type Collection struct {
+	Name     string
+	Targets  []*graph.Graph
+	Patterns []Pattern
+}
+
+// Instance is one benchmark unit: a pattern matched against its target.
+type Instance struct {
+	Collection string
+	Index      int
+	Pattern    *graph.Graph
+	Target     *graph.Graph
+	Meta       Pattern
+}
+
+// Instances expands the collection into its benchmark instances.
+func (c *Collection) Instances() []Instance {
+	out := make([]Instance, len(c.Patterns))
+	for i, p := range c.Patterns {
+		out[i] = Instance{
+			Collection: c.Name,
+			Index:      i,
+			Pattern:    p.Graph,
+			Target:     c.Targets[p.TargetIndex],
+			Meta:       p,
+		}
+	}
+	return out
+}
+
+// Config scales and seeds generation.
+type Config struct {
+	// Scale multiplies the paper's node counts; 1.0 reproduces Table 1
+	// sizes. The experiment harness defaults to a much smaller scale so
+	// that full sweeps finish on one machine. Values ≤ 0 mean 1.0.
+	Scale float64
+	// Seed makes generation deterministic. Two configs with equal seeds
+	// and scales produce identical collections.
+	Seed int64
+	// NumTargets overrides the number of target graphs (0 = paper's).
+	NumTargets int
+	// NumPatterns overrides the number of patterns (0 = a scaled count).
+	NumPatterns int
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1.0
+	}
+	return c.Scale
+}
+
+// patternEdgeClasses are the paper's pattern sizes (§5.1). Scaled-down
+// collections cap the list so patterns stay smaller than their targets.
+var patternEdgeClasses = []int{4, 8, 16, 32, 64, 128, 256}
+
+// ByName builds a collection from its paper name.
+func ByName(name string, cfg Config) (*Collection, error) {
+	switch name {
+	case "PPIS32", "ppis32":
+		return PPIS32(cfg), nil
+	case "GRAEMLIN32", "graemlin32":
+		return GRAEMLIN32(cfg), nil
+	case "PDBSv1", "pdbsv1":
+		return PDBSv1(cfg), nil
+	default:
+		return nil, fmt.Errorf("datasets: unknown collection %q (want PPIS32, GRAEMLIN32 or PDBSv1)", name)
+	}
+}
+
+// Names lists the available collections.
+func Names() []string { return []string{"PPIS32", "GRAEMLIN32", "PDBSv1"} }
+
+// PPIS32 generates the dense PPI-like collection: 10 targets between
+// 5 720 and 12 575 nodes (scaled), Chung–Lu heavy-tail degrees around
+// mean 27, 32 normally-distributed labels.
+func PPIS32(cfg Config) *Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x50504953))
+	s := cfg.scale()
+	numTargets := cfg.NumTargets
+	if numTargets == 0 {
+		numTargets = 10
+	}
+	c := &Collection{Name: "PPIS32"}
+	for i := 0; i < numTargets; i++ {
+		n := scaledSize(5720, 12575, i, numTargets, s)
+		meanDeg := 14.0 // undirected; total degree ≈ 28, matching Table 1
+		c.Targets = append(c.Targets, chungLu(rng, n, meanDeg, 1.1, normalLabels(32)))
+	}
+	addPatterns(rng, c, patternCount(cfg, 420), normalLabels(32))
+	return c
+}
+
+// GRAEMLIN32 generates the microbial-network-like collection: 10 targets
+// between 1 081 and 6 726 nodes, mean total degree ≈ 55, 32 uniform
+// labels.
+func GRAEMLIN32(cfg Config) *Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x4752414D))
+	s := cfg.scale()
+	numTargets := cfg.NumTargets
+	if numTargets == 0 {
+		numTargets = 10
+	}
+	c := &Collection{Name: "GRAEMLIN32"}
+	for i := 0; i < numTargets; i++ {
+		n := scaledSize(1081, 6726, i, numTargets, s)
+		c.Targets = append(c.Targets, chungLu(rng, n, 28.0, 1.0, uniformLabels(32)))
+	}
+	addPatterns(rng, c, patternCount(cfg, 420), uniformLabels(32))
+	return c
+}
+
+// PDBSv1 generates the sparse molecular collection: 30 targets between
+// 240 and 33 067 nodes, tree-plus-chords structure with mean total degree
+// ≈ 3, 8 uniform labels (atom-type-like alphabet).
+func PDBSv1(cfg Config) *Collection {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x50444253))
+	s := cfg.scale()
+	numTargets := cfg.NumTargets
+	if numTargets == 0 {
+		numTargets = 30
+	}
+	c := &Collection{Name: "PDBSv1"}
+	for i := 0; i < numTargets; i++ {
+		n := scaledSize(240, 33067, i, numTargets, s)
+		c.Targets = append(c.Targets, molecular(rng, n, uniformLabels(8)))
+	}
+	addPatterns(rng, c, patternCount(cfg, 1760), uniformLabels(8))
+	return c
+}
+
+// patternCount scales the paper's pattern counts down with the same
+// factor as the graphs, with a floor that keeps experiments meaningful.
+func patternCount(cfg Config, paper int) int {
+	if cfg.NumPatterns > 0 {
+		return cfg.NumPatterns
+	}
+	n := int(float64(paper) * cfg.scale())
+	if n < 21 {
+		n = 21
+	}
+	if n > paper {
+		n = paper
+	}
+	return n
+}
+
+// scaledSize interpolates target sizes geometrically between the paper's
+// min and max, applies the scale factor and enforces a small floor.
+func scaledSize(min, max, i, total int, scale float64) int {
+	if total == 1 {
+		return clampSize(int(float64(max) * scale))
+	}
+	f := float64(i) / float64(total-1)
+	n := float64(min) * math.Pow(float64(max)/float64(min), f)
+	return clampSize(int(n * scale))
+}
+
+func clampSize(n int) int {
+	if n < 40 {
+		return 40
+	}
+	return n
+}
+
+// labelFn draws a node label.
+type labelFn func(rng *rand.Rand) graph.Label
+
+// normalLabels approximates the "normal (Gaussian) distribution" label
+// assignment of the PPI collections: labels cluster around the middle of
+// the alphabet, making some labels far more frequent than others.
+func normalLabels(k int) labelFn {
+	return func(rng *rand.Rand) graph.Label {
+		x := int(float64(k)/2 + rng.NormFloat64()*float64(k)/6)
+		if x < 0 {
+			x = 0
+		}
+		if x >= k {
+			x = k - 1
+		}
+		return graph.Label(x)
+	}
+}
+
+// uniformLabels draws labels uniformly from [0, k).
+func uniformLabels(k int) labelFn {
+	return func(rng *rand.Rand) graph.Label {
+		return graph.Label(rng.Intn(k))
+	}
+}
+
+// chungLu samples an undirected graph with expected mean degree meanDeg
+// and a lognormal weight distribution (sigma controls tail heaviness —
+// the paper's PPI collections have degree σ ≈ 2× µ). Self-loops and
+// duplicate edges are rejected.
+func chungLu(rng *rand.Rand, n int, meanDeg, sigma float64, lab labelFn) *graph.Graph {
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = math.Exp(rng.NormFloat64() * sigma)
+		sum += weights[i]
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	pick := func() int32 {
+		x := rng.Float64() * sum
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+
+	wantEdges := int(float64(n) * meanDeg / 2)
+	b := graph.NewBuilder(n, 2*wantEdges)
+	for i := 0; i < n; i++ {
+		b.AddNode(lab(rng))
+	}
+	seen := make(map[int64]bool, wantEdges)
+	attempts := 0
+	for added := 0; added < wantEdges && attempts < 20*wantEdges; attempts++ {
+		u, v := pick(), pick()
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)<<32 | int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdgeBoth(u, v, graph.NoLabel)
+		added++
+	}
+	return b.MustBuild()
+}
+
+// molecular builds a sparse, highly self-similar graph the way RNA/DNA/
+// protein graphs are: a small monomer motif (a labeled tree with a
+// chord) repeated along a backbone, plus a few random cross-links. The
+// repetition is what makes real PDBSv1 instances hard — a pattern
+// extracted from one region recurs at every repetition, so enumeration
+// explores a combinatorial number of partial embeddings. Mean total
+// degree stays ≈ 3 with small variance, like Table 1.
+func molecular(rng *rand.Rand, n int, lab labelFn) *graph.Graph {
+	const monomer = 8
+	// Random monomer shape, fixed for this target: a tree over
+	// [0, monomer) plus one chord, with per-position labels.
+	parent := make([]int, monomer)
+	for i := 1; i < monomer; i++ {
+		lo := i - 3
+		if lo < 0 {
+			lo = 0
+		}
+		parent[i] = lo + rng.Intn(i-lo)
+	}
+	chordA, chordB := rng.Intn(monomer), rng.Intn(monomer)
+	labels := make([]graph.Label, monomer)
+	for i := range labels {
+		labels[i] = lab(rng)
+	}
+
+	reps := (n + monomer - 1) / monomer
+	total := reps * monomer
+	b := graph.NewBuilder(total, 3*total)
+	for r := 0; r < reps; r++ {
+		for i := 0; i < monomer; i++ {
+			b.AddNode(labels[i])
+		}
+		base := int32(r * monomer)
+		for i := 1; i < monomer; i++ {
+			b.AddEdgeBoth(base+int32(parent[i]), base+int32(i), graph.NoLabel)
+		}
+		if chordA != chordB && !b.HasEdgePending(base+int32(chordA), base+int32(chordB)) {
+			b.AddEdgeBoth(base+int32(chordA), base+int32(chordB), graph.NoLabel)
+		}
+		if r > 0 {
+			// Backbone link between consecutive monomers, always at the
+			// same positions — preserving translational symmetry.
+			b.AddEdgeBoth(base-int32(monomer), base, graph.NoLabel)
+		}
+	}
+	// Sparse random cross-links (~2% of nodes) break perfect symmetry a
+	// little, as disulfide bridges and base pairing do.
+	for k := 0; k < total/50; k++ {
+		u := int32(rng.Intn(total))
+		v := int32(rng.Intn(total))
+		if u != v && !b.HasEdgePending(u, v) {
+			b.AddEdgeBoth(u, v, graph.NoLabel)
+		}
+	}
+	return b.MustBuild()
+}
+
+// addPatterns extracts count patterns from the collection's targets,
+// cycling through the paper's edge-count classes and targets. Pattern
+// node labels are inherited from the target (extraction), so every
+// pattern matches its target at least once. Edge classes are capped per
+// source target (a 4-edge pattern from a tiny molecular graph, a
+// 128-edge one from a large target), as in the original collections.
+func addPatterns(rng *rand.Rand, c *Collection, count int, _ labelFn) {
+	perTarget := make([][]int, len(c.Targets))
+	for t, tgt := range c.Targets {
+		perTarget[t] = usableEdgeClasses(tgt.NumEdges() / 2)
+	}
+	for i := 0; i < count; i++ {
+		tIdx := i % len(c.Targets)
+		classes := perTarget[tIdx]
+		want := classes[i%len(classes)]
+		gp := extractByEdges(rng, c.Targets[tIdx], want)
+		und := gp.NumEdges() / 2
+		p := Pattern{
+			Graph:       gp,
+			TargetIndex: tIdx,
+			WantEdges:   want,
+			Class:       Classify(gp.NumNodes(), und),
+		}
+		p.Name = fmt.Sprintf("%s-p%04d-e%d-%s", c.Name, i, want, p.Class)
+		c.Patterns = append(c.Patterns, p)
+	}
+}
+
+// usableEdgeClasses drops pattern sizes that would not fit a target with
+// the given undirected edge count.
+func usableEdgeClasses(targetEdges int) []int {
+	var out []int
+	for _, e := range patternEdgeClasses {
+		if e*4 <= targetEdges {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{4}
+	}
+	return out
+}
+
+// extractByEdges grows a connected subgraph of gt until it contains
+// roughly want undirected edges: starting from a random node, it
+// repeatedly adopts a random incident edge of the current node set,
+// importing the far endpoint when new.
+func extractByEdges(rng *rand.Rand, gt *graph.Graph, want int) *graph.Graph {
+	start := int32(rng.Intn(gt.NumNodes()))
+	nodes := []int32{start}
+	index := map[int32]int32{start: 0}
+	type und struct{ a, b int32 } // target ids, a < b
+	chosen := make(map[und]bool)
+
+	for len(chosen) < want {
+		v := nodes[rng.Intn(len(nodes))]
+		adj := gt.OutNeighbors(v)
+		if len(adj) == 0 {
+			break
+		}
+		w := adj[rng.Intn(len(adj))]
+		a, bb := v, w
+		if a > bb {
+			a, bb = bb, a
+		}
+		e := und{a, bb}
+		if chosen[e] {
+			// Densify: also try adopting an edge between two already
+			// chosen nodes to reach dense classes.
+			progress := false
+			for _, u := range gt.OutNeighbors(v) {
+				if _, ok := index[u]; ok && u != v {
+					x, y := v, u
+					if x > y {
+						x, y = y, x
+					}
+					if !chosen[und{x, y}] {
+						chosen[und{x, y}] = true
+						progress = true
+						break
+					}
+				}
+			}
+			if !progress && len(chosen) > 0 && rng.Intn(8) == 0 {
+				break // stuck in a tiny component
+			}
+			continue
+		}
+		chosen[e] = true
+		if _, ok := index[w]; !ok {
+			index[w] = int32(len(nodes))
+			nodes = append(nodes, w)
+		}
+	}
+
+	b := graph.NewBuilder(len(nodes), 2*len(chosen))
+	for _, tv := range nodes {
+		b.AddNode(gt.NodeLabel(tv))
+	}
+	for e := range chosen {
+		b.AddEdgeBoth(index[e.a], index[e.b], graph.NoLabel)
+	}
+	return b.MustBuild()
+}
+
+// Table1Row summarizes a collection like the paper's Table 1.
+type Table1Row struct {
+	Name                 string
+	MinNodes, MaxNodes   int
+	MinEdges, MaxEdges   int // undirected edge counts
+	DegreeMean, DegreeSD float64
+	NumTargets           int
+	NumPatterns          int
+}
+
+// Table1 computes the summary row of a collection. Degree statistics are
+// undirected (half the stored total degree), matching the paper's
+// convention.
+func Table1(c *Collection) Table1Row {
+	row := Table1Row{
+		Name:        c.Name,
+		MinNodes:    int(^uint(0) >> 1),
+		MinEdges:    int(^uint(0) >> 1),
+		NumTargets:  len(c.Targets),
+		NumPatterns: len(c.Patterns),
+	}
+	var allDeg []float64
+	for _, t := range c.Targets {
+		n, m := t.NumNodes(), t.NumEdges()/2
+		if n < row.MinNodes {
+			row.MinNodes = n
+		}
+		if n > row.MaxNodes {
+			row.MaxNodes = n
+		}
+		if m < row.MinEdges {
+			row.MinEdges = m
+		}
+		if m > row.MaxEdges {
+			row.MaxEdges = m
+		}
+		for v := int32(0); v < int32(n); v++ {
+			allDeg = append(allDeg, float64(t.Degree(v))/2)
+		}
+	}
+	row.DegreeMean = mean(allDeg)
+	row.DegreeSD = stddev(allDeg, row.DegreeMean)
+	return row
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64, m float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

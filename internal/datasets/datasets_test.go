@@ -1,0 +1,218 @@
+package datasets
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parsge/internal/ri"
+)
+
+// smallCfg keeps generation fast in unit tests.
+var smallCfg = Config{Scale: 0.02, Seed: 1, NumPatterns: 12}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name, smallCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("name mismatch: %q vs %q", c.Name, name)
+		}
+		if len(c.Targets) == 0 || len(c.Patterns) == 0 {
+			t.Errorf("%s: empty collection", name)
+		}
+	}
+	if _, err := ByName("nope", smallCfg); err == nil {
+		t.Error("unknown collection accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := PPIS32(smallCfg)
+	b := PPIS32(smallCfg)
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatal("pattern counts differ across identical configs")
+	}
+	for i := range a.Patterns {
+		ga, gb := a.Patterns[i].Graph, b.Patterns[i].Graph
+		if ga.NumNodes() != gb.NumNodes() || ga.NumEdges() != gb.NumEdges() {
+			t.Fatalf("pattern %d differs between identical configs", i)
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i].NumEdges() != b.Targets[i].NumEdges() {
+			t.Fatalf("target %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := PPIS32(Config{Scale: 0.02, Seed: 1, NumPatterns: 4})
+	b := PPIS32(Config{Scale: 0.02, Seed: 2, NumPatterns: 4})
+	// Edge counts are fixed by construction; compare actual adjacency.
+	ta, tb := a.Targets[0], b.Targets[0]
+	same := ta.NumNodes() == tb.NumNodes()
+	if same {
+		ea, eb := ta.Edges(), tb.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical targets (suspicious)")
+	}
+}
+
+func TestPatternsConnected(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := ByName(name, smallCfg)
+		for _, p := range c.Patterns {
+			if p.Graph.NumNodes() == 0 {
+				t.Fatalf("%s: empty pattern", p.Name)
+			}
+			if !p.Graph.ConnectedUndirected() {
+				t.Errorf("%s: pattern disconnected", p.Name)
+			}
+		}
+	}
+}
+
+// TestPatternsMatchTheirTarget: extraction guarantees ≥ 1 match — the
+// core property making the synthetic collections valid RI benchmarks.
+func TestPatternsMatchTheirTarget(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := ByName(name, Config{Scale: 0.02, Seed: 3, NumPatterns: 6})
+		for _, inst := range c.Instances() {
+			res, err := ri.Enumerate(inst.Pattern, inst.Target,
+				ri.Options{Variant: ri.VariantRIDSSIFC}, ri.RunOptions{Limit: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches < 1 {
+				t.Errorf("%s: extracted pattern has no match", inst.Meta.Name)
+			}
+		}
+	}
+}
+
+func TestDensityShapes(t *testing.T) {
+	ppi := Table1(PPIS32(smallCfg))
+	pdbs := Table1(PDBSv1(smallCfg))
+	grm := Table1(GRAEMLIN32(smallCfg))
+	if pdbs.DegreeMean > 4 {
+		t.Errorf("PDBSv1 degree mean %.2f, want sparse (≤4)", pdbs.DegreeMean)
+	}
+	if ppi.DegreeMean < 2*pdbs.DegreeMean {
+		t.Errorf("PPIS32 (%.2f) should be much denser than PDBSv1 (%.2f)", ppi.DegreeMean, pdbs.DegreeMean)
+	}
+	if grm.DegreeMean < ppi.DegreeMean {
+		t.Errorf("GRAEMLIN32 (%.2f) should be denser than PPIS32 (%.2f)", grm.DegreeMean, ppi.DegreeMean)
+	}
+	// Heavy tail: PPI σ should exceed its mean (paper: σ ≈ 2.2 µ).
+	if ppi.DegreeSD < ppi.DegreeMean {
+		t.Errorf("PPIS32 degree σ=%.2f < µ=%.2f: tail not heavy enough", ppi.DegreeSD, ppi.DegreeMean)
+	}
+	if pdbs.DegreeSD > 2*pdbs.DegreeMean {
+		t.Errorf("PDBSv1 degree σ=%.2f too large for molecular graphs", pdbs.DegreeSD)
+	}
+}
+
+func TestTable1Bounds(t *testing.T) {
+	row := Table1(PDBSv1(smallCfg))
+	if row.MinNodes > row.MaxNodes || row.MinEdges > row.MaxEdges {
+		t.Fatalf("bounds inverted: %+v", row)
+	}
+	if row.NumTargets != 30 {
+		t.Errorf("PDBSv1 targets = %d, want 30", row.NumTargets)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		nodes, edges int
+		want         DensityClass
+	}{
+		{10, 5, Sparse},
+		{10, 13, SemiDense},
+		{10, 20, Dense},
+		{0, 0, Sparse},
+	}
+	for _, c := range cases {
+		if got := Classify(c.nodes, c.edges); got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.nodes, c.edges, got, c.want)
+		}
+	}
+	if Sparse.String() != "sparse" || Dense.String() != "dense" || SemiDense.String() != "semi-dense" {
+		t.Error("DensityClass names wrong")
+	}
+	if DensityClass(9).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestInstancesWiring(t *testing.T) {
+	c := GRAEMLIN32(smallCfg)
+	insts := c.Instances()
+	if len(insts) != len(c.Patterns) {
+		t.Fatalf("instances = %d, patterns = %d", len(insts), len(c.Patterns))
+	}
+	for i, inst := range insts {
+		if inst.Index != i || inst.Collection != "GRAEMLIN32" {
+			t.Fatalf("instance %d mis-wired: %+v", i, inst)
+		}
+		if inst.Target != c.Targets[inst.Meta.TargetIndex] {
+			t.Fatal("instance target does not match pattern provenance")
+		}
+	}
+}
+
+func TestPatternEdgeTargets(t *testing.T) {
+	c := PPIS32(Config{Scale: 0.05, Seed: 5, NumPatterns: 30})
+	for _, p := range c.Patterns {
+		und := p.Graph.NumEdges() / 2
+		if und == 0 {
+			t.Fatalf("%s: pattern has no edges", p.Name)
+		}
+		// Extraction may stop early in tiny components but must never
+		// exceed the requested class by much.
+		if und > p.WantEdges+p.WantEdges/2 {
+			t.Errorf("%s: %d edges for class %d", p.Name, und, p.WantEdges)
+		}
+	}
+}
+
+func TestQuickScaledCollectionsSane(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		cfg := Config{Scale: 0.015, Seed: int64(seedRaw), NumPatterns: 3, NumTargets: 2}
+		for _, name := range Names() {
+			c, err := ByName(name, cfg)
+			if err != nil {
+				return false
+			}
+			for _, tgt := range c.Targets {
+				if tgt.NumNodes() < 1 || tgt.NumEdges() == 0 {
+					return false
+				}
+			}
+			for _, p := range c.Patterns {
+				if p.Graph.NumNodes() > c.Targets[p.TargetIndex].NumNodes() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGeneratePPIS32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PPIS32(Config{Scale: 0.02, Seed: int64(i), NumPatterns: 10})
+	}
+}

@@ -1,0 +1,114 @@
+// Package deque implements the private double-ended queue at the heart of
+// the work-stealing strategy of Acar, Charguéraud and Rainey (PPoPP 2013)
+// that the paper adopts (Kimmig et al. §3.2).
+//
+// The deque is deliberately unsynchronized: each worker owns one and is
+// the only goroutine that ever touches it. The owner pushes and pops at
+// the front in depth-first order; when another worker's steal request is
+// serviced, the *owner* pops from the back on the thief's behalf and
+// hands the task over through a transfer cell. Tasks near the back are
+// closer to the root of the search space tree and therefore expected to
+// be long-running, which keeps the number of steals low (§3.2(ii)).
+package deque
+
+// Deque is a growable ring-buffer double-ended queue. The zero value is
+// an empty deque ready for use. It is NOT safe for concurrent use; see
+// the package comment for the ownership discipline.
+type Deque[T any] struct {
+	buf   []T
+	head  int // index of front element, valid when size > 0
+	size  int
+	zeroT T
+}
+
+// Len returns the number of elements.
+func (d *Deque[T]) Len() int { return d.size }
+
+// Empty reports whether the deque holds no elements.
+func (d *Deque[T]) Empty() bool { return d.size == 0 }
+
+// grow doubles capacity, re-linearizing the ring.
+func (d *Deque[T]) grow() {
+	newCap := 2 * len(d.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < d.size; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+// PushFront adds x at the front (the owner's DFS end).
+func (d *Deque[T]) PushFront(x T) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = x
+	d.size++
+}
+
+// PushBack adds x at the back. The engines use it for the initial work
+// distribution (§3.3), which deals root-level tasks to the back so that
+// the owner still works depth-first from the front.
+func (d *Deque[T]) PushBack(x T) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)%len(d.buf)] = x
+	d.size++
+}
+
+// PopFront removes and returns the front element. ok is false when the
+// deque is empty.
+func (d *Deque[T]) PopFront() (x T, ok bool) {
+	if d.size == 0 {
+		return d.zeroT, false
+	}
+	x = d.buf[d.head]
+	d.buf[d.head] = d.zeroT // release references for the GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return x, true
+}
+
+// PopBack removes and returns the back element (the steal end). ok is
+// false when the deque is empty.
+func (d *Deque[T]) PopBack() (x T, ok bool) {
+	if d.size == 0 {
+		return d.zeroT, false
+	}
+	i := (d.head + d.size - 1) % len(d.buf)
+	x = d.buf[i]
+	d.buf[i] = d.zeroT
+	d.size--
+	return x, true
+}
+
+// Front returns the front element without removing it.
+func (d *Deque[T]) Front() (x T, ok bool) {
+	if d.size == 0 {
+		return d.zeroT, false
+	}
+	return d.buf[d.head], true
+}
+
+// Back returns the back element without removing it.
+func (d *Deque[T]) Back() (x T, ok bool) {
+	if d.size == 0 {
+		return d.zeroT, false
+	}
+	return d.buf[(d.head+d.size-1)%len(d.buf)], true
+}
+
+// Clear removes all elements, keeping capacity.
+func (d *Deque[T]) Clear() {
+	for i := 0; i < d.size; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = d.zeroT
+	}
+	d.head = 0
+	d.size = 0
+}

@@ -1,0 +1,225 @@
+// Package domain implements RI-DS domain assignment (Kimmig et al. §4.1)
+// and the paper's forward-checking improvement (§4.2.2).
+//
+// A domain D(v_p) is the set of target nodes that pattern node v_p may
+// map to. Domains start from label equivalence and degree bounds, are
+// pruned by arc consistency over the pattern edges, and — in the
+// RI-DS-SI-FC variant — further reduced by forward checking: every
+// pattern node with a singleton domain will definitely be assigned its
+// unique target node, so that target is removed from every other domain,
+// cascading over newly created singletons.
+//
+// Domains are represented as bitmasks over the target vertex set, exactly
+// as in the original RI implementation ("In RI, domains are implemented
+// as bitmasks, which we use to quickly remove singleton domains' contents
+// from all other domains").
+package domain
+
+import (
+	"fmt"
+
+	"parsge/internal/bitset"
+	"parsge/internal/graph"
+)
+
+// Domains holds one candidate set per pattern node over target node ids.
+type Domains struct {
+	sets []*bitset.Set
+	nt   int
+}
+
+// Options configures domain computation.
+type Options struct {
+	// ACPasses bounds the number of arc-consistency sweeps: 0 means
+	// iterate to fixpoint, n > 0 caps at n sweeps. A single sweep is
+	// what the original RI-DS description performs; the fixpoint is
+	// never weaker. The ablation bench compares the two.
+	ACPasses int
+	// SkipAC disables arc consistency entirely, leaving only the
+	// label/degree filter. Used by ablation benchmarks.
+	SkipAC bool
+}
+
+// Compute builds the domains of pattern gp against target gt.
+func Compute(gp, gt *graph.Graph, opts Options) *Domains {
+	np, nt := gp.NumNodes(), gt.NumNodes()
+	d := &Domains{sets: make([]*bitset.Set, np), nt: nt}
+
+	// Initial filter: equivalent labels and sufficient in/out degrees
+	// ("all nodes with in- and outdegree at least that of v_p's, and
+	// with labels that match v_p's", §4.1).
+	for vp := int32(0); vp < int32(np); vp++ {
+		s := bitset.New(nt)
+		lab := gp.NodeLabel(vp)
+		din, dout := gp.InDegree(vp), gp.OutDegree(vp)
+		for vt := int32(0); vt < int32(nt); vt++ {
+			if gt.NodeLabel(vt) == lab && gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
+				s.Set(int(vt))
+			}
+		}
+		d.sets[vp] = s
+	}
+
+	if !opts.SkipAC {
+		d.arcConsistency(gp, gt, opts.ACPasses)
+	}
+	return d
+}
+
+// arcConsistency removes v_t from D(v_p) whenever some pattern edge at
+// v_p has no compatible counterpart at v_t (§4.1): for every edge
+// (v_p, w_p) there must be an edge-label-compatible w_t ∈ D(w_p) with
+// (v_t, w_t) ∈ E(G_t), and symmetrically for incoming edges.
+func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int) {
+	np := gp.NumNodes()
+	for pass := 0; maxPasses == 0 || pass < maxPasses; pass++ {
+		changed := false
+		for vp := int32(0); vp < int32(np); vp++ {
+			dom := d.sets[vp]
+			if dom.Empty() {
+				continue
+			}
+			outP := gp.OutNeighbors(vp)
+			outL := gp.OutEdgeLabels(vp)
+			inP := gp.InNeighbors(vp)
+			inL := gp.InEdgeLabels(vp)
+
+			var drop []int
+			dom.ForEach(func(vti int) bool {
+				vt := int32(vti)
+				for i, wp := range outP {
+					if !hasSupport(gt.OutNeighbors(vt), gt.OutEdgeLabels(vt), outL[i], d.sets[wp]) {
+						drop = append(drop, vti)
+						return true
+					}
+				}
+				for i, wp := range inP {
+					if !hasSupport(gt.InNeighbors(vt), gt.InEdgeLabels(vt), inL[i], d.sets[wp]) {
+						drop = append(drop, vti)
+						return true
+					}
+				}
+				return true
+			})
+			for _, vti := range drop {
+				dom.Clear(vti)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// hasSupport reports whether some neighbor w_t (with matching edge label)
+// lies in the domain of the pattern neighbor.
+func hasSupport(adj []int32, labs []graph.Label, want graph.Label, dom *bitset.Set) bool {
+	for i, wt := range adj {
+		if labs[i] == want && dom.Test(int(wt)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Of returns the domain of pattern node vp. The set is shared, not a
+// copy; the search engines only read it.
+func (d *Domains) Of(vp int32) *bitset.Set { return d.sets[vp] }
+
+// NumPattern returns the number of pattern nodes covered.
+func (d *Domains) NumPattern() int { return len(d.sets) }
+
+// Sizes returns the cardinality of each domain, used by the SI ordering
+// tie-break and by the singleton hoisting rule.
+func (d *Domains) Sizes() []int {
+	out := make([]int, len(d.sets))
+	for i, s := range d.sets {
+		out[i] = s.Count()
+	}
+	return out
+}
+
+// AnyEmpty reports whether some domain is empty, in which case no
+// isomorphic subgraph exists and the search can be skipped entirely.
+func (d *Domains) AnyEmpty() bool {
+	for _, s := range d.sets {
+		if s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// ForwardCheck applies the paper's §4.2.2 improvement in place: for each
+// pattern node with a singleton domain, its unique target node is removed
+// from every other domain (the injectivity constraint is propagated ahead
+// of the search). Newly created singletons are processed transitively.
+//
+// It returns false when the instance is proven unsatisfiable: a domain
+// ran empty, or two pattern nodes are both pinned to the same target.
+func (d *Domains) ForwardCheck() bool {
+	np := len(d.sets)
+	processed := make([]bool, np)
+	queue := make([]int, 0, np)
+	for vp, s := range d.sets {
+		if s.Count() == 1 {
+			queue = append(queue, vp)
+		}
+	}
+	for len(queue) > 0 {
+		vp := queue[0]
+		queue = queue[1:]
+		if processed[vp] {
+			continue
+		}
+		processed[vp] = true
+		s := d.sets[vp]
+		vt := s.First()
+		if vt < 0 {
+			return false // ran empty while queued
+		}
+		for wp, o := range d.sets {
+			if wp == vp || !o.Test(vt) {
+				continue
+			}
+			if processed[wp] && o.Count() == 1 {
+				// Two pattern nodes pinned to the same target.
+				return false
+			}
+			o.Clear(vt)
+			switch o.Count() {
+			case 0:
+				return false
+			case 1:
+				queue = append(queue, wp)
+			}
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the domains; the parallel engine gives each worker a
+// read-only shared copy, but tests use Clone to compare variants.
+func (d *Domains) Clone() *Domains {
+	c := &Domains{sets: make([]*bitset.Set, len(d.sets)), nt: d.nt}
+	for i, s := range d.sets {
+		c.sets[i] = s.Clone()
+	}
+	return c
+}
+
+// TotalSize returns the sum of domain cardinalities — a scalar measure of
+// search-space tightness used by tests and the experiment harness.
+func (d *Domains) TotalSize() int {
+	t := 0
+	for _, s := range d.sets {
+		t += s.Count()
+	}
+	return t
+}
+
+// String summarizes domain sizes for debugging.
+func (d *Domains) String() string {
+	return fmt.Sprintf("Domains(pattern=%d, sizes=%v)", len(d.sets), d.Sizes())
+}

@@ -1,0 +1,278 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsge/internal/graph"
+)
+
+// buildGraph constructs a graph from labels and directed edges.
+func buildGraph(labels []graph.Label, edges [][3]int32) *graph.Graph {
+	b := &graph.Builder{}
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1], graph.Label(e[2]))
+	}
+	return b.MustBuild()
+}
+
+func TestInitialLabelFilter(t *testing.T) {
+	gp := buildGraph([]graph.Label{1}, nil)
+	gt := buildGraph([]graph.Label{1, 2, 1}, nil)
+	d := Compute(gp, gt, Options{})
+	dom := d.Of(0)
+	if !dom.Test(0) || dom.Test(1) || !dom.Test(2) {
+		t.Fatalf("label filter wrong: %v", dom)
+	}
+}
+
+func TestInitialDegreeFilter(t *testing.T) {
+	// Pattern node has outdegree 1; target node 1 has outdegree 0.
+	gp := buildGraph([]graph.Label{0, 0}, [][3]int32{{0, 1, 0}})
+	gt := buildGraph([]graph.Label{0, 0, 0}, [][3]int32{{0, 1, 0}, {2, 0, 0}})
+	d := Compute(gp, gt, Options{SkipAC: true})
+	if d.Of(0).Test(1) {
+		t.Error("node with outdegree 0 should not be candidate for pattern node with outdegree 1")
+	}
+	if !d.Of(0).Test(0) || !d.Of(0).Test(2) {
+		t.Errorf("degree filter too strict: %v", d.Of(0))
+	}
+	// Pattern node 1 needs indegree >= 1: only target nodes 0 and 1 qualify.
+	if d.Of(1).Test(2) {
+		t.Error("node with indegree 0 kept for pattern node with indegree 1")
+	}
+}
+
+func TestArcConsistencyPrunes(t *testing.T) {
+	// Pattern: A→B. Target: A→B, plus an isolated A-labeled node with a
+	// high-degree padding so the degree filter alone keeps it.
+	gp := buildGraph([]graph.Label{1, 2}, [][3]int32{{0, 1, 0}})
+	gt := buildGraph(
+		[]graph.Label{1, 2, 1, 3},
+		[][3]int32{{0, 1, 0}, {2, 3, 0}}, // node 2 is A but points at label 3
+	)
+	d := Compute(gp, gt, Options{})
+	if d.Of(0).Test(2) {
+		t.Error("AC should drop target 2: its only out-neighbor has wrong label")
+	}
+	if !d.Of(0).Test(0) {
+		t.Error("AC dropped the valid candidate")
+	}
+}
+
+func TestArcConsistencyEdgeLabels(t *testing.T) {
+	// Pattern edge labeled 7; target has same structure but label 8.
+	gp := buildGraph([]graph.Label{0, 0}, [][3]int32{{0, 1, 7}})
+	gt := buildGraph([]graph.Label{0, 0}, [][3]int32{{0, 1, 8}})
+	d := Compute(gp, gt, Options{})
+	if !d.AnyEmpty() {
+		t.Fatalf("edge-label mismatch should empty a domain: %v", d)
+	}
+}
+
+func TestArcConsistencyFixpointStrongerThanOnePass(t *testing.T) {
+	// Chain pattern a→b→c vs target chain that breaks only at the far
+	// end; a single pass starting from the front may keep candidates a
+	// fixpoint removes. Construct: pattern 0→1→2 (labels x,x,y). Target:
+	// 0→1→2 with labels x,x,z (no y at the end).
+	gp := buildGraph([]graph.Label{1, 1, 2}, [][3]int32{{0, 1, 0}, {1, 2, 0}})
+	gt := buildGraph([]graph.Label{1, 1, 3}, [][3]int32{{0, 1, 0}, {1, 2, 0}})
+	fix := Compute(gp, gt, Options{})
+	if !fix.AnyEmpty() {
+		t.Fatalf("fixpoint AC should prove unsatisfiable: %v", fix)
+	}
+	one := Compute(gp, gt, Options{ACPasses: 1})
+	// One pass is allowed to be weaker, but never stronger.
+	for vp := int32(0); vp < 3; vp++ {
+		if !fix.Of(vp).Subset(one.Of(vp)) {
+			t.Error("fixpoint domains must be subsets of single-pass domains")
+		}
+	}
+}
+
+func TestForwardCheckRemovesSingletonTargets(t *testing.T) {
+	// Pattern: two isolated nodes, labels A and A. Target: nodes A, A.
+	// Manually shrink one domain to a singleton and check propagation.
+	gp := buildGraph([]graph.Label{1, 1}, nil)
+	gt := buildGraph([]graph.Label{1, 1}, nil)
+	d := Compute(gp, gt, Options{})
+	d.Of(0).Clear(1) // pin pattern 0 to target 0
+	if !d.ForwardCheck() {
+		t.Fatal("satisfiable instance reported unsat")
+	}
+	if d.Of(1).Test(0) {
+		t.Error("forward checking did not remove pinned target from other domain")
+	}
+	if d.Of(1).Count() != 1 || d.Of(1).First() != 1 {
+		t.Errorf("domain of node 1 = %v, want {1}", d.Of(1))
+	}
+}
+
+func TestForwardCheckCascades(t *testing.T) {
+	// Three pattern nodes, three targets; pin 0→0, which must cascade:
+	// after removing 0 everywhere, suppose D(1)={0,1}: becomes {1},
+	// singleton; then D(2)={0,1,2} loses 0 and 1 → {2}.
+	gp := buildGraph([]graph.Label{1, 1, 1}, nil)
+	gt := buildGraph([]graph.Label{1, 1, 1}, nil)
+	d := Compute(gp, gt, Options{})
+	d.Of(0).Clear(1)
+	d.Of(0).Clear(2) // D(0)={0}
+	d.Of(1).Clear(2) // D(1)={0,1}
+	if !d.ForwardCheck() {
+		t.Fatal("satisfiable instance reported unsat")
+	}
+	if d.Of(1).Count() != 1 || d.Of(1).First() != 1 {
+		t.Errorf("D(1) = %v, want {1}", d.Of(1))
+	}
+	if d.Of(2).Count() != 1 || d.Of(2).First() != 2 {
+		t.Errorf("D(2) = %v, want {2}", d.Of(2))
+	}
+}
+
+func TestForwardCheckDetectsConflict(t *testing.T) {
+	// Two pattern nodes pinned to the same single target.
+	gp := buildGraph([]graph.Label{1, 1}, nil)
+	gt := buildGraph([]graph.Label{1}, nil)
+	d := Compute(gp, gt, Options{})
+	if d.ForwardCheck() {
+		t.Fatal("two nodes pinned to one target should be unsatisfiable")
+	}
+}
+
+func TestForwardCheckEmptyDomain(t *testing.T) {
+	gp := buildGraph([]graph.Label{1}, nil)
+	gt := buildGraph([]graph.Label{2}, nil)
+	d := Compute(gp, gt, Options{})
+	if !d.AnyEmpty() {
+		t.Fatal("expected empty domain")
+	}
+}
+
+func TestSizesAndTotal(t *testing.T) {
+	gp := buildGraph([]graph.Label{0, 0}, nil)
+	gt := buildGraph([]graph.Label{0, 0, 0}, nil)
+	d := Compute(gp, gt, Options{})
+	sizes := d.Sizes()
+	if len(sizes) != 2 || sizes[0] != 3 || sizes[1] != 3 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	if d.TotalSize() != 6 {
+		t.Errorf("TotalSize = %d", d.TotalSize())
+	}
+	if d.NumPattern() != 2 {
+		t.Errorf("NumPattern = %d", d.NumPattern())
+	}
+}
+
+func TestClone(t *testing.T) {
+	gp := buildGraph([]graph.Label{0}, nil)
+	gt := buildGraph([]graph.Label{0, 0}, nil)
+	d := Compute(gp, gt, Options{})
+	c := d.Clone()
+	c.Of(0).Clear(0)
+	if !d.Of(0).Test(0) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+// randomInstance builds a random labeled pattern/target pair where the
+// pattern is an actual subgraph of the target, so at least one match
+// exists and domains must stay nonempty around it.
+func randomInstance(seed int64) (gp, gt *graph.Graph, embed []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	nt := 8 + rng.Intn(10)
+	bt := &graph.Builder{}
+	for i := 0; i < nt; i++ {
+		bt.AddNode(graph.Label(rng.Intn(3)))
+	}
+	for i := 0; i < nt*3; i++ {
+		u, v := int32(rng.Intn(nt)), int32(rng.Intn(nt))
+		if u != v {
+			bt.AddEdge(u, v, graph.Label(rng.Intn(2)))
+		}
+	}
+	gt = bt.MustBuild()
+
+	np := 2 + rng.Intn(4)
+	perm := rng.Perm(nt)[:np]
+	embed = make([]int32, np)
+	for i, p := range perm {
+		embed[i] = int32(p)
+	}
+	bp := &graph.Builder{}
+	for _, tv := range embed {
+		bp.AddNode(gt.NodeLabel(tv))
+	}
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			if i == j {
+				continue
+			}
+			if l, ok := gt.EdgeLabel(embed[i], embed[j]); ok && rng.Intn(2) == 0 {
+				bp.AddEdge(int32(i), int32(j), l)
+			}
+		}
+	}
+	gp = bp.MustBuild()
+	return gp, gt, embed
+}
+
+// TestQuickDomainsSound: domains never exclude the known embedding; this
+// is the soundness property that guarantees RI-DS variants enumerate the
+// same matches as RI.
+func TestQuickDomainsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		gp, gt, embed := randomInstance(seed)
+		d := Compute(gp, gt, Options{})
+		for vp, vt := range embed {
+			if !d.Of(int32(vp)).Test(int(vt)) {
+				return false
+			}
+		}
+		// Forward checking must also preserve the embedding unless it
+		// proves unsat — and it cannot, since an embedding exists.
+		if !d.ForwardCheck() {
+			return false
+		}
+		for vp, vt := range embed {
+			if !d.Of(int32(vp)).Test(int(vt)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickACMonotone: more AC passes can only shrink domains.
+func TestQuickACMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		gp, gt, _ := randomInstance(seed)
+		one := Compute(gp, gt, Options{ACPasses: 1})
+		two := Compute(gp, gt, Options{ACPasses: 2})
+		fix := Compute(gp, gt, Options{})
+		for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+			if !two.Of(vp).Subset(one.Of(vp)) || !fix.Of(vp).Subset(two.Of(vp)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	gp, gt, _ := randomInstance(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compute(gp, gt, Options{})
+	}
+}

@@ -1,0 +1,70 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"parsge/internal/graph"
+)
+
+// WriteDOT serializes g in Graphviz DOT syntax for visual inspection of
+// patterns and small targets (`dot -Tsvg`). Node labels become the
+// displayed labels; edge labels are rendered when non-empty. Pairs of
+// antiparallel same-label edges — this repository's encoding of an
+// undirected edge — are collapsed into one undirected-styled edge
+// (dir=none) to keep drawings readable.
+func WriteDOT(w io.Writer, name string, g *graph.Graph, table *LabelTable) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		lab := table.Spell(g.NodeLabel(v))
+		if lab == "" {
+			fmt.Fprintf(bw, "  n%d [label=\"%d\"];\n", v, v)
+		} else {
+			fmt.Fprintf(bw, "  n%d [label=\"%d:%s\"];\n", v, v, escape(lab))
+		}
+	}
+	type key struct {
+		u, v int32
+		l    graph.Label
+	}
+	drawn := make(map[key]bool)
+	for _, e := range g.Edges() {
+		k := key{e.From, e.To, e.Label}
+		if drawn[k] {
+			continue // parallel duplicate: draw once
+		}
+		attrs := ""
+		if lab := table.Spell(e.Label); lab != "" {
+			attrs = fmt.Sprintf(" [label=%q]", escape(lab))
+		}
+		// Collapse with the reverse edge when present and not yet drawn.
+		rev := key{e.To, e.From, e.Label}
+		if e.From != e.To && !drawn[rev] && g.HasEdgeLabeled(e.To, e.From, e.Label) {
+			drawn[rev] = true
+			if attrs == "" {
+				attrs = " [dir=none]"
+			} else {
+				attrs = attrs[:len(attrs)-1] + ", dir=none]"
+			}
+		}
+		drawn[k] = true
+		fmt.Fprintf(bw, "  n%d -> n%d%s;\n", e.From, e.To, attrs)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// escape makes a string safe inside a DOT double-quoted id.
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

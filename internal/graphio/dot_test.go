@@ -1,0 +1,76 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parsge/internal/graph"
+)
+
+func TestWriteDOTDirected(t *testing.T) {
+	table := NewLabelTable()
+	b := graph.NewBuilder(2, 1)
+	b.AddNode(table.Intern("A"))
+	b.AddNode(table.Intern("B"))
+	b.AddEdge(0, 1, table.Intern("x"))
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, "g", g, table); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "g" {`,
+		`n0 [label="0:A"]`,
+		`n1 [label="1:B"]`,
+		`n0 -> n1 [label="x"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dir=none") {
+		t.Error("directed edge rendered as undirected")
+	}
+}
+
+func TestWriteDOTUndirectedCollapse(t *testing.T) {
+	table := NewLabelTable()
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddEdgeBoth(0, 1, graph.NoLabel)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, "u", g, table); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "->") != 1 {
+		t.Fatalf("undirected edge drawn %d times, want 1:\n%s", strings.Count(out, "->"), out)
+	}
+	if !strings.Contains(out, "dir=none") {
+		t.Errorf("collapsed edge missing dir=none:\n%s", out)
+	}
+}
+
+func TestWriteDOTUnlabeledNodes(t *testing.T) {
+	table := NewLabelTable()
+	b := graph.NewBuilder(1, 0)
+	b.AddNodes(1)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, "n", b.MustBuild(), table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `n0 [label="0"]`) {
+		t.Errorf("unlabeled node rendered wrong:\n%s", buf.String())
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a"b\c`) != `a\"b\\c` {
+		t.Fatalf("escape = %q", escape(`a"b\c`))
+	}
+}

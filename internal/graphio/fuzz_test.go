@@ -1,0 +1,33 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the parser: it must never panic,
+// and any graph it does return must be structurally valid.
+func FuzzReader(f *testing.F) {
+	f.Add(sample)
+	f.Add("#g\n1\nA\n0\n")
+	f.Add("#g\n2\nA\nB\n1\n0 1 x\n")
+	f.Add("#g\n-1\n")
+	f.Add("#\n0\n0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		r := NewReader(strings.NewReader(in), nil)
+		for i := 0; i < 8; i++ { // bounded: sections can repeat
+			ng, err := r.Read()
+			if err != nil {
+				return
+			}
+			g := ng.Graph
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				for _, w := range g.OutNeighbors(v) {
+					if w < 0 || int(w) >= g.NumNodes() {
+						t.Fatalf("parser produced invalid edge target %d", w)
+					}
+				}
+			}
+		}
+	})
+}

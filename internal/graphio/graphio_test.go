@@ -1,0 +1,251 @@
+package graphio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parsge/internal/graph"
+)
+
+const sample = `
+#pattern0
+3
+A
+B
+A
+3
+0 1 x
+1 2 y
+2 0 x
+
+#pattern1
+2
+A
+A
+1
+0 1
+`
+
+func TestReadAll(t *testing.T) {
+	r := NewReader(strings.NewReader(sample), nil)
+	gs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("parsed %d graphs, want 2", len(gs))
+	}
+	g0 := gs[0]
+	if g0.Name != "pattern0" || g0.Graph.NumNodes() != 3 || g0.Graph.NumEdges() != 3 {
+		t.Fatalf("graph 0 wrong: %v %v", g0.Name, g0.Graph)
+	}
+	if g0.Graph.NodeLabel(0) != g0.Graph.NodeLabel(2) {
+		t.Error("nodes 0 and 2 should share label A")
+	}
+	if g0.Graph.NodeLabel(0) == g0.Graph.NodeLabel(1) {
+		t.Error("nodes 0 and 1 should have different labels")
+	}
+	l01, ok := g0.Graph.EdgeLabel(0, 1)
+	if !ok {
+		t.Fatal("edge (0,1) missing")
+	}
+	l20, _ := g0.Graph.EdgeLabel(2, 0)
+	if l01 != l20 {
+		t.Error("edges with label x should share id")
+	}
+	if gs[1].Graph.NumEdges() != 1 {
+		t.Error("graph 1 edges wrong")
+	}
+}
+
+func TestSharedLabelTable(t *testing.T) {
+	table := NewLabelTable()
+	r1 := NewReader(strings.NewReader("#a\n1\nL\n0\n"), table)
+	r2 := NewReader(strings.NewReader("#b\n1\nL\n0\n"), table)
+	g1, err := r1.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := r2.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Graph.NodeLabel(0) != g2.Graph.NodeLabel(0) {
+		t.Fatal("same string interned to different labels across readers")
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	r := NewReader(strings.NewReader("   \n\n"), nil)
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "3\nA\n"},
+		{"bad node count", "#g\nxyz\n"},
+		{"negative node count", "#g\n-1\n"},
+		{"missing labels", "#g\n2\nA\n"},
+		{"bad edge count", "#g\n1\nA\nnope\n"},
+		{"bad edge line", "#g\n2\nA\nB\n1\n0 1 2 3\n"},
+		{"bad endpoints", "#g\n2\nA\nB\n1\nx y\n"},
+		{"edge out of range", "#g\n2\nA\nB\n1\n0 9\n"},
+		{"truncated edges", "#g\n2\nA\nB\n2\n0 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(c.in), nil)
+			if _, err := r.Read(); err == nil || err == io.EOF {
+				t.Fatalf("Read(%q) err = %v, want parse error", c.in, err)
+			}
+		})
+	}
+}
+
+func TestUnderscoreIsNoLabel(t *testing.T) {
+	r := NewReader(strings.NewReader("#g\n1\n_\n0\n"), nil)
+	ng, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Graph.NodeLabel(0) != graph.NoLabel {
+		t.Fatal("_ did not intern to NoLabel")
+	}
+}
+
+func TestLabelTableName(t *testing.T) {
+	tb := NewLabelTable()
+	id := tb.Intern("hello")
+	if tb.Name(id) != "hello" {
+		t.Errorf("Name(%d) = %q", id, tb.Name(id))
+	}
+	if tb.Name(graph.Label(999)) != "?" {
+		t.Error("unknown id should map to ?")
+	}
+	if tb.Name(graph.NoLabel) != "" {
+		t.Error("NoLabel should map to empty string")
+	}
+	if tb.Size() != 2 {
+		t.Errorf("Size = %d, want 2", tb.Size())
+	}
+}
+
+// randomLabeled generates a random labeled graph plus its table.
+func randomLabeled(seed int64) (*graph.Graph, *LabelTable) {
+	rng := rand.New(rand.NewSource(seed))
+	table := NewLabelTable()
+	names := []string{"A", "B", "C", "D"}
+	elabs := []string{"", "x", "y"}
+	n := 2 + rng.Intn(20)
+	b := graph.NewBuilder(n, 0)
+	for i := 0; i < n; i++ {
+		b.AddNode(table.Intern(names[rng.Intn(len(names))]))
+	}
+	m := rng.Intn(3 * n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), table.Intern(elabs[rng.Intn(len(elabs))]))
+	}
+	return b.MustBuild(), table
+}
+
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g, table := randomLabeled(seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, "g", g, table); err != nil {
+			return false
+		}
+		r := NewReader(&buf, table)
+		ng, err := r.Read()
+		if err != nil {
+			return false
+		}
+		g2 := ng.Graph
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if g.NodeLabel(v) != g2.NodeLabel(v) {
+				return false
+			}
+		}
+		e1, e2 := g.Edges(), g2.Edges()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMultipleSections(t *testing.T) {
+	g1, table := randomLabeled(1)
+	g2, _ := randomLabeled(2)
+	var buf bytes.Buffer
+	if err := Write(&buf, "one", g1, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, "two", g2, table); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := NewReader(&buf, table).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 || gs[0].Name != "one" || gs[1].Name != "two" {
+		t.Fatalf("sections wrong: %+v", gs)
+	}
+}
+
+func TestSpell(t *testing.T) {
+	tb := NewLabelTable()
+	id := tb.Intern("foo")
+	if tb.Spell(id) != "foo" {
+		t.Errorf("Spell(interned) = %q", tb.Spell(id))
+	}
+	if tb.Spell(graph.Label(77)) != "77" {
+		t.Errorf("Spell(unknown) = %q, want decimal fallback", tb.Spell(graph.Label(77)))
+	}
+	if tb.Spell(graph.NoLabel) != "" {
+		t.Errorf("Spell(NoLabel) = %q", tb.Spell(graph.NoLabel))
+	}
+}
+
+// TestWriteNumericLabelsRoundTrip covers graphs built programmatically
+// with labels never interned into the table (the sgegen case).
+func TestWriteNumericLabelsRoundTrip(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNode(graph.Label(31))
+	b.AddNode(graph.Label(31))
+	b.AddEdge(0, 1, graph.Label(5))
+	g := b.MustBuild()
+	table := NewLabelTable()
+	var buf bytes.Buffer
+	if err := Write(&buf, "num", g, table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "31") || !strings.Contains(buf.String(), "0 1 5") {
+		t.Fatalf("numeric labels not spelled:\n%s", buf.String())
+	}
+	ng, err := NewReader(&buf, table).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both nodes keep EQUAL labels (value may differ from 31 — it is an
+	// interned id for the string "31").
+	if ng.Graph.NodeLabel(0) != ng.Graph.NodeLabel(1) {
+		t.Fatal("equal labels diverged through round trip")
+	}
+}

@@ -1,0 +1,285 @@
+// Package order computes the static pattern-node orderings used by the RI
+// family of algorithms.
+//
+// RI visits pattern nodes in an order fixed before the search starts
+// ("static variable ordering", Kimmig et al. §2.2.1). The ordering is
+// built greedily by GreatestConstraintFirst: always append the unselected
+// node that is most constrained by the nodes already selected, ranked
+// lexicographically by
+//
+//	w_m — number of neighbors already in the partial ordering,
+//	w_n — number of its unselected neighbors that are themselves
+//	      neighbors of the partial ordering (future constraints),
+//	deg — total degree,
+//
+// with node id as the final deterministic tie-break. The RI-DS-SI variant
+// (§4.2.1) inserts one more tie-break before the id: when two nodes also
+// have identical degree, the one with the *smaller* candidate domain is
+// preferred — the "constraint-first principle".
+//
+// RI-DS additionally places all pattern nodes with singleton domains at
+// the very beginning of the ordering (§4.1).
+package order
+
+import (
+	"fmt"
+
+	"parsge/internal/graph"
+)
+
+// NoParent marks an ordering position with no previously-ordered neighbor
+// (the root, or the first node of a new connected component).
+const NoParent = int32(-1)
+
+// Ordering is a static visit order over a pattern graph's nodes plus the
+// parent links the search engine uses for candidate generation.
+type Ordering struct {
+	// Seq lists pattern node ids in visit order.
+	Seq []int32
+	// Pos is the inverse permutation: Pos[node] = position in Seq.
+	Pos []int32
+	// Parent[i] is the position (index into Seq) of the first-ordered
+	// neighbor of Seq[i], or NoParent. Candidates for Seq[i] are
+	// generated from the target node mapped to the parent.
+	Parent []int32
+	// ParentOut[i] reports the direction of the parent edge: true means
+	// the pattern edge (Seq[Parent[i]], Seq[i]) exists, so candidates
+	// come from the out-neighborhood of the parent's image; false means
+	// only (Seq[i], Seq[Parent[i]]) exists and candidates come from the
+	// in-neighborhood.
+	ParentOut []bool
+}
+
+// Strategy selects how the next pattern node is ranked.
+type Strategy int
+
+const (
+	// GreatestConstraintFirst is RI's ordering (the default): rank by
+	// (w_m, w_n, degree).
+	GreatestConstraintFirst Strategy = iota
+	// DegreeOnly ranks by degree alone (ties by id), ignoring the
+	// constraint structure — one of the weaker static orderings from
+	// the comparison of Bonnici & Giugno (TCBB 2017) that the paper
+	// builds on; kept as an ablation baseline. Connectivity is still
+	// preferred (nodes adjacent to the ordering come first) so that
+	// candidate generation keeps working from parents.
+	DegreeOnly
+)
+
+// Options configures ordering construction.
+type Options struct {
+	// Strategy picks the ranking rule; zero value is RI's
+	// GreatestConstraintFirst.
+	Strategy Strategy
+	// DomainSizes, when non-nil, enables the RI-DS behaviors that depend
+	// on domains: nodes whose domain has size one are hoisted to the
+	// front of the ordering (§4.1).
+	DomainSizes []int
+	// DomainTieBreak enables the RI-DS-SI rule: among nodes with equal
+	// (w_m, w_n, degree), prefer the smaller domain (§4.2.1). Requires
+	// DomainSizes.
+	DomainTieBreak bool
+}
+
+// Greatest computes the GreatestConstraintFirst ordering of gp.
+func Greatest(gp *graph.Graph) *Ordering {
+	o, err := Compute(gp, Options{})
+	if err != nil {
+		// Options{} cannot fail validation.
+		panic(err)
+	}
+	return o
+}
+
+// Compute builds an ordering of gp under the given options.
+func Compute(gp *graph.Graph, opts Options) (*Ordering, error) {
+	n := gp.NumNodes()
+	if opts.DomainTieBreak && opts.DomainSizes == nil {
+		return nil, fmt.Errorf("order: DomainTieBreak requires DomainSizes")
+	}
+	if opts.DomainSizes != nil && len(opts.DomainSizes) != n {
+		return nil, fmt.Errorf("order: got %d domain sizes for %d nodes", len(opts.DomainSizes), n)
+	}
+
+	nbr := undirectedNeighbors(gp)
+
+	ord := &Ordering{
+		Seq:       make([]int32, 0, n),
+		Pos:       make([]int32, n),
+		Parent:    make([]int32, 0, n),
+		ParentOut: make([]bool, 0, n),
+	}
+	for v := range ord.Pos {
+		ord.Pos[v] = -1
+	}
+
+	selected := make([]bool, n)
+	// inFringe[v]: v is unselected but adjacent to a selected node.
+	inFringe := make([]bool, n)
+
+	appendNode := func(v int32) {
+		ord.Pos[v] = int32(len(ord.Seq))
+		ord.Seq = append(ord.Seq, v)
+		selected[v] = true
+		inFringe[v] = false
+		for _, w := range nbr[v] {
+			if !selected[w] {
+				inFringe[w] = true
+			}
+		}
+		p, out := parentOf(gp, ord, v, nbr)
+		ord.Parent = append(ord.Parent, p)
+		ord.ParentOut = append(ord.ParentOut, out)
+	}
+
+	// RI-DS hoists singleton-domain nodes to the front (§4.1). They are
+	// appended in id order; each is maximally constrained already (its
+	// image is forced), so their relative order is immaterial.
+	if opts.DomainSizes != nil {
+		for v := int32(0); v < int32(n); v++ {
+			if opts.DomainSizes[v] == 1 {
+				appendNode(v)
+			}
+		}
+	}
+
+	for len(ord.Seq) < n {
+		best := int32(-1)
+		var bestWM, bestWN, bestDeg, bestDom int
+		for v := int32(0); v < int32(n); v++ {
+			if selected[v] {
+				continue
+			}
+			wm, wn := 0, 0
+			for _, w := range nbr[v] {
+				if selected[w] {
+					wm++
+				} else if inFringe[w] {
+					wn++
+				}
+			}
+			deg := gp.Degree(v)
+			dom := 0
+			if opts.DomainSizes != nil {
+				dom = opts.DomainSizes[v]
+			}
+			if opts.Strategy == DegreeOnly {
+				// Collapse the constraint scores to connectivity only
+				// (wm > 0 or not), so degree dominates.
+				if wm > 0 {
+					wm = 1
+				}
+				wn = 0
+			}
+			if best < 0 || better(wm, wn, deg, dom, bestWM, bestWN, bestDeg, bestDom, opts.DomainTieBreak) {
+				best, bestWM, bestWN, bestDeg, bestDom = v, wm, wn, deg, dom
+			}
+		}
+		appendNode(best)
+	}
+	return ord, nil
+}
+
+// better reports whether candidate (wm, wn, deg, dom) outranks the best so
+// far. Iteration visits nodes in ascending id, so "strictly better"
+// comparisons make the lowest id win ties — the deterministic final
+// tie-break.
+func better(wm, wn, deg, dom, bWM, bWN, bDeg, bDom int, domTie bool) bool {
+	if wm != bWM {
+		return wm > bWM
+	}
+	if wn != bWN {
+		return wn > bWN
+	}
+	if deg != bDeg {
+		return deg > bDeg
+	}
+	if domTie && dom != bDom {
+		return dom < bDom // smaller domain = more constrained = first
+	}
+	return false
+}
+
+// parentOf finds the first-ordered already-selected neighbor of v and the
+// direction of one connecting pattern edge.
+func parentOf(gp *graph.Graph, ord *Ordering, v int32, nbr [][]int32) (int32, bool) {
+	bestPos := int32(-1)
+	for _, w := range nbr[v] {
+		if p := ord.Pos[w]; p >= 0 && p < int32(len(ord.Seq))-1 { // exclude v itself (just appended)
+			if bestPos < 0 || p < bestPos {
+				bestPos = p
+			}
+		}
+	}
+	if bestPos < 0 {
+		return NoParent, false
+	}
+	parent := ord.Seq[bestPos]
+	// Prefer the out direction when both edges exist; the engine checks
+	// every back edge anyway, the parent edge only drives candidate
+	// generation.
+	if gp.HasEdge(parent, v) {
+		return bestPos, true
+	}
+	return bestPos, false
+}
+
+// undirectedNeighbors returns, per node, the sorted deduplicated union of
+// in- and out-neighbors, excluding self-loops.
+func undirectedNeighbors(gp *graph.Graph) [][]int32 {
+	n := gp.NumNodes()
+	out := make([][]int32, n)
+	seen := make([]int32, n) // seen[w] = v+1 marks w as already added for v
+	for v := int32(0); v < int32(n); v++ {
+		var row []int32
+		add := func(w int32) {
+			if w != v && seen[w] != v+1 {
+				seen[w] = v + 1
+				row = append(row, w)
+			}
+		}
+		for _, w := range gp.OutNeighbors(v) {
+			add(w)
+		}
+		for _, w := range gp.InNeighbors(v) {
+			add(w)
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// Validate checks the structural invariants of an ordering against its
+// pattern graph; the engines call it in tests and debug builds.
+func (o *Ordering) Validate(gp *graph.Graph) error {
+	n := gp.NumNodes()
+	if len(o.Seq) != n || len(o.Pos) != n || len(o.Parent) != n || len(o.ParentOut) != n {
+		return fmt.Errorf("order: inconsistent lengths seq=%d pos=%d parent=%d", len(o.Seq), len(o.Pos), len(o.Parent))
+	}
+	seen := make([]bool, n)
+	for i, v := range o.Seq {
+		if v < 0 || int(v) >= n || seen[v] {
+			return fmt.Errorf("order: Seq is not a permutation at %d", i)
+		}
+		seen[v] = true
+		if o.Pos[v] != int32(i) {
+			return fmt.Errorf("order: Pos[%d] = %d, want %d", v, o.Pos[v], i)
+		}
+		p := o.Parent[i]
+		if p == NoParent {
+			continue
+		}
+		if p < 0 || p >= int32(i) {
+			return fmt.Errorf("order: Parent[%d] = %d out of range", i, p)
+		}
+		pv := o.Seq[p]
+		if o.ParentOut[i] {
+			if !gp.HasEdge(pv, v) {
+				return fmt.Errorf("order: claimed out-edge (%d,%d) missing", pv, v)
+			}
+		} else if !gp.HasEdge(v, pv) {
+			return fmt.Errorf("order: claimed in-edge (%d,%d) missing", v, pv)
+		}
+	}
+	return nil
+}

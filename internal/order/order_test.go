@@ -1,0 +1,286 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsge/internal/graph"
+)
+
+// path builds the undirected path 0-1-2-...-k encoded as directed edges in
+// both directions.
+func path(k int) *graph.Graph {
+	b := &graph.Builder{}
+	b.AddNodes(k + 1)
+	for i := 0; i < k; i++ {
+		b.AddEdgeBoth(int32(i), int32(i+1), 0)
+	}
+	return b.MustBuild()
+}
+
+// star builds a star with center 0 and k leaves.
+func star(k int) *graph.Graph {
+	b := &graph.Builder{}
+	b.AddNodes(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdgeBoth(0, int32(i), 0)
+	}
+	return b.MustBuild()
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	o := Greatest((&graph.Builder{}).MustBuild())
+	if len(o.Seq) != 0 {
+		t.Fatal("ordering of empty graph not empty")
+	}
+	b := &graph.Builder{}
+	b.AddNode(0)
+	o = Greatest(b.MustBuild())
+	if len(o.Seq) != 1 || o.Seq[0] != 0 || o.Parent[0] != NoParent {
+		t.Fatalf("singleton ordering wrong: %+v", o)
+	}
+}
+
+func TestStarStartsAtCenter(t *testing.T) {
+	g := star(5)
+	o := Greatest(g)
+	if o.Seq[0] != 0 {
+		t.Fatalf("star ordering starts at %d, want center 0", o.Seq[0])
+	}
+	if err := o.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf's parent must be the center's position 0.
+	for i := 1; i < len(o.Seq); i++ {
+		if o.Parent[i] != 0 {
+			t.Errorf("leaf at position %d has parent %d, want 0", i, o.Parent[i])
+		}
+	}
+}
+
+func TestPathConnectivity(t *testing.T) {
+	g := path(6)
+	o := Greatest(g)
+	if err := o.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// After the first node every node must have a parent: the graph is
+	// connected and GCF extends along the fringe.
+	for i := 1; i < len(o.Seq); i++ {
+		if o.Parent[i] == NoParent {
+			t.Errorf("position %d has no parent in a connected graph", i)
+		}
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	b := &graph.Builder{}
+	b.AddNodes(4)
+	b.AddEdgeBoth(0, 1, 0)
+	b.AddEdgeBoth(2, 3, 0)
+	g := b.MustBuild()
+	o := Greatest(g)
+	if err := o.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	noParent := 0
+	for i := range o.Seq {
+		if o.Parent[i] == NoParent {
+			noParent++
+		}
+	}
+	if noParent != 2 {
+		t.Fatalf("expected 2 parentless positions (one per component), got %d", noParent)
+	}
+}
+
+func TestParentDirection(t *testing.T) {
+	// 0→1 only: when 1 is ordered after 0, its candidates must come from
+	// out-neighbors of 0's image (ParentOut = true); and vice versa.
+	b := &graph.Builder{}
+	b.AddNodes(2)
+	b.AddEdge(0, 1, 0)
+	g := b.MustBuild()
+	o := Greatest(g)
+	if err := o.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	second := o.Seq[1]
+	if second == 1 && !o.ParentOut[1] {
+		t.Error("edge 0→1: node 1's parent direction should be out")
+	}
+	if second == 0 && o.ParentOut[1] {
+		t.Error("edge 0→1: node 0's parent direction should be in")
+	}
+}
+
+func TestSingletonDomainsHoisted(t *testing.T) {
+	g := path(4) // nodes 0..4
+	dom := []int{5, 5, 1, 5, 1}
+	o, err := Compute(g, Options{DomainSizes: dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if o.Seq[0] != 2 || o.Seq[1] != 4 {
+		t.Fatalf("singleton-domain nodes not hoisted: Seq = %v", o.Seq)
+	}
+}
+
+func TestDomainTieBreak(t *testing.T) {
+	// Two leaves of a star tie on (wm, wn, degree); SI prefers the
+	// smaller domain. Leaf 2 gets the smaller domain and must precede
+	// leaf 1 even though 1 has the smaller id.
+	g := star(2)
+	dom := []int{10, 9, 3}
+	si, err := Compute(g, Options{DomainSizes: dom, DomainTieBreak: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Seq[1] != 2 {
+		t.Fatalf("SI ordering = %v, want node 2 second", si.Seq)
+	}
+	// Without the tie-break, id order wins.
+	plain, err := Compute(g, Options{DomainSizes: dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Seq[1] != 1 {
+		t.Fatalf("plain ordering = %v, want node 1 second", plain.Seq)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := path(2)
+	if _, err := Compute(g, Options{DomainTieBreak: true}); err == nil {
+		t.Error("DomainTieBreak without sizes should fail")
+	}
+	if _, err := Compute(g, Options{DomainSizes: []int{1}}); err == nil {
+		t.Error("wrong-length DomainSizes should fail")
+	}
+}
+
+// randomPattern builds a random connected-ish directed graph.
+func randomPattern(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(12)
+	b := &graph.Builder{}
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Label(rng.Intn(3)))
+	}
+	// Spanning chain keeps it connected, then extra random edges.
+	for i := 1; i < n; i++ {
+		b.AddEdge(int32(rng.Intn(i)), int32(i), 0)
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), 0)
+	}
+	return b.MustBuild()
+}
+
+func TestQuickValidPermutationWithParents(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomPattern(seed)
+		o := Greatest(g)
+		return o.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConnectedGraphsHaveParents(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomPattern(seed)
+		if !g.ConnectedUndirected() {
+			return true
+		}
+		o := Greatest(g)
+		for i := 1; i < len(o.Seq); i++ {
+			if o.Parent[i] == NoParent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSIOrderingValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomPattern(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		dom := make([]int, g.NumNodes())
+		for i := range dom {
+			dom[i] = 1 + rng.Intn(6)
+		}
+		o, err := Compute(g, Options{DomainSizes: dom, DomainTieBreak: true})
+		if err != nil {
+			return false
+		}
+		if o.Validate(g) != nil {
+			return false
+		}
+		// Singletons occupy a prefix of the ordering.
+		firstNonSingleton := -1
+		for i, v := range o.Seq {
+			if dom[v] != 1 {
+				firstNonSingleton = i
+				break
+			}
+		}
+		if firstNonSingleton >= 0 {
+			for _, v := range o.Seq[firstNonSingleton:] {
+				if dom[v] == 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreatest(b *testing.B) {
+	g := randomPattern(99)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Greatest(g)
+	}
+}
+
+func TestDegreeOnlyStrategy(t *testing.T) {
+	// Star + pendant chain: GCF and degree-only agree on the center but
+	// may diverge later; both must remain valid orderings.
+	g := star(4)
+	for _, strat := range []Strategy{GreatestConstraintFirst, DegreeOnly} {
+		o, err := Compute(g, Options{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Validate(g); err != nil {
+			t.Fatalf("strategy %d: %v", strat, err)
+		}
+		if o.Seq[0] != 0 {
+			t.Errorf("strategy %d: did not start at max-degree center", strat)
+		}
+	}
+}
+
+func TestQuickDegreeOnlyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomPattern(seed)
+		o, err := Compute(g, Options{Strategy: DegreeOnly})
+		return err == nil && o.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

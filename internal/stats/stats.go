@@ -1,0 +1,186 @@
+// Package stats implements the aggregation statistics used throughout the
+// paper's evaluation (§5.2): arithmetic mean over total runtime ("avg"),
+// geometric mean of per-instance speedups ("gmean"), maxima, population
+// standard deviation and standard error of the mean (the red bars in the
+// paper's point plots), plus the short/long instance split at a time
+// threshold.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries
+// (a zero-time instance has no meaningful speedup ratio). Returns 0 if no
+// positive entry exists.
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// StdErr returns the standard error of the mean, StdDev/sqrt(n-1)-style
+// with the usual sample correction; 0 for fewer than two samples.
+func StdErr(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	sample := math.Sqrt(s / float64(n-1))
+	return sample / math.Sqrt(float64(n))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	mid := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[mid]
+	}
+	return (c[mid-1] + c[mid]) / 2
+}
+
+// Durations converts a slice of time.Duration to seconds.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// SpeedupSummary aggregates per-instance base and parallel times the way
+// the paper's Tables 2 and 3 do.
+type SpeedupSummary struct {
+	// Avg is total base time over total parallel time: the arithmetic
+	// mean over the runtime of a whole collection, which prevents the
+	// many short instances from dominating (§5.2).
+	Avg float64
+	// GMean is the geometric mean of per-instance speedups.
+	GMean float64
+	// Max is the best per-instance speedup.
+	Max float64
+	// N is the number of instances aggregated.
+	N int
+}
+
+// Speedups computes the SpeedupSummary of parallel runs against base runs.
+// Instances where either time is non-positive are skipped for GMean/Max
+// but still contribute to Avg totals.
+func Speedups(base, par []time.Duration) SpeedupSummary {
+	n := len(base)
+	if len(par) < n {
+		n = len(par)
+	}
+	var totalBase, totalPar float64
+	ratios := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		b, p := base[i].Seconds(), par[i].Seconds()
+		totalBase += b
+		totalPar += p
+		if b > 0 && p > 0 {
+			ratios = append(ratios, b/p)
+		}
+	}
+	s := SpeedupSummary{N: n, GMean: GeoMean(ratios), Max: Max(ratios)}
+	if totalPar > 0 {
+		s.Avg = totalBase / totalPar
+	}
+	return s
+}
+
+// SplitShortLong partitions instance indices by whether their reference
+// time is below the threshold (the paper splits at one second, §5.2).
+func SplitShortLong(ref []time.Duration, threshold time.Duration) (short, long []int) {
+	for i, d := range ref {
+		if d < threshold {
+			short = append(short, i)
+		} else {
+			long = append(long, i)
+		}
+	}
+	return short, long
+}
+
+// Select returns the elements of xs at the given indices.
+func Select(xs []time.Duration, idx []int) []time.Duration {
+	out := make([]time.Duration, len(idx))
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Errorf("gmean = %f", GeoMean([]float64{1, 4}))
+	}
+	if !almost(GeoMean([]float64{2, 0, 8, -1}), 4) {
+		t.Error("gmean should skip non-positive entries")
+	}
+	if GeoMean([]float64{0, -3}) != 0 {
+		t.Error("gmean of non-positive entries should be 0")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Error("max/min wrong")
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("max/min of empty should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("stddev of constants should be 0")
+	}
+	// population stddev of {1,3} is 1
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Errorf("stddev = %f", StdDev([]float64{1, 3}))
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	if StdErr([]float64{5}) != 0 {
+		t.Error("stderr of single sample should be 0")
+	}
+	// sample sd of {1,3} = sqrt(2); stderr = sqrt(2)/sqrt(2) = 1
+	if !almost(StdErr([]float64{1, 3}), 1) {
+		t.Errorf("stderr = %f", StdErr([]float64{1, 3}))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median wrong")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if !almost(ds[0], 1) || !almost(ds[1], 0.5) {
+		t.Errorf("Durations = %v", ds)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	base := []time.Duration{4 * time.Second, 2 * time.Second}
+	par := []time.Duration{1 * time.Second, 1 * time.Second}
+	s := Speedups(base, par)
+	if !almost(s.Avg, 3) { // (4+2)/(1+1)
+		t.Errorf("Avg = %f", s.Avg)
+	}
+	if !almost(s.GMean, math.Sqrt(8)) {
+		t.Errorf("GMean = %f", s.GMean)
+	}
+	if !almost(s.Max, 4) {
+		t.Errorf("Max = %f", s.Max)
+	}
+	if s.N != 2 {
+		t.Errorf("N = %d", s.N)
+	}
+}
+
+func TestSpeedupsZeroSafe(t *testing.T) {
+	s := Speedups([]time.Duration{0}, []time.Duration{0})
+	if s.Avg != 0 || s.GMean != 0 || s.Max != 0 {
+		t.Errorf("zero speedups wrong: %+v", s)
+	}
+}
+
+func TestSplitShortLong(t *testing.T) {
+	ref := []time.Duration{10 * time.Millisecond, 2 * time.Second, time.Second}
+	short, long := SplitShortLong(ref, time.Second)
+	if len(short) != 1 || short[0] != 0 {
+		t.Errorf("short = %v", short)
+	}
+	if len(long) != 2 || long[0] != 1 || long[1] != 2 {
+		t.Errorf("long = %v", long)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	xs := []time.Duration{1, 2, 3, 4}
+	got := Select(xs, []int{3, 0})
+	if len(got) != 2 || got[0] != 4 || got[1] != 1 {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestQuickGeoMeanLeqMean(t *testing.T) {
+	// AM-GM inequality on positive data.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			x = math.Abs(x)
+			// Clamp away from the extremes where exp(log(x)) itself
+			// overflows or underflows; GeoMean is used on speedup
+			// ratios, which live comfortably inside this range.
+			if x > 1e-100 && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSplitPartitions(t *testing.T) {
+	f := func(ns []uint32) bool {
+		ref := make([]time.Duration, len(ns))
+		for i, n := range ns {
+			ref[i] = time.Duration(n)
+		}
+		short, long := SplitShortLong(ref, 1000)
+		return len(short)+len(long) == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package testutil provides reference implementations and random instance
+// generators shared by the test suites of the search engines. The brute
+// force enumerator is the ground truth every algorithm is validated
+// against: any two correct engines must agree with it — and therefore
+// with each other — on match counts.
+package testutil
+
+import (
+	"math/rand"
+
+	"parsge/internal/graph"
+)
+
+// BruteCount counts subgraph monomorphisms of gp in gt by exhaustive
+// backtracking over injective assignments in pattern-node id order. It
+// applies only the definitional constraints (label equivalence, edge
+// preservation with compatible edge labels, injectivity) and is intended
+// for small instances in tests.
+func BruteCount(gp, gt *graph.Graph) int64 {
+	np, nt := gp.NumNodes(), gt.NumNodes()
+	if np == 0 || np > nt {
+		return 0
+	}
+	assign := make([]int32, np)
+	used := make([]bool, nt)
+	var count int64
+	var rec func(vp int32)
+	rec = func(vp int32) {
+		if vp == int32(np) {
+			count++
+			return
+		}
+		for vt := int32(0); vt < int32(nt); vt++ {
+			if used[vt] || gt.NodeLabel(vt) != gp.NodeLabel(vp) {
+				continue
+			}
+			if !consistent(gp, gt, assign, vp, vt) {
+				continue
+			}
+			assign[vp] = vt
+			used[vt] = true
+			rec(vp + 1)
+			used[vt] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+// BruteCountInduced counts induced embeddings: in addition to the
+// non-induced constraints, every ordered non-edge of the pattern must map
+// to a non-edge of the target (self-loops included).
+func BruteCountInduced(gp, gt *graph.Graph) int64 {
+	np, nt := gp.NumNodes(), gt.NumNodes()
+	if np == 0 || np > nt {
+		return 0
+	}
+	assign := make([]int32, np)
+	used := make([]bool, nt)
+	var count int64
+	var rec func(vp int32)
+	rec = func(vp int32) {
+		if vp == int32(np) {
+			count++
+			return
+		}
+		for vt := int32(0); vt < int32(nt); vt++ {
+			if used[vt] || gt.NodeLabel(vt) != gp.NodeLabel(vp) {
+				continue
+			}
+			if !consistent(gp, gt, assign, vp, vt) {
+				continue
+			}
+			if !inducedConsistent(gp, gt, assign, vp, vt) {
+				continue
+			}
+			assign[vp] = vt
+			used[vt] = true
+			rec(vp + 1)
+			used[vt] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+// inducedConsistent rejects vt when a pattern non-edge towards an
+// already-assigned node maps onto a target edge.
+func inducedConsistent(gp, gt *graph.Graph, assign []int32, vp, vt int32) bool {
+	if !gp.HasEdge(vp, vp) && gt.HasEdge(vt, vt) {
+		return false
+	}
+	for w := int32(0); w < vp; w++ {
+		if !gp.HasEdge(vp, w) && gt.HasEdge(vt, assign[w]) {
+			return false
+		}
+		if !gp.HasEdge(w, vp) && gt.HasEdge(assign[w], vt) {
+			return false
+		}
+	}
+	return true
+}
+
+// consistent checks all pattern edges between vp and already-assigned
+// nodes (< vp) against the target.
+func consistent(gp, gt *graph.Graph, assign []int32, vp, vt int32) bool {
+	adj := gp.OutNeighbors(vp)
+	labs := gp.OutEdgeLabels(vp)
+	for i, w := range adj {
+		if w < vp {
+			if !gt.HasEdgeLabeled(vt, assign[w], labs[i]) {
+				return false
+			}
+		} else if w == vp { // self-loop
+			if !gt.HasEdgeLabeled(vt, vt, labs[i]) {
+				return false
+			}
+		}
+	}
+	adj = gp.InNeighbors(vp)
+	labs = gp.InEdgeLabels(vp)
+	for i, w := range adj {
+		if w < vp {
+			if !gt.HasEdgeLabeled(assign[w], vt, labs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InstanceOptions controls RandomInstance.
+type InstanceOptions struct {
+	// TargetNodes and TargetEdges size the target graph. Defaults: 12, 40.
+	TargetNodes, TargetEdges int
+	// PatternNodes sizes the pattern. Default: 4.
+	PatternNodes int
+	// NodeLabels and EdgeLabels set the alphabet sizes. Defaults: 3, 2
+	// (edge label 0 means unlabeled).
+	NodeLabels, EdgeLabels int
+	// Extract, when true, builds the pattern as a connected subgraph of
+	// the target so at least one match is guaranteed. When false the
+	// pattern is independently random (often zero matches).
+	Extract bool
+	// Nasty adds parallel edges and self-loops to the target (and
+	// self-loops to non-extracted patterns) — corner cases the engines
+	// must count exactly once per mapping.
+	Nasty bool
+}
+
+func (o *InstanceOptions) defaults() {
+	if o.TargetNodes == 0 {
+		o.TargetNodes = 12
+	}
+	if o.TargetEdges == 0 {
+		o.TargetEdges = 40
+	}
+	if o.PatternNodes == 0 {
+		o.PatternNodes = 4
+	}
+	if o.NodeLabels == 0 {
+		o.NodeLabels = 3
+	}
+	if o.EdgeLabels == 0 {
+		o.EdgeLabels = 2
+	}
+}
+
+// RandomInstance generates a (pattern, target) pair from a seed.
+func RandomInstance(seed int64, opts InstanceOptions) (gp, gt *graph.Graph) {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	bt := graph.NewBuilder(opts.TargetNodes, opts.TargetEdges)
+	for i := 0; i < opts.TargetNodes; i++ {
+		bt.AddNode(graph.Label(rng.Intn(opts.NodeLabels)))
+	}
+	for i := 0; i < opts.TargetEdges; i++ {
+		u := int32(rng.Intn(opts.TargetNodes))
+		v := int32(rng.Intn(opts.TargetNodes))
+		if opts.Nasty {
+			// Allow duplicates, parallel labels, and self-loops.
+			bt.AddEdge(u, v, graph.Label(rng.Intn(opts.EdgeLabels)))
+			continue
+		}
+		if u != v && !bt.HasEdgePending(u, v) {
+			bt.AddEdge(u, v, graph.Label(rng.Intn(opts.EdgeLabels)))
+		}
+	}
+	gt = bt.MustBuild()
+
+	if !opts.Extract {
+		bp := graph.NewBuilder(opts.PatternNodes, 0)
+		for i := 0; i < opts.PatternNodes; i++ {
+			bp.AddNode(graph.Label(rng.Intn(opts.NodeLabels)))
+		}
+		// Spanning chain plus extras keeps most patterns connected.
+		for i := 1; i < opts.PatternNodes; i++ {
+			bp.AddEdge(int32(rng.Intn(i)), int32(i), graph.Label(rng.Intn(opts.EdgeLabels)))
+		}
+		for i := 0; i < opts.PatternNodes; i++ {
+			u := int32(rng.Intn(opts.PatternNodes))
+			v := int32(rng.Intn(opts.PatternNodes))
+			if u != v {
+				bp.AddEdge(u, v, graph.Label(rng.Intn(opts.EdgeLabels)))
+			}
+		}
+		if opts.Nasty {
+			for i := 0; i < opts.PatternNodes; i++ {
+				if rng.Intn(3) == 0 {
+					bp.AddEdge(int32(i), int32(i), graph.Label(rng.Intn(opts.EdgeLabels)))
+				}
+			}
+		}
+		return bp.MustBuild(), gt
+	}
+
+	gp = ExtractPattern(rng, gt, opts.PatternNodes)
+	return gp, gt
+}
+
+// ExtractPattern extracts a connected (undirected sense) subgraph of gt
+// with up to want nodes via a random BFS-ish expansion, keeping every
+// induced edge with probability 3/4 but always keeping a spanning
+// connection. The result is a pattern guaranteed to match gt at least
+// once (non-induced semantics).
+func ExtractPattern(rng *rand.Rand, gt *graph.Graph, want int) *graph.Graph {
+	nt := gt.NumNodes()
+	if nt == 0 {
+		return (&graph.Builder{}).MustBuild()
+	}
+	if want > nt {
+		want = nt
+	}
+	start := int32(rng.Intn(nt))
+	chosen := []int32{start}
+	inChosen := map[int32]int32{start: 0}
+	frontier := append([]int32(nil), neighborsUndirected(gt, start)...)
+	for len(chosen) < want && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if _, ok := inChosen[v]; ok {
+			continue
+		}
+		inChosen[v] = int32(len(chosen))
+		chosen = append(chosen, v)
+		frontier = append(frontier, neighborsUndirected(gt, v)...)
+	}
+
+	bp := graph.NewBuilder(len(chosen), 0)
+	for _, tv := range chosen {
+		bp.AddNode(gt.NodeLabel(tv))
+	}
+	hasPatternEdge := make(map[[2]int32]bool)
+	connected := make([]bool, len(chosen))
+	connected[0] = true
+	for pi, tv := range chosen {
+		adj := gt.OutNeighbors(tv)
+		labs := gt.OutEdgeLabels(tv)
+		for k, tw := range adj {
+			pj, ok := inChosen[tw]
+			if !ok || int32(pi) == pj {
+				continue
+			}
+			key := [2]int32{int32(pi), pj}
+			if hasPatternEdge[key] {
+				continue
+			}
+			// Keep edges randomly but never strand a node: if either
+			// endpoint is not yet connected to the pattern, keep.
+			keep := rng.Intn(4) != 0 || !connected[pi] || !connected[pj]
+			if keep {
+				hasPatternEdge[key] = true
+				bp.AddEdge(int32(pi), pj, labs[k])
+				connected[pi] = true
+				connected[pj] = true
+			}
+		}
+	}
+	g := bp.MustBuild()
+	if !g.ConnectedUndirected() {
+		// Rare: the random expansion plus edge dropping disconnected
+		// the pattern. Fall back to keeping every induced edge.
+		bp2 := graph.NewBuilder(len(chosen), 0)
+		for _, tv := range chosen {
+			bp2.AddNode(gt.NodeLabel(tv))
+		}
+		seen := make(map[[2]int32]bool)
+		for pi, tv := range chosen {
+			adj := gt.OutNeighbors(tv)
+			labs := gt.OutEdgeLabels(tv)
+			for k, tw := range adj {
+				pj, ok := inChosen[tw]
+				if !ok || int32(pi) == pj {
+					continue
+				}
+				key := [2]int32{int32(pi), pj}
+				if !seen[key] {
+					seen[key] = true
+					bp2.AddEdge(int32(pi), pj, labs[k])
+				}
+			}
+		}
+		g = bp2.MustBuild()
+	}
+	return g
+}
+
+func neighborsUndirected(g *graph.Graph, v int32) []int32 {
+	out := append([]int32(nil), g.OutNeighbors(v)...)
+	return append(out, g.InNeighbors(v)...)
+}

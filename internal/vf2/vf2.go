@@ -1,0 +1,229 @@
+// Package vf2 implements the VF2 subgraph matching algorithm of Cordella,
+// Foggia, Sansone and Vento (IEEE TPAMI 2004) as the comparison baseline
+// the paper situates RI against (Kimmig et al. §2.2.1).
+//
+// Unlike RI's static ordering, VF2 uses a *dynamic* variable ordering: at
+// every state it selects the next pattern node from the connectivity
+// fringe of the partial mapping, paying per-state selection cost for a
+// potentially smaller search space. The implementation enumerates
+// non-induced matches with node- and edge-label compatibility — the same
+// semantics as internal/ri — so the two engines are interchangeable
+// oracles for one another in tests and baselines in benchmarks.
+//
+// The classic VF2 feasibility rules include lookahead counts over the
+// "terminal" sets (neighbors of the mapped region). For non-induced
+// matching only the conservative parts of those rules are valid; we use
+// degree lookahead and fringe-connectivity checks.
+package vf2
+
+import (
+	"sync/atomic"
+	"time"
+
+	"parsge/internal/graph"
+)
+
+// Options configures an enumeration run.
+type Options struct {
+	// Limit stops the search after this many matches (0 = all).
+	Limit int64
+	// Visit is called per match with the mapping indexed by pattern
+	// node (reused slice; copy to retain). Returning false stops.
+	Visit func(mapping []int32) bool
+	// Cancel cooperatively aborts the search when set.
+	Cancel *atomic.Bool
+}
+
+// Result reports an enumeration run.
+type Result struct {
+	Matches   int64
+	States    int64 // candidate pairs examined
+	MatchTime time.Duration
+	Aborted   bool
+}
+
+const cancelCheckMask = 0x3FF
+
+type state struct {
+	gp, gt *graph.Graph
+	opts   Options
+
+	core    []int32 // pattern node → target node or -1
+	used    []bool  // target node used
+	depth   int
+	matches int64
+	states  int64
+	stopped bool
+	aborted bool
+}
+
+// Enumerate lists all non-induced label-compatible embeddings of gp in gt.
+func Enumerate(gp, gt *graph.Graph, opts Options) Result {
+	start := time.Now()
+	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
+	s := &state{
+		gp:   gp,
+		gt:   gt,
+		opts: opts,
+		core: make([]int32, gp.NumNodes()),
+		used: make([]bool, gt.NumNodes()),
+	}
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	if gp.NumNodes() > 0 && gp.NumNodes() <= gt.NumNodes() {
+		s.match()
+	}
+	return Result{
+		Matches:   s.matches,
+		States:    s.states,
+		MatchTime: time.Since(start),
+		Aborted:   s.aborted,
+	}
+}
+
+// nextPatternNode picks the unmapped pattern node with dynamic ordering:
+// prefer nodes adjacent to the mapped region (connectivity), break ties
+// by larger degree then smaller id. Returns -1 when all nodes are mapped.
+func (s *state) nextPatternNode() int32 {
+	best, bestConn, bestDeg := int32(-1), -1, -1
+	for u := int32(0); u < int32(s.gp.NumNodes()); u++ {
+		if s.core[u] >= 0 {
+			continue
+		}
+		conn := 0
+		for _, w := range s.gp.OutNeighbors(u) {
+			if s.core[w] >= 0 {
+				conn = 1
+				break
+			}
+		}
+		if conn == 0 {
+			for _, w := range s.gp.InNeighbors(u) {
+				if s.core[w] >= 0 {
+					conn = 1
+					break
+				}
+			}
+		}
+		deg := s.gp.Degree(u)
+		if conn > bestConn || (conn == bestConn && deg > bestDeg) {
+			best, bestConn, bestDeg = u, conn, deg
+		}
+	}
+	return best
+}
+
+// candidatePairs iterates candidate target nodes for pattern node u: the
+// appropriately-directed neighbors of a mapped pattern neighbor's image
+// when one exists, else the whole target vertex set.
+func (s *state) candidates(u int32) []int32 {
+	for _, w := range s.gp.OutNeighbors(u) {
+		if tv := s.core[w]; tv >= 0 {
+			// pattern edge (u, w): target edge (cand, tv) required, so
+			// candidates are in-neighbors of tv.
+			return s.gt.InNeighbors(tv)
+		}
+	}
+	for _, w := range s.gp.InNeighbors(u) {
+		if tv := s.core[w]; tv >= 0 {
+			return s.gt.OutNeighbors(tv)
+		}
+	}
+	return nil // caller falls back to all target nodes
+}
+
+// feasible validates mapping u→v under non-induced semantics plus a
+// conservative degree lookahead.
+func (s *state) feasible(u, v int32) bool {
+	if s.used[v] {
+		return false
+	}
+	if s.gt.NodeLabel(v) != s.gp.NodeLabel(u) {
+		return false
+	}
+	if s.gt.OutDegree(v) < s.gp.OutDegree(u) || s.gt.InDegree(v) < s.gp.InDegree(u) {
+		return false
+	}
+	// Every mapped pattern neighbor must be consistent now.
+	adj := s.gp.OutNeighbors(u)
+	labs := s.gp.OutEdgeLabels(u)
+	for i, w := range adj {
+		if tw := s.core[w]; tw >= 0 {
+			if !s.gt.HasEdgeLabeled(v, tw, labs[i]) {
+				return false
+			}
+		} else if w == u {
+			if !s.gt.HasEdgeLabeled(v, v, labs[i]) {
+				return false
+			}
+		}
+	}
+	adj = s.gp.InNeighbors(u)
+	labs = s.gp.InEdgeLabels(u)
+	for i, w := range adj {
+		if tw := s.core[w]; tw >= 0 && w != u {
+			if !s.gt.HasEdgeLabeled(tw, v, labs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *state) match() {
+	if s.depth == s.gp.NumNodes() {
+		s.emit()
+		return
+	}
+	u := s.nextPatternNode()
+	cands := s.candidates(u)
+	if cands != nil {
+		for i, v := range cands {
+			if i > 0 && cands[i-1] == v {
+				continue // parallel target edges: same candidate node
+			}
+			s.try(u, v)
+			if s.stopped {
+				return
+			}
+		}
+		return
+	}
+	for v := int32(0); v < int32(s.gt.NumNodes()); v++ {
+		s.try(u, v)
+		if s.stopped {
+			return
+		}
+	}
+}
+
+func (s *state) try(u, v int32) {
+	s.states++
+	if s.states&cancelCheckMask == 0 && s.opts.Cancel != nil && s.opts.Cancel.Load() {
+		s.aborted = true
+		s.stopped = true
+		return
+	}
+	if !s.feasible(u, v) {
+		return
+	}
+	s.core[u] = v
+	s.used[v] = true
+	s.depth++
+	s.match()
+	s.depth--
+	s.used[v] = false
+	s.core[u] = -1
+}
+
+func (s *state) emit() {
+	s.matches++
+	if s.opts.Visit != nil && !s.opts.Visit(s.core) {
+		s.stopped = true
+		return
+	}
+	if s.opts.Limit > 0 && s.matches >= s.opts.Limit {
+		s.stopped = true
+	}
+}

@@ -1,0 +1,433 @@
+// Package parsge is a shared-memory parallel subgraph enumeration
+// library: a from-scratch Go reproduction of
+//
+//	R. Kimmig, H. Meyerhenke, D. Strash,
+//	"Shared Memory Parallel Subgraph Enumeration" (IPDPS workshops 2017,
+//	arXiv:1705.09358),
+//
+// which parallelizes the state-of-the-art RI / RI-DS subgraph
+// enumeration algorithms of Bonnici et al. with work stealing over
+// private deques, and improves RI-DS with domain-size tie-breaking and
+// forward checking.
+//
+// # Quick start
+//
+//	pattern := parsge.NewBuilder(3, 3)
+//	pattern.AddNode(0)               // labels are small integers
+//	...
+//	res, err := parsge.Enumerate(gp, gt, parsge.Options{
+//		Algorithm: parsge.RIDSSIFC,
+//		Workers:   8,
+//	})
+//	fmt.Println(res.Matches)
+//
+// Graphs are directed and labeled; model an undirected edge by adding
+// both arcs (Builder.AddEdgeBoth). Matching is non-induced: every
+// pattern edge must exist in the target with a compatible label, target
+// edges not in the pattern are ignored, node labels must be equal, and
+// the mapping is injective.
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for
+// the full inventory); this package is the stable outward-facing API.
+package parsge
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsge/internal/graph"
+	"parsge/internal/graphio"
+	"parsge/internal/lad"
+	"parsge/internal/parallel"
+	"parsge/internal/ri"
+	"parsge/internal/vf2"
+)
+
+// Graph is an immutable directed labeled graph. Build one with Builder.
+type Graph = graph.Graph
+
+// Builder accumulates nodes and edges for a Graph.
+type Builder = graph.Builder
+
+// Label is a node or edge label; labels compare by equality only.
+type Label = graph.Label
+
+// NoLabel is the label of unlabeled nodes and edges.
+const NoLabel = graph.NoLabel
+
+// NewBuilder returns a Builder pre-sized for n nodes and m edges.
+func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
+
+// Algorithm selects the search algorithm.
+type Algorithm int
+
+const (
+	// RI is the plain RI algorithm — fastest on sparse targets
+	// (the paper's PDBSv1).
+	RI Algorithm = iota
+	// RIDS is RI with precomputed candidate domains — for medium to
+	// large dense targets (PPIS32, GRAEMLIN32).
+	RIDS
+	// RIDSSI is RI-DS with domain-size tie-breaking in the node
+	// ordering (the paper's first improvement).
+	RIDSSI
+	// RIDSSIFC is RI-DS-SI plus forward checking of singleton domains
+	// (the paper's best dense-graph variant).
+	RIDSSIFC
+	// VF2 is the classic Cordella et al. baseline with dynamic variable
+	// ordering. Sequential only; provided for comparison.
+	VF2 Algorithm = 100
+	// LAD is a constraint-propagation engine in the style of Solnon's
+	// LAD: per-assignment domain filtering (AllDifferent plus arc
+	// consistency along incident pattern edges). It represents the
+	// "spend time to shrink space" end of the design spectrum the paper
+	// surveys (§2.2.1). Sequential only.
+	LAD Algorithm = 101
+	// Auto picks between RI and RI-DS-SI-FC from the target's density,
+	// following the paper's guidance (RI on sparse collections like
+	// PDBSv1, the DS variants on dense ones like PPIS32/GRAEMLIN32).
+	Auto Algorithm = -1
+)
+
+// AutoWorkers, used as Options.Workers, sizes the worker pool
+// automatically: min(GOMAXPROCS, number of consistent root candidates).
+// This implements the direction the paper's conclusion sketches
+// ("future work should address a dynamic strategy for determining the
+// optimal level of parallelism"): tiny searches stay sequential, wide
+// ones use every core.
+const AutoWorkers = -1
+
+// autoDensityThreshold is the mean total degree above which Auto prefers
+// the domain-based variant. The paper's sparse collection (PDBSv1) has
+// mean degree ≈ 3 (undirected; 6 total), the dense ones 27+.
+const autoDensityThreshold = 12.0
+
+// chooseAlgorithm resolves Auto against the target's density.
+func chooseAlgorithm(a Algorithm, target *Graph) Algorithm {
+	if a != Auto {
+		return a
+	}
+	if target.NumNodes() == 0 {
+		return RI
+	}
+	meanDeg := 2 * float64(target.NumEdges()) / float64(target.NumNodes())
+	if meanDeg < autoDensityThreshold {
+		return RI
+	}
+	return RIDSSIFC
+}
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case RI, RIDS, RIDSSI, RIDSSIFC:
+		return ri.Variant(a).String()
+	case VF2:
+		return "VF2"
+	case LAD:
+		return "LAD"
+	case Auto:
+		return "Auto"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Enumerate.
+type Options struct {
+	// Algorithm picks the engine; the zero value is RI.
+	Algorithm Algorithm
+	// Workers sets the parallel worker count; 0 or 1 runs the
+	// sequential engine. VF2 ignores it (always sequential).
+	Workers int
+	// TaskGroupSize is the work-stealing coalescing granularity
+	// (1–16, default 4 — the paper's setting).
+	TaskGroupSize int
+	// DisableStealing turns off load balancing between workers.
+	DisableStealing bool
+	// Limit stops after at least this many matches (0 = enumerate all).
+	Limit int64
+	// Timeout aborts the run after the given wall time (0 = none); the
+	// paper's experiments use 180 s.
+	Timeout time.Duration
+	// Induced switches to induced subgraph enumeration: pattern
+	// non-edges must map to target non-edges, per direction. An
+	// extension beyond the paper (which enumerates non-induced
+	// subgraphs); supported by the RI family only.
+	Induced bool
+	// Visit is called for every match with the mapping indexed by
+	// pattern node id (mapping[patternNode] = targetNode). The slice is
+	// reused — copy it to retain. With Workers > 1 it is called
+	// concurrently and must be safe for concurrent use. Returning false
+	// stops the enumeration.
+	Visit func(mapping []int32) bool
+	// Seed seeds scheduling decisions of the parallel engine. Results
+	// are identical for all seeds; timings and steal counts vary.
+	Seed int64
+}
+
+// Result reports one enumeration.
+type Result struct {
+	// Matches is the number of isomorphic (non-induced) subgraphs.
+	Matches int64
+	// States is the number of search states explored — the paper's
+	// "search space size".
+	States int64
+	// PreprocTime covers domain computation and node ordering.
+	PreprocTime time.Duration
+	// MatchTime covers the search itself.
+	MatchTime time.Duration
+	// TimedOut reports that Timeout (or a Visit stop) ended the run
+	// before the search space was exhausted; Matches is a lower bound.
+	TimedOut bool
+	// Unsatisfiable reports that preprocessing proved zero matches.
+	Unsatisfiable bool
+	// Steals counts stolen task groups (parallel runs only).
+	Steals int64
+	// PerWorkerStates breaks States down by worker (parallel runs only).
+	PerWorkerStates []int64
+	// DepthStates breaks States down by search depth (RI family only):
+	// the search profile, useful for diagnosing irregular instances.
+	DepthStates []int64
+}
+
+// TotalTime is preprocessing plus match time.
+func (r Result) TotalTime() time.Duration { return r.PreprocTime + r.MatchTime }
+
+// Enumerate finds all subgraphs of target isomorphic to pattern.
+func Enumerate(pattern, target *Graph, opts Options) (Result, error) {
+	if pattern == nil || target == nil {
+		return Result{}, fmt.Errorf("parsge: nil graph")
+	}
+	opts.Algorithm = chooseAlgorithm(opts.Algorithm, target)
+	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
+		if opts.Induced {
+			return Result{}, fmt.Errorf("parsge: induced matching requires an RI-family algorithm, not %v", opts.Algorithm)
+		}
+		if opts.Algorithm == VF2 {
+			return enumerateVF2(pattern, target, opts)
+		}
+		return enumerateLAD(pattern, target, opts)
+	}
+	if opts.Algorithm < RI || opts.Algorithm > RIDSSIFC {
+		return Result{}, fmt.Errorf("parsge: unknown algorithm %d", int(opts.Algorithm))
+	}
+
+	cancel, stopTimer := timeoutFlag(opts.Timeout)
+	defer stopTimer()
+
+	prep, err := ri.Prepare(pattern, target, ri.Options{
+		Variant: ri.Variant(opts.Algorithm),
+		Induced: opts.Induced,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Workers == AutoWorkers {
+		opts.Workers = autoWorkerCount(prep)
+	}
+
+	if opts.Workers <= 1 {
+		res := prep.Run(ri.RunOptions{Limit: opts.Limit, Visit: opts.Visit, Cancel: cancel})
+		return Result{
+			Matches:       res.Matches,
+			States:        res.States,
+			PreprocTime:   res.PreprocTime,
+			MatchTime:     res.MatchTime,
+			TimedOut:      res.Aborted,
+			Unsatisfiable: res.Unsatisfiable,
+			DepthStates:   res.DepthStates,
+		}, nil
+	}
+
+	res := parallel.Enumerate(prep, parallel.Options{
+		Workers:         opts.Workers,
+		TaskGroupSize:   opts.TaskGroupSize,
+		DisableStealing: opts.DisableStealing,
+		Limit:           opts.Limit,
+		Visit:           opts.Visit,
+		Cancel:          cancel,
+		Seed:            opts.Seed,
+	})
+	return Result{
+		Matches:         res.Matches,
+		States:          res.States,
+		PreprocTime:     res.PreprocTime,
+		MatchTime:       res.MatchTime,
+		TimedOut:        res.Aborted,
+		Unsatisfiable:   res.Unsatisfiable,
+		Steals:          res.Steals,
+		PerWorkerStates: res.PerWorkerStates,
+		DepthStates:     res.DepthStates,
+	}, nil
+}
+
+func enumerateVF2(pattern, target *Graph, opts Options) (Result, error) {
+	cancel, stopTimer := timeoutFlag(opts.Timeout)
+	defer stopTimer()
+	res := vf2.Enumerate(pattern, target, vf2.Options{
+		Limit:  opts.Limit,
+		Visit:  opts.Visit,
+		Cancel: cancel,
+	})
+	return Result{
+		Matches:   res.Matches,
+		States:    res.States,
+		MatchTime: res.MatchTime,
+		TimedOut:  res.Aborted,
+	}, nil
+}
+
+func enumerateLAD(pattern, target *Graph, opts Options) (Result, error) {
+	cancel, stopTimer := timeoutFlag(opts.Timeout)
+	defer stopTimer()
+	res := lad.Enumerate(pattern, target, lad.Options{
+		Limit:  opts.Limit,
+		Visit:  opts.Visit,
+		Cancel: cancel,
+	})
+	return Result{
+		Matches:       res.Matches,
+		States:        res.States,
+		PreprocTime:   res.PreprocTime,
+		MatchTime:     res.MatchTime,
+		TimedOut:      res.Aborted,
+		Unsatisfiable: res.Unsatisfiable,
+	}, nil
+}
+
+// autoWorkerCount sizes the pool for AutoWorkers: one worker per
+// available CPU, but never more than the search root's branching factor
+// (extra workers would start idle and only add scheduling overhead on a
+// narrow search).
+func autoWorkerCount(prep *ri.Prepared) int {
+	roots := 0
+	prep.RootCandidates(func(int32) bool {
+		roots++
+		return roots < 1024 // counting beyond the CPU count is pointless
+	})
+	w := runtime.GOMAXPROCS(0)
+	if roots < w {
+		w = roots
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// timeoutFlag returns an atomic flag set after d (nil flag if d == 0) and
+// a stop function releasing the timer.
+func timeoutFlag(d time.Duration) (*atomic.Bool, func()) {
+	if d <= 0 {
+		return nil, func() {}
+	}
+	var flag atomic.Bool
+	t := time.AfterFunc(d, func() { flag.Store(true) })
+	return &flag, func() { t.Stop() }
+}
+
+// Count is shorthand for Enumerate(...).Matches.
+func Count(pattern, target *Graph, opts Options) (int64, error) {
+	res, err := Enumerate(pattern, target, opts)
+	return res.Matches, err
+}
+
+// FindAll collects every mapping into a slice (mapping[patternNode] =
+// targetNode). It overrides opts.Visit; enumeration order is unspecified
+// for parallel runs. Use a Limit for patterns with very many embeddings —
+// the result set can be exponential in the pattern size.
+func FindAll(pattern, target *Graph, opts Options) ([][]int32, error) {
+	var mu sync.Mutex
+	var all [][]int32
+	opts.Visit = func(m []int32) bool {
+		cp := append([]int32(nil), m...)
+		mu.Lock()
+		all = append(all, cp)
+		mu.Unlock()
+		return true
+	}
+	if _, err := Enumerate(pattern, target, opts); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// LabelTable interns string labels for the text graph format.
+type LabelTable = graphio.LabelTable
+
+// NewLabelTable returns an empty label table.
+func NewLabelTable() *LabelTable { return graphio.NewLabelTable() }
+
+// NamedGraph is a graph plus the name of its file section.
+type NamedGraph = graphio.NamedGraph
+
+// ReadGraphs parses every graph section from r (see internal/graphio for
+// the format), interning labels into table (which may be nil for a
+// private table — but share one table between pattern and target files
+// so equal label strings compare equal).
+func ReadGraphs(r io.Reader, table *LabelTable) ([]NamedGraph, error) {
+	return graphio.NewReader(r, table).ReadAll()
+}
+
+// WriteGraph serializes g as one text section.
+func WriteGraph(w io.Writer, name string, g *Graph, table *LabelTable) error {
+	return graphio.Write(w, name, g, table)
+}
+
+// Match is one enumerated embedding delivered by EnumerateStream.
+type Match struct {
+	// Mapping maps pattern node id → target node id. The slice is owned
+	// by the receiver.
+	Mapping []int32
+}
+
+// EnumerateStream runs Enumerate in a background goroutine and delivers
+// matches over a channel, for pipelines that want to consume embeddings
+// as they are found rather than buffer them (FindAll) or process them
+// inline (Visit). The channel is closed when the enumeration finishes;
+// the final Result and error are delivered on the second channel (always
+// exactly one value). Abandoning the stream without draining it leaks
+// the search until it completes or hits opts.Timeout/opts.Limit, so set
+// one of those when early termination is expected. opts.Visit must be
+// nil.
+func EnumerateStream(pattern, target *Graph, opts Options) (<-chan Match, <-chan error) {
+	matches := make(chan Match, 64)
+	done := make(chan error, 1)
+	if opts.Visit != nil {
+		close(matches)
+		done <- fmt.Errorf("parsge: EnumerateStream requires a nil Visit")
+		return matches, done
+	}
+	opts.Visit = func(m []int32) bool {
+		matches <- Match{Mapping: append([]int32(nil), m...)}
+		return true
+	}
+	go func() {
+		defer close(matches)
+		_, err := Enumerate(pattern, target, opts)
+		done <- err
+	}()
+	return matches, done
+}
+
+// Automorphisms returns the size of the pattern's automorphism group,
+// computed by enumerating the pattern in itself: an injective map
+// between equal-size graphs that preserves all edges is a bijection, and
+// with equal edge counts it preserves them exactly — an automorphism.
+// Divide Enumerate(...).Matches by this to convert ordered embeddings
+// into distinct occurrences (vertex-set matches), as motif counting
+// wants.
+func Automorphisms(pattern *Graph) (int64, error) {
+	if pattern == nil {
+		return 0, fmt.Errorf("parsge: nil graph")
+	}
+	if pattern.NumNodes() == 0 {
+		return 1, nil
+	}
+	return Count(pattern, pattern, Options{Algorithm: RI})
+}
