@@ -12,6 +12,8 @@
 package parsge
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -317,3 +319,69 @@ func BenchmarkParallelWorkers2(b *testing.B)  { benchAlgorithm(b, RIDSSIFC, 2) }
 func BenchmarkParallelWorkers4(b *testing.B)  { benchAlgorithm(b, RIDSSIFC, 4) }
 func BenchmarkParallelWorkers8(b *testing.B)  { benchAlgorithm(b, RIDSSIFC, 8) }
 func BenchmarkParallelWorkers16(b *testing.B) { benchAlgorithm(b, RIDSSIFC, 16) }
+
+// -------------------------------------------------------- session benches
+//
+// The pair below quantifies the session API's amortization: the same 12
+// patterns answered through one Target.EnumerateBatch call (target-side
+// state built once, patterns scheduled over one shared work-stealing
+// pool) versus 12 independent one-shot Enumerate calls (each rebuilding
+// all target-side state and running alone). Compare ns/op directly.
+
+// batchWorkload builds one mid-size labeled target and 12 patterns
+// extracted from it, the "many queries, one target" service shape.
+func batchWorkload() (*Graph, []*Graph) {
+	_, gt := testutil.RandomInstance(7, testutil.InstanceOptions{
+		TargetNodes:  400,
+		TargetEdges:  4000,
+		PatternNodes: 6,
+		NodeLabels:   4,
+		Extract:      true,
+	})
+	rng := rand.New(rand.NewSource(123))
+	patterns := make([]*Graph, 12)
+	for i := range patterns {
+		patterns[i] = testutil.ExtractPattern(rng, gt, 5+i%3)
+	}
+	return gt, patterns
+}
+
+func BenchmarkBatchEnumerate(b *testing.B) {
+	gt, patterns := batchWorkload()
+	tgt, err := NewTarget(gt, TargetOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var matches int64
+	for i := 0; i < b.N; i++ {
+		results, err := tgt.EnumerateBatch(context.Background(), patterns, Options{Algorithm: RIDSSIFC})
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches = 0
+		for _, r := range results {
+			matches += r.Matches
+		}
+	}
+	b.ReportMetric(float64(matches), "matches")
+}
+
+func BenchmarkOneShotEnumerateLoop(b *testing.B) {
+	gt, patterns := batchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var matches int64
+	for i := 0; i < b.N; i++ {
+		matches = 0
+		for _, gp := range patterns {
+			res, err := Enumerate(gp, gt, Options{Algorithm: RIDSSIFC})
+			if err != nil {
+				b.Fatal(err)
+			}
+			matches += res.Matches
+		}
+	}
+	b.ReportMetric(float64(matches), "matches")
+}

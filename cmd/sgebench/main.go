@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +49,13 @@ func main() {
 	ws, err := parseWorkers(*workers)
 	exitOn(err)
 
+	// Ctrl-C aborts the in-flight instance through the suite's context;
+	// already-collected rows are simply abandoned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	s := (&bench.Suite{
+		Ctx:           ctx,
 		Scale:         *scale,
 		Seed:          *seed,
 		Timeout:       *timeout,

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 
@@ -74,7 +76,13 @@ func main() {
 		}
 	}
 
-	res, err := parsge.Enumerate(gp, gt, opts)
+	// Session API: target-side state is built once, and Ctrl-C cancels
+	// the search cleanly through the context (reported as a timeout).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	tgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
+	exitOn(err)
+	res, err := tgt.Enumerate(ctx, gp, opts)
 	exitOn(err)
 
 	fmt.Printf("pattern: n=%d m=%d   target: n=%d m=%d\n",

@@ -1,6 +1,7 @@
 package parsge_test
 
 import (
+	"context"
 	"fmt"
 
 	"parsge"
@@ -57,6 +58,44 @@ func ExampleFindAll() {
 	}
 	fmt.Println("embeddings:", len(maps))
 	// Output: embeddings: 2
+}
+
+// ExampleNewTarget answers several pattern queries against one target
+// through a session: target-side state is preprocessed once, queries
+// take a context, and a batch runs over one shared worker pool.
+func ExampleNewTarget() {
+	// Target: a directed 5-cycle.
+	tb := parsge.NewBuilder(5, 5)
+	tb.AddNodes(5)
+	for i := int32(0); i < 5; i++ {
+		tb.AddEdge(i, (i+1)%5, parsge.NoLabel)
+	}
+	tgt, err := parsge.NewTarget(tb.MustBuild(), parsge.TargetOptions{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Patterns: a directed path of length 1 and one of length 2.
+	patterns := make([]*parsge.Graph, 2)
+	for k := range patterns {
+		pb := parsge.NewBuilder(k+2, k+1)
+		pb.AddNodes(k + 2)
+		for i := int32(0); i <= int32(k); i++ {
+			pb.AddEdge(i, i+1, parsge.NoLabel)
+		}
+		patterns[k] = pb.MustBuild()
+	}
+
+	results, err := tgt.EnumerateBatch(context.Background(), patterns, parsge.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for i, res := range results {
+		fmt.Printf("path-%d embeddings: %d\n", i+1, res.Matches)
+	}
+	// Output:
+	// path-1 embeddings: 5
+	// path-2 embeddings: 5
 }
 
 // ExampleEnumerateStream consumes matches as they are produced.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,16 +26,30 @@ func main() {
 	fmt.Printf("network: %d genes, %d directed regulations\n\n",
 		target.NumNodes(), target.NumEdges())
 
+	// A motif census is the canonical batch workload: one target, many
+	// small patterns. EnumerateBatch schedules the whole catalog over
+	// one shared work-stealing pool, reusing the session's target-side
+	// state for every motif.
+	tgt, err := parsge.NewTarget(target, parsge.TargetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog := motifs()
+	patterns := make([]*parsge.Graph, len(catalog))
+	for i, m := range catalog {
+		patterns[i] = m.pattern
+	}
+	results, err := tgt.EnumerateBatch(context.Background(), patterns, parsge.Options{
+		Algorithm: parsge.RI, // unlabeled sparse queries: plain RI
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "motif\tembeddings\tautomorphisms\toccurrences\tstates")
-	for _, m := range motifs() {
-		res, err := parsge.Enumerate(m.pattern, target, parsge.Options{
-			Algorithm: parsge.RI, // unlabeled sparse queries: plain RI
-			Workers:   4,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, m := range catalog {
+		res := results[i]
 		autos, err := parsge.Automorphisms(m.pattern)
 		if err != nil {
 			log.Fatal(err)

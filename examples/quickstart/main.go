@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,10 +54,15 @@ func main() {
 	tb.AddEdge(tg, tg, parsge.NoLabel) // self-loop decoy
 	target := tb.MustBuild()
 
-	// Enumerate with the paper's best dense-graph variant. For graphs
-	// this small one worker is plenty; see examples/tuning for the
-	// parallel knobs.
-	res, err := parsge.Enumerate(pattern, target, parsge.Options{
+	// Build the query session once — the label index and scratch pools
+	// are shared by every query against this target — then enumerate
+	// with the paper's best dense-graph variant. For graphs this small
+	// one worker is plenty; see examples/tuning for the parallel knobs.
+	tgt, err := parsge.NewTarget(target, parsge.TargetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tgt.Enumerate(context.Background(), pattern, parsge.Options{
 		Algorithm: parsge.RIDSSIFC,
 		Visit: func(m []int32) bool {
 			fmt.Printf("  match: kinase=%d substrates=%d,%d\n", m[k], m[s1], m[s2])

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,7 +21,13 @@ func main() {
 	fmt.Printf("target: %d nodes, %d arcs; query: %d nodes, %d arcs\n",
 		target.NumNodes(), target.NumEdges(), query.NumNodes(), query.NumEdges())
 
-	base, err := parsge.Enumerate(query, target, parsge.Options{Algorithm: parsge.RIDS})
+	// One session for the whole sweep: every configuration below reuses
+	// the same target-side index and scratch pools.
+	tgt, err := parsge.NewTarget(target, parsge.TargetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := tgt.Enumerate(context.Background(), query, parsge.Options{Algorithm: parsge.RIDS})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +38,7 @@ func main() {
 	fmt.Fprintln(w, "workers\tgroup\tstealing\tmatch time\tsteals\tbalance speedup")
 	for _, workers := range []int{2, 4, 8, 16} {
 		for _, group := range []int{1, 4, 16} {
-			report(w, query, target, base.Matches, parsge.Options{
+			report(w, tgt, query, base.Matches, parsge.Options{
 				Algorithm:     parsge.RIDS,
 				Workers:       workers,
 				TaskGroupSize: group,
@@ -39,7 +46,7 @@ func main() {
 		}
 	}
 	// The Fig 3 ablation: stealing off ruins the load balance.
-	report(w, query, target, base.Matches, parsge.Options{
+	report(w, tgt, query, base.Matches, parsge.Options{
 		Algorithm:       parsge.RIDS,
 		Workers:         16,
 		TaskGroupSize:   4,
@@ -50,8 +57,8 @@ func main() {
 	fmt.Println("hardware-independent upper bound on parallel speedup (perfect = workers).")
 }
 
-func report(w *tabwriter.Writer, query, target *parsge.Graph, want int64, opts parsge.Options) {
-	res, err := parsge.Enumerate(query, target, opts)
+func report(w *tabwriter.Writer, tgt *parsge.Target, query *parsge.Graph, want int64, opts parsge.Options) {
+	res, err := tgt.Enumerate(context.Background(), query, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module parsge
+
+go 1.24

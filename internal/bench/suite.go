@@ -19,10 +19,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"parsge/internal/datasets"
@@ -34,6 +34,10 @@ import (
 
 // Suite configures a harness run.
 type Suite struct {
+	// Ctx is the parent context of every measured run; cancelling it
+	// (e.g. on SIGINT in cmd/sgebench) aborts the experiment promptly.
+	// nil means context.Background().
+	Ctx context.Context
 	// Scale is the dataset scale factor (1.0 = paper sizes). The
 	// default used by tests and benchmarks is small enough for a
 	// laptop; cmd/sgebench exposes it as a flag.
@@ -182,9 +186,12 @@ type runConfig struct {
 func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 	rec := Record{Instance: inst, Workers: cfg.workers}
 
-	var cancel atomic.Bool
-	timer := time.AfterFunc(s.Timeout, func() { cancel.Store(true) })
-	defer timer.Stop()
+	parent := s.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(parent, s.Timeout)
+	defer cancel()
 
 	prep, err := ri.Prepare(inst.Pattern, inst.Target, ri.Options{
 		Variant:       cfg.variant,
@@ -197,7 +204,7 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 	}
 
 	if cfg.workers <= 1 && !cfg.eagerCopy {
-		res := prep.Run(ri.RunOptions{Cancel: &cancel})
+		res := prep.Run(ri.RunOptions{Ctx: ctx})
 		rec.Matches = res.Matches
 		rec.States = res.States
 		rec.Preproc = res.PreprocTime
@@ -218,7 +225,7 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 		StealFromFront:        cfg.frontSteal,
 		SenderInitiated:       cfg.senderInitiated,
 		NoInitialDistribution: cfg.noInitDist,
-		Cancel:                &cancel,
+		Ctx:                   ctx,
 		Seed:                  cfg.seed,
 	})
 	rec.Matches = res.Matches

@@ -28,6 +28,38 @@ type Domains struct {
 	nt   int
 }
 
+// Index is precomputed target-side state reusable across queries against
+// the same target graph: nodes bucketed by label, in ascending node-id
+// order. Building it once per target and sharing it between Compute calls
+// turns the initial domain filter from a scan over all target nodes into
+// a scan over the label's bucket only. An Index is immutable after
+// NewIndex and safe for concurrent use.
+type Index struct {
+	byLabel map[graph.Label][]int32
+	nt      int
+}
+
+// NewIndex buckets the target's nodes by label.
+func NewIndex(gt *graph.Graph) *Index {
+	ix := &Index{byLabel: make(map[graph.Label][]int32), nt: gt.NumNodes()}
+	for vt := int32(0); vt < int32(gt.NumNodes()); vt++ {
+		l := gt.NodeLabel(vt)
+		ix.byLabel[l] = append(ix.byLabel[l], vt)
+	}
+	return ix
+}
+
+// Nodes returns the target nodes carrying label l, ascending by id. The
+// slice is shared — callers must not modify it.
+func (ix *Index) Nodes(l graph.Label) []int32 { return ix.byLabel[l] }
+
+// NumNodes returns the node count of the indexed target, used to verify
+// an Index belongs to the graph a query runs against.
+func (ix *Index) NumNodes() int { return ix.nt }
+
+// NumLabels returns the number of distinct node labels in the target.
+func (ix *Index) NumLabels() int { return len(ix.byLabel) }
+
 // Options configures domain computation.
 type Options struct {
 	// ACPasses bounds the number of arc-consistency sweeps: 0 means
@@ -38,6 +70,10 @@ type Options struct {
 	// SkipAC disables arc consistency entirely, leaving only the
 	// label/degree filter. Used by ablation benchmarks.
 	SkipAC bool
+	// Index, when non-nil and built for the same target, restricts the
+	// initial label/degree filter to each label's bucket instead of
+	// scanning every target node. Results are identical either way.
+	Index *Index
 }
 
 // Compute builds the domains of pattern gp against target gt.
@@ -47,14 +83,27 @@ func Compute(gp, gt *graph.Graph, opts Options) *Domains {
 
 	// Initial filter: equivalent labels and sufficient in/out degrees
 	// ("all nodes with in- and outdegree at least that of v_p's, and
-	// with labels that match v_p's", §4.1).
+	// with labels that match v_p's", §4.1). With a label Index only the
+	// matching bucket is scanned; the label test is then implicit.
+	ix := opts.Index
+	if ix != nil && ix.nt != nt {
+		ix = nil // index built for a different target: ignore
+	}
 	for vp := int32(0); vp < int32(np); vp++ {
 		s := bitset.New(nt)
 		lab := gp.NodeLabel(vp)
 		din, dout := gp.InDegree(vp), gp.OutDegree(vp)
-		for vt := int32(0); vt < int32(nt); vt++ {
-			if gt.NodeLabel(vt) == lab && gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
-				s.Set(int(vt))
+		if ix != nil {
+			for _, vt := range ix.Nodes(lab) {
+				if gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
+					s.Set(int(vt))
+				}
+			}
+		} else {
+			for vt := int32(0); vt < int32(nt); vt++ {
+				if gt.NodeLabel(vt) == lab && gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
+					s.Set(int(vt))
+				}
 			}
 		}
 		d.sets[vp] = s

@@ -22,7 +22,7 @@
 package lad
 
 import (
-	"sync/atomic"
+	"context"
 	"time"
 
 	"parsge/internal/bitset"
@@ -38,8 +38,12 @@ type Options struct {
 	// Visit is called per match with the mapping indexed by pattern
 	// node id (reused slice; copy to retain). Returning false stops.
 	Visit func(mapping []int32) bool
-	// Cancel cooperatively aborts the run when set.
-	Cancel *atomic.Bool
+	// Ctx, when non-nil, cooperatively aborts the run soon after the
+	// context is cancelled (polled every cancelCheckMask+1 states).
+	Ctx context.Context
+	// Index, when non-nil and built for the same target, narrows the
+	// initial domain filter to label buckets (see domain.Index).
+	Index *domain.Index
 }
 
 // Result reports an enumeration run.
@@ -79,6 +83,7 @@ type solver struct {
 	matches      int64
 	states       int64
 	propagations int64
+	done         <-chan struct{}
 	stopped      bool
 	aborted      bool
 }
@@ -90,7 +95,7 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	res := Result{}
 
 	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
-	doms := domain.Compute(gp, gt, domain.Options{})
+	doms := domain.Compute(gp, gt, domain.Options{Index: opts.Index})
 	if doms.AnyEmpty() {
 		res.Unsatisfiable = true
 		res.PreprocTime = time.Since(start)
@@ -108,6 +113,10 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		return res
 	}
 
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		res.Aborted = true
+		return res
+	}
 	s := &solver{
 		gp:      gp,
 		gt:      gt,
@@ -116,6 +125,9 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		domains: make([][]*bitset.Set, n+1),
 		mapped:  make([]int32, n),
 		nodeMap: make([]int32, n),
+	}
+	if opts.Ctx != nil {
+		s.done = opts.Ctx.Done()
 	}
 	// Depth 0 domains alias the preprocessed ones; deeper levels are
 	// allocated lazily as refined copies.
@@ -146,10 +158,14 @@ func (s *solver) search(pos int) {
 	dom.ForEach(func(vti int) bool {
 		vt := int32(vti)
 		s.states++
-		if s.states&cancelCheckMask == 0 && s.opts.Cancel != nil && s.opts.Cancel.Load() {
-			s.aborted = true
-			s.stopped = true
-			return false
+		if s.states&cancelCheckMask == 0 && s.done != nil {
+			select {
+			case <-s.done:
+				s.aborted = true
+				s.stopped = true
+				return false
+			default:
+			}
 		}
 		if !s.selfLoopsOK(u, vt) {
 			return true

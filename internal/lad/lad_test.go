@@ -1,7 +1,7 @@
 package lad
 
 import (
-	"sync/atomic"
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -88,13 +88,13 @@ func TestLimitVisitCancel(t *testing.T) {
 		t.Fatalf("visit stop wrong: %d/%d", calls, res.Matches)
 	}
 
-	var c atomic.Bool
-	c.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	bigT := &graph.Builder{}
 	bigT.AddNodes(4000)
-	resC := Enumerate(gp, bigT.MustBuild(), Options{Cancel: &c})
+	resC := Enumerate(gp, bigT.MustBuild(), Options{Ctx: ctx})
 	if !resC.Aborted {
-		t.Error("pre-set cancel did not abort")
+		t.Error("pre-cancelled context did not abort")
 	}
 }
 

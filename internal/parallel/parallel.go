@@ -22,6 +22,7 @@
 package parallel
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -76,9 +77,17 @@ type Options struct {
 	// worker goroutines and must be safe for concurrent use; the slice
 	// is reused, copy to retain. Returning false cancels the run.
 	Visit func(mapping []int32) bool
-	// Cancel, when non-nil, cooperatively aborts the run when set (the
-	// harness uses it for the 180 s time limit of the paper's setup).
-	Cancel *atomic.Bool
+	// Ctx, when non-nil, cooperatively aborts the run when cancelled
+	// (the harness derives a context.WithTimeout from it for the 180 s
+	// time limit of the paper's setup). Busy workers poll the done
+	// channel at the same low frequency the previous atomic-flag design
+	// used; idle workers are woken by the steal runtime's own watcher.
+	Ctx context.Context
+	// Arena, when non-nil and sized for the prepared target, supplies
+	// each worker's target-sized used-set from a shared pool instead of
+	// allocating per run — the per-worker scratch reuse of the session
+	// API.
+	Arena *ri.Arena
 }
 
 func (o Options) normalized() Options {
@@ -158,6 +167,7 @@ type workerState struct {
 type engine struct {
 	p    *ri.Prepared
 	opts Options
+	done <-chan struct{} // Ctx's done channel (nil without one)
 	ws   []*workerState
 	rt   *steal.Runtime[taskGroup]
 
@@ -183,15 +193,45 @@ func Enumerate(p *ri.Prepared, opts Options) (res Result) {
 	if p.Unsat || p.NumPositions() == 0 {
 		return res
 	}
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		res.Aborted = true
+		return res
+	}
 
 	e := &engine{p: p, opts: opts, ws: make([]*workerState, opts.Workers)}
+	if opts.Ctx != nil {
+		e.done = opts.Ctx.Done()
+	}
+	arena := opts.Arena
+	if arena != nil && arena.NumNodes() != p.Target.NumNodes() {
+		arena = nil // built for a different target: ignore
+	}
 	for i := range e.ws {
+		var used []bool
+		if arena != nil {
+			used = arena.AcquireUsed()
+		} else {
+			used = make([]bool, p.Target.NumNodes())
+		}
 		e.ws[i] = &workerState{
 			mapped:      make([]int32, p.NumPositions()),
-			used:        make([]bool, p.Target.NumNodes()),
+			used:        used,
 			visitBuf:    make([]int32, p.Pattern.NumNodes()),
 			depthStates: make([]int64, p.NumPositions()),
 		}
+	}
+	if arena != nil {
+		// Workers stop wherever the schedule left them, so their
+		// used-sets still carry the bits of the current partial mapping;
+		// clear exactly those before the buffers go back to the pool.
+		defer func() {
+			for _, ws := range e.ws {
+				for i := 0; i < ws.depth; i++ {
+					ws.used[ws.mapped[i]] = false
+				}
+				arena.ReleaseUsed(ws.used)
+			}
+		}()
 	}
 
 	rt, err := steal.New(steal.Config{
@@ -209,30 +249,9 @@ func Enumerate(p *ri.Prepared, opts Options) (res Result) {
 
 	e.seedInitialTasks()
 
-	if opts.Cancel != nil {
-		// Bridge the external cancel flag to the runtime with a tiny
-		// watcher; workers also poll it inline, this is a backstop for
-		// idle-but-not-terminated configurations.
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			ticker := time.NewTicker(time.Millisecond)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-ticker.C:
-					if opts.Cancel.Load() {
-						rt.Cancel()
-						return
-					}
-				}
-			}
-		}()
-	}
-
-	res.StealStats = rt.Run()
+	// The runtime watches Ctx itself (idle workers included); busy
+	// workers additionally poll the done channel inline via shouldStop.
+	res.StealStats = rt.Run(opts.Ctx)
 	res.Steals = res.StealStats.TotalSteals()
 
 	res.DepthStates = make([]int64, p.NumPositions())
@@ -405,10 +424,15 @@ func (e *engine) expand(w *steal.Worker[taskGroup], ws *workerState, depth int, 
 			return
 		}
 	} else {
-		for cand := int32(0); cand < int32(e.p.Target.NumNodes()); cand++ {
-			if !tryCandidate(cand) {
-				return
-			}
+		// Parentless position without domains: label bucket (with a
+		// shared target index) or every target node.
+		ok := true
+		e.p.FreeCandidates(next, func(cand int32) bool {
+			ok = tryCandidate(cand)
+			return ok
+		})
+		if !ok {
+			return
 		}
 	}
 	flush()
@@ -435,14 +459,18 @@ func (e *engine) emit(ws *workerState) {
 	}
 }
 
-// shouldStop polls the external cancel flag from the expansion hot loop.
+// shouldStop polls the context's done channel from the expansion hot loop.
 func (e *engine) shouldStop() bool {
 	if e.rt.Cancelled() {
 		return true
 	}
-	if e.opts.Cancel != nil && e.opts.Cancel.Load() {
-		e.rt.Cancel()
-		return true
+	if e.done != nil {
+		select {
+		case <-e.done:
+			e.rt.Cancel()
+			return true
+		default:
+		}
 	}
 	return false
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -206,11 +207,14 @@ func TestVisitStopAborts(t *testing.T) {
 
 func TestExternalCancel(t *testing.T) {
 	gp, gt := mediumInstance(t)
-	var cancel atomic.Bool
-	cancel.Store(true)
-	res := Enumerate(prepared(t, gp, gt, ri.VariantRI), Options{Workers: 4, Cancel: &cancel})
-	if !res.Aborted && res.Matches == 0 {
-		t.Fatal("pre-cancelled run neither aborted nor produced results")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Enumerate(prepared(t, gp, gt, ri.VariantRI), Options{Workers: 4, Ctx: ctx})
+	if !res.Aborted {
+		t.Fatal("pre-cancelled context did not abort the run")
+	}
+	if res.Matches != 0 {
+		t.Fatalf("aborted-before-start run found %d matches", res.Matches)
 	}
 }
 
@@ -223,18 +227,44 @@ func TestCancelMidRun(t *testing.T) {
 		NodeLabels:   1,
 		Extract:      true,
 	})
-	var cancel atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	done := make(chan Result, 1)
 	go func() {
-		done <- Enumerate(prepared(t, gp, gt, ri.VariantRI), Options{Workers: 4, Cancel: &cancel})
+		done <- Enumerate(prepared(t, gp, gt, ri.VariantRI), Options{Workers: 4, Ctx: ctx})
 	}()
 	time.Sleep(20 * time.Millisecond)
-	cancel.Store(true)
+	cancel()
 	select {
-	case <-done:
+	case res := <-done:
+		if !res.Aborted && res.Matches == 0 {
+			t.Fatal("cancelled run neither aborted nor completed")
+		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("cancel did not stop the run")
 	}
+}
+
+func TestArenaRunsAgree(t *testing.T) {
+	gp, gt := mediumInstance(t)
+	p := prepared(t, gp, gt, ri.VariantRIDS)
+	want := Enumerate(p, Options{Workers: 4}).Matches
+	arena := ri.NewArena(gt.NumNodes())
+	for i := 0; i < 3; i++ {
+		got := Enumerate(p, Options{Workers: 4, Arena: arena, Seed: int64(i)}).Matches
+		if got != want {
+			t.Fatalf("arena run %d: %d matches, want %d", i, got, want)
+		}
+	}
+	// Early-terminated runs (Limit) must hand buffers back clean too.
+	Enumerate(p, Options{Workers: 4, Arena: arena, Limit: 1})
+	u := arena.AcquireUsed()
+	for i, b := range u {
+		if b {
+			t.Fatalf("arena buffer returned dirty at %d", i)
+		}
+	}
+	arena.ReleaseUsed(u)
 }
 
 func TestDeterministicMatchCount(t *testing.T) {

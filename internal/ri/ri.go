@@ -19,8 +19,9 @@
 package ri
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"parsge/internal/domain"
@@ -82,6 +83,13 @@ type Options struct {
 	// OrderStrategy overrides the node-ordering ranking rule (ablation:
 	// order.DegreeOnly vs the default GreatestConstraintFirst).
 	OrderStrategy order.Strategy
+	// TargetIndex, when non-nil and built for the same target graph,
+	// supplies precomputed label→node buckets: domain computation scans
+	// only matching buckets, and the plain-RI variant draws root (and
+	// parentless-position) candidates from the root label's bucket
+	// instead of the whole vertex set. Queries sharing one target build
+	// it once (see the parsge.Target session API).
+	TargetIndex *domain.Index
 }
 
 // RunOptions configures a single search over a Prepared instance.
@@ -93,10 +101,16 @@ type RunOptions struct {
 	// reused between calls; copy it to retain. Returning false stops
 	// the search.
 	Visit func(mapping []int32) bool
-	// Cancel, when non-nil, aborts the search soon after being set.
-	// Used to implement time limits without wall-clock checks in the
-	// hot loop.
-	Cancel *atomic.Bool
+	// Ctx, when non-nil, cooperatively aborts the search soon after the
+	// context is cancelled. The done channel is polled at the same low
+	// frequency the previous atomic-flag design used (every
+	// cancelCheckMask+1 states), so the hot loop stays flat; time limits
+	// are a context.WithTimeout at the caller.
+	Ctx context.Context
+	// Arena, when non-nil and sized for the same target, supplies the
+	// target-sized scratch (the used-set) from a reusable pool instead
+	// of allocating per run.
+	Arena *Arena
 }
 
 // Result reports one search run.
@@ -144,6 +158,8 @@ type Prepared struct {
 
 	Ord  *order.Ordering
 	Doms *domain.Domains // nil for VariantRI
+	// Idx is the optional shared target label index (nil without one).
+	Idx *domain.Index
 
 	back [][]backEdge
 	// selfLoops[i] lists the labels of pattern self-loops at Seq[i]; the
@@ -172,9 +188,12 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 	// degree-based pruning bounds; see graph.Simplify.
 	gp = gp.Simplify()
 	p := &Prepared{Pattern: gp, Target: gt, Variant: opts.Variant}
+	if ix := opts.TargetIndex; ix != nil && ix.NumNodes() == gt.NumNodes() {
+		p.Idx = ix
+	}
 
 	if opts.Variant.UsesDomains() {
-		p.Doms = domain.Compute(gp, gt, domain.Options{ACPasses: opts.ACPasses, SkipAC: opts.SkipAC})
+		p.Doms = domain.Compute(gp, gt, domain.Options{ACPasses: opts.ACPasses, SkipAC: opts.SkipAC, Index: p.Idx})
 		if p.Doms.AnyEmpty() {
 			p.Unsat = true
 		}
@@ -342,7 +361,8 @@ func (p *Prepared) Feasible(pos int, vt int32, mapped []int32, used []bool) bool
 // RootCandidates calls yield for every candidate target node of the first
 // ordering position: the domain for DS variants ("RI-DS uses domains as
 // candidates for the root node of the search space, unlike RI, which
-// considers V(G_t)", §4.1), all target nodes otherwise. yield returning
+// considers V(G_t)", §4.1), all target nodes otherwise — narrowed to the
+// root label's bucket when a target index is attached. yield returning
 // false stops the iteration.
 func (p *Prepared) RootCandidates(yield func(vt int32) bool) {
 	if p.NumPositions() == 0 {
@@ -353,6 +373,23 @@ func (p *Prepared) RootCandidates(yield func(vt int32) bool) {
 		p.Doms.Of(root).ForEach(func(i int) bool { return yield(int32(i)) })
 		return
 	}
+	p.FreeCandidates(0, yield)
+}
+
+// FreeCandidates iterates the candidate targets of an ordering position
+// that has neither a mapped parent nor a domain: the label bucket of the
+// shared index when available (sound because Feasible re-checks label
+// equality anyway, so skipping other labels cannot lose matches), else
+// every target node.
+func (p *Prepared) FreeCandidates(pos int, yield func(vt int32) bool) {
+	if p.Idx != nil {
+		for _, vt := range p.Idx.Nodes(p.Pattern.NodeLabel(p.Ord.Seq[pos])) {
+			if !yield(vt) {
+				return
+			}
+		}
+		return
+	}
 	for vt := int32(0); vt < int32(p.Target.NumNodes()); vt++ {
 		if !yield(vt) {
 			return
@@ -360,8 +397,34 @@ func (p *Prepared) RootCandidates(yield func(vt int32) bool) {
 	}
 }
 
-// cancelCheckMask controls how often the hot loop polls the Cancel flag:
-// every (mask+1) states. Power of two minus one.
+// Arena pools target-sized scratch buffers shared by all queries against
+// one target graph, so a session serving many queries (or a batch fanned
+// over many workers) does not allocate a fresh used-set per run. An Arena
+// is safe for concurrent use; buffers are returned to the pool all-false.
+type Arena struct {
+	nt   int
+	pool sync.Pool
+}
+
+// NewArena returns an arena for targets with targetNodes nodes.
+func NewArena(targetNodes int) *Arena {
+	a := &Arena{nt: targetNodes}
+	a.pool.New = func() any { return make([]bool, targetNodes) }
+	return a
+}
+
+// NumNodes returns the target size the arena was built for.
+func (a *Arena) NumNodes() int { return a.nt }
+
+// AcquireUsed returns an all-false used-set of length NumNodes.
+func (a *Arena) AcquireUsed() []bool { return a.pool.Get().([]bool) }
+
+// ReleaseUsed returns a used-set to the pool. The caller must have
+// cleared every bit it set (the searches unwind theirs on backtrack).
+func (a *Arena) ReleaseUsed(u []bool) { a.pool.Put(u) }
+
+// cancelCheckMask controls how often the hot loop polls the context's
+// done channel: every (mask+1) states. Power of two minus one.
 const cancelCheckMask = 0x3FF
 
 // searcher is the sequential DFS state.
@@ -377,7 +440,7 @@ type searcher struct {
 
 	limit   int64
 	visit   func([]int32) bool
-	cancel  *atomic.Bool
+	done    <-chan struct{}
 	aborted bool
 	stopped bool
 }
@@ -391,15 +454,30 @@ func (p *Prepared) Run(opts RunOptions) (res Result) {
 	if p.Unsat || p.NumPositions() == 0 {
 		return res
 	}
+	var used []bool
+	if opts.Arena != nil && opts.Arena.nt == p.Target.NumNodes() {
+		used = opts.Arena.AcquireUsed()
+		// The DFS unwinds every bit it sets even when stopped early, so
+		// the buffer goes back all-false.
+		defer opts.Arena.ReleaseUsed(used)
+	} else {
+		used = make([]bool, p.Target.NumNodes())
+	}
 	s := &searcher{
 		p:           p,
 		mapped:      make([]int32, p.NumPositions()),
-		used:        make([]bool, p.Target.NumNodes()),
+		used:        used,
 		nodeMap:     make([]int32, p.Pattern.NumNodes()),
 		depthStates: make([]int64, p.NumPositions()),
 		limit:       opts.Limit,
 		visit:       opts.Visit,
-		cancel:      opts.Cancel,
+	}
+	if opts.Ctx != nil {
+		s.done = opts.Ctx.Done()
+		if opts.Ctx.Err() != nil {
+			res.Aborted = true
+			return res
+		}
 	}
 	for i := range s.mapped {
 		s.mapped[i] = -1
@@ -421,10 +499,14 @@ func (p *Prepared) Run(opts RunOptions) (res Result) {
 func (s *searcher) tryExtend(pos int, vt int32) {
 	s.states++
 	s.depthStates[pos]++
-	if s.states&cancelCheckMask == 0 && s.cancel != nil && s.cancel.Load() {
-		s.aborted = true
-		s.stopped = true
-		return
+	if s.states&cancelCheckMask == 0 && s.done != nil {
+		select {
+		case <-s.done:
+			s.aborted = true
+			s.stopped = true
+			return
+		default:
+		}
 	}
 	if !s.p.Feasible(pos, vt, s.mapped, s.used) {
 		return
@@ -457,7 +539,8 @@ func (s *searcher) descend(pos int) {
 		return
 	}
 	// Parentless non-root position (disconnected pattern or hoisted
-	// singleton): candidates come from the domain, or all target nodes.
+	// singleton): candidates come from the domain, the label bucket, or
+	// all target nodes.
 	u := s.p.Ord.Seq[pos]
 	if s.p.Doms != nil {
 		s.p.Doms.Of(u).ForEach(func(i int) bool {
@@ -466,12 +549,10 @@ func (s *searcher) descend(pos int) {
 		})
 		return
 	}
-	for vt := int32(0); vt < int32(s.p.Target.NumNodes()); vt++ {
+	s.p.FreeCandidates(pos, func(vt int32) bool {
 		s.tryExtend(pos, vt)
-		if s.stopped {
-			return
-		}
-	}
+		return !s.stopped
+	})
 }
 
 // emit records a complete match and invokes the callback.

@@ -1,11 +1,12 @@
 package ri
 
 import (
+	"context"
 	"math/rand"
-	"sync/atomic"
 	"testing"
 	"testing/quick"
 
+	"parsge/internal/domain"
 	"parsge/internal/graph"
 	"parsge/internal/order"
 	"parsge/internal/testutil"
@@ -224,14 +225,67 @@ func TestLimit(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	gp, gt := trianglePair()
-	var cancel atomic.Bool
-	cancel.Store(true) // cancel before starting: abort at first check
-	res := mustEnumerate(t, gp, gt, VariantRI, RunOptions{Cancel: &cancel})
-	// The cancel flag is polled every cancelCheckMask+1 states; the tiny
-	// instance may finish first, so we only require no crash and a
-	// consistent result.
-	if res.Aborted && res.Matches == 6 {
-		t.Fatal("aborted run claims full enumeration")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting: Run aborts before any search
+	res := mustEnumerate(t, gp, gt, VariantRI, RunOptions{Ctx: ctx})
+	if !res.Aborted {
+		t.Fatal("pre-cancelled context did not abort the run")
+	}
+	if res.Matches != 0 {
+		t.Fatalf("aborted-before-start run found %d matches", res.Matches)
+	}
+	// An already-expired ctx must not disturb a fresh run's results.
+	res = mustEnumerate(t, gp, gt, VariantRI, RunOptions{Ctx: context.Background()})
+	if res.Aborted || res.Matches != 6 {
+		t.Fatalf("background ctx run: aborted=%v matches=%d", res.Aborted, res.Matches)
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	gp, gt := trianglePair()
+	arena := NewArena(gt.NumNodes())
+	for i := 0; i < 3; i++ {
+		res := mustEnumerate(t, gp, gt, VariantRI, RunOptions{Arena: arena})
+		if res.Matches != 6 {
+			t.Fatalf("run %d with arena: %d matches, want 6", i, res.Matches)
+		}
+	}
+	// A mis-sized arena is ignored, not trusted.
+	res := mustEnumerate(t, gp, gt, VariantRI, RunOptions{Arena: NewArena(1)})
+	if res.Matches != 6 {
+		t.Fatalf("mis-sized arena run: %d matches, want 6", res.Matches)
+	}
+	// Early-stopped runs (Limit) must still return the buffer clean.
+	lim := mustEnumerate(t, gp, gt, VariantRI, RunOptions{Arena: arena, Limit: 1})
+	if lim.Matches != 1 {
+		t.Fatalf("limit run: %d matches", lim.Matches)
+	}
+	u := arena.AcquireUsed()
+	for i, b := range u {
+		if b {
+			t.Fatalf("arena buffer returned dirty at %d", i)
+		}
+	}
+	arena.ReleaseUsed(u)
+}
+
+func TestTargetIndexAgrees(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		gp, gt := testutil.RandomInstance(seed, testutil.InstanceOptions{
+			TargetNodes: 40, TargetEdges: 160, PatternNodes: 4,
+			NodeLabels: 3, Extract: seed%2 == 0,
+		})
+		ix := domain.NewIndex(gt)
+		for _, v := range allVariants {
+			plain := mustEnumerate(t, gp, gt, v, RunOptions{})
+			res, err := Enumerate(gp, gt, Options{Variant: v, TargetIndex: ix}, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matches != plain.Matches {
+				t.Fatalf("seed %d %v: indexed %d matches, plain %d", seed, v, res.Matches, plain.Matches)
+			}
+		}
 	}
 }
 

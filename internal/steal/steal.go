@@ -28,6 +28,7 @@
 package steal
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -217,9 +218,26 @@ func (rt *Runtime[T]) Cancel() { rt.cancelled.Store(true) }
 // Cancelled reports whether Cancel was called.
 func (rt *Runtime[T]) Cancelled() bool { return rt.cancelled.Load() }
 
-// Run starts all workers and blocks until global termination (or
-// cancellation). It may be called once per Runtime.
-func (rt *Runtime[T]) Run() Stats {
+// Run starts all workers and blocks until global termination or
+// cancellation. A nil ctx means context.Background(); when ctx carries a
+// cancellation signal, a watcher goroutine translates it into Cancel()
+// the moment it fires, so even fully idle workers notice promptly —
+// workers themselves never touch the context. Run may be called once per
+// Runtime.
+func (rt *Runtime[T]) Run(ctx context.Context) Stats {
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-done:
+					rt.Cancel()
+				case <-stop:
+				}
+			}()
+		}
+	}
 	for i := range rt.workers {
 		rt.workAvailable[i].v.Store(!rt.workers[i].dq.Empty())
 	}

@@ -1,6 +1,7 @@
 package steal
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -65,7 +66,7 @@ func runRange(t *testing.T, cfg Config, n int64, r *rangeRunner) Stats {
 		w = (w + 1) % cfg.Workers
 	}
 	done := make(chan Stats, 1)
-	go func() { done <- rt.Run() }()
+	go func() { done <- rt.Run(nil) }()
 	select {
 	case st := <-done:
 		return st
@@ -145,7 +146,7 @@ func TestUnevenSeeding(t *testing.T) {
 	const n = 20000
 	rt.Seed(0, rangeTask{0, n})
 	done := make(chan Stats, 1)
-	go func() { done <- rt.Run() }()
+	go func() { done <- rt.Run(nil) }()
 	var st Stats
 	select {
 	case st = <-done:
@@ -195,7 +196,7 @@ func TestCancel(t *testing.T) {
 	}
 	rt.Seed(0, rangeTask{0, 1})
 	done := make(chan Stats, 1)
-	go func() { done <- rt.Run() }()
+	go func() { done <- rt.Run(nil) }()
 	<-br.started // worker 0 is now blocked in Execute
 	rt.Cancel()
 	close(br.release)
@@ -206,6 +207,31 @@ func TestCancel(t *testing.T) {
 	}
 	if !rt.Cancelled() {
 		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+// TestContextCancel: cancelling the context passed to Run stops the
+// runtime even when every worker is idle (no task ever polls anything).
+func TestContextCancel(t *testing.T) {
+	br := &blockRunner{started: make(chan struct{}, 1), release: make(chan struct{})}
+	rt, err := New(Config{Workers: 4, Stealing: true}, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Seed(0, rangeTask{0, 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Stats, 1)
+	go func() { done <- rt.Run(ctx) }()
+	<-br.started // worker 0 is now blocked in Execute
+	cancel()
+	close(br.release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("context cancellation did not stop the runtime")
+	}
+	if !rt.Cancelled() {
+		t.Fatal("Cancelled() false after ctx cancel")
 	}
 }
 
@@ -232,7 +258,7 @@ func TestQuickConservation(t *testing.T) {
 			rt.Seed(w, rangeTask{lo, hi})
 			w = (w + 1) % workers
 		}
-		rt.Run()
+		rt.Run(nil)
 		return r.sum.Load() == n*(n-1)/2 && r.count.Load() == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -245,7 +271,7 @@ func BenchmarkRuntimeOverhead(b *testing.B) {
 		r := &rangeRunner{}
 		rt, _ := New(Config{Workers: 4, Stealing: true, Seed: 1}, r)
 		rt.Seed(0, rangeTask{0, 4096})
-		rt.Run()
+		rt.Run(nil)
 	}
 }
 
@@ -270,7 +296,7 @@ func TestWorkerAccessors(t *testing.T) {
 	if !w.Cancelled() {
 		t.Fatal("Cancelled() false after Cancel")
 	}
-	rt.Run() // drains nothing (cancelled); must return promptly
+	rt.Run(nil) // drains nothing (cancelled); must return promptly
 }
 
 func TestTokenRoundsGrowWithIdleTime(t *testing.T) {
@@ -310,7 +336,7 @@ func TestSenderInitiatedUnevenSeeding(t *testing.T) {
 	const n = 20000
 	rt.Seed(0, rangeTask{0, n})
 	done := make(chan Stats, 1)
-	go func() { done <- rt.Run() }()
+	go func() { done <- rt.Run(nil) }()
 	var st Stats
 	select {
 	case st = <-done:
@@ -346,7 +372,7 @@ func TestQuickSenderInitiatedConservation(t *testing.T) {
 			rt.Seed(w, rangeTask{lo, hi})
 			w = (w + 1) % workers
 		}
-		rt.Run()
+		rt.Run(nil)
 		return r.sum.Load() == n*(n-1)/2 && r.count.Load() == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

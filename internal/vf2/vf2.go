@@ -17,7 +17,7 @@
 package vf2
 
 import (
-	"sync/atomic"
+	"context"
 	"time"
 
 	"parsge/internal/graph"
@@ -30,8 +30,9 @@ type Options struct {
 	// Visit is called per match with the mapping indexed by pattern
 	// node (reused slice; copy to retain). Returning false stops.
 	Visit func(mapping []int32) bool
-	// Cancel cooperatively aborts the search when set.
-	Cancel *atomic.Bool
+	// Ctx, when non-nil, cooperatively aborts the search soon after the
+	// context is cancelled (polled every cancelCheckMask+1 states).
+	Ctx context.Context
 }
 
 // Result reports an enumeration run.
@@ -53,6 +54,7 @@ type state struct {
 	depth   int
 	matches int64
 	states  int64
+	done    <-chan struct{}
 	stopped bool
 	aborted bool
 }
@@ -71,7 +73,13 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	for i := range s.core {
 		s.core[i] = -1
 	}
-	if gp.NumNodes() > 0 && gp.NumNodes() <= gt.NumNodes() {
+	if opts.Ctx != nil {
+		s.done = opts.Ctx.Done()
+		if opts.Ctx.Err() != nil {
+			s.aborted = true
+		}
+	}
+	if !s.aborted && gp.NumNodes() > 0 && gp.NumNodes() <= gt.NumNodes() {
 		s.match()
 	}
 	return Result{
@@ -200,10 +208,14 @@ func (s *state) match() {
 
 func (s *state) try(u, v int32) {
 	s.states++
-	if s.states&cancelCheckMask == 0 && s.opts.Cancel != nil && s.opts.Cancel.Load() {
-		s.aborted = true
-		s.stopped = true
-		return
+	if s.states&cancelCheckMask == 0 && s.done != nil {
+		select {
+		case <-s.done:
+			s.aborted = true
+			s.stopped = true
+			return
+		default:
+		}
 	}
 	if !s.feasible(u, v) {
 		return

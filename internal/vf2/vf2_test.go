@@ -1,7 +1,7 @@
 package vf2
 
 import (
-	"sync/atomic"
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -98,15 +98,15 @@ func TestLimitAndVisit(t *testing.T) {
 }
 
 func TestCancel(t *testing.T) {
-	var c atomic.Bool
-	c.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	bp := &graph.Builder{}
 	bp.AddNodes(1)
 	bt := &graph.Builder{}
 	bt.AddNodes(3000)
-	res := Enumerate(bp.MustBuild(), bt.MustBuild(), Options{Cancel: &c})
+	res := Enumerate(bp.MustBuild(), bt.MustBuild(), Options{Ctx: ctx})
 	if !res.Aborted {
-		t.Fatal("pre-set cancel did not abort a 3000-candidate scan")
+		t.Fatal("pre-cancelled context did not abort a 3000-candidate scan")
 	}
 }
 

@@ -21,6 +21,21 @@
 //	})
 //	fmt.Println(res.Matches)
 //
+// # Sessions
+//
+// The one-shot functions above rebuild all target-side state per call.
+// A service answering many pattern queries against the same target
+// should build the session object once and query it instead — the
+// label index, density statistics and scratch arenas are then computed
+// a single time and shared by all queries, and every query takes a
+// context.Context for cancellation:
+//
+//	tgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
+//	res, err := tgt.Enumerate(ctx, gp, parsge.Options{Workers: 8})
+//	results, err := tgt.EnumerateBatch(ctx, patterns, parsge.Options{})
+//
+// A *Target is safe for concurrent use.
+//
 // Graphs are directed and labeled; model an undirected edge by adding
 // both arcs (Builder.AddEdgeBoth). Matching is non-induced: every
 // pattern edge must exist in the target with a compatible label, target
@@ -32,19 +47,15 @@
 package parsge
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"parsge/internal/graph"
 	"parsge/internal/graphio"
-	"parsge/internal/lad"
-	"parsge/internal/parallel"
 	"parsge/internal/ri"
-	"parsge/internal/vf2"
 )
 
 // Graph is an immutable directed labeled graph. Build one with Builder.
@@ -152,7 +163,9 @@ type Options struct {
 	// Limit stops after at least this many matches (0 = enumerate all).
 	Limit int64
 	// Timeout aborts the run after the given wall time (0 = none); the
-	// paper's experiments use 180 s.
+	// paper's experiments use 180 s. It is implemented as a
+	// context.WithTimeout layered over the ctx the session methods
+	// take, so both compose: whichever fires first aborts the query.
 	Timeout time.Duration
 	// Induced switches to induced subgraph enumeration: pattern
 	// non-edges must map to target non-edges, per direction. An
@@ -199,105 +212,25 @@ type Result struct {
 func (r Result) TotalTime() time.Duration { return r.PreprocTime + r.MatchTime }
 
 // Enumerate finds all subgraphs of target isomorphic to pattern.
+//
+// It is a convenience wrapper building a throwaway session per call;
+// code issuing several queries against one target should build a
+// *Target once and use its ctx-aware methods instead.
 func Enumerate(pattern, target *Graph, opts Options) (Result, error) {
 	if pattern == nil || target == nil {
 		return Result{}, fmt.Errorf("parsge: nil graph")
 	}
-	opts.Algorithm = chooseAlgorithm(opts.Algorithm, target)
-	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
-		if opts.Induced {
-			return Result{}, fmt.Errorf("parsge: induced matching requires an RI-family algorithm, not %v", opts.Algorithm)
-		}
-		if opts.Algorithm == VF2 {
-			return enumerateVF2(pattern, target, opts)
-		}
-		return enumerateLAD(pattern, target, opts)
-	}
-	if opts.Algorithm < RI || opts.Algorithm > RIDSSIFC {
-		return Result{}, fmt.Errorf("parsge: unknown algorithm %d", int(opts.Algorithm))
-	}
-
-	cancel, stopTimer := timeoutFlag(opts.Timeout)
-	defer stopTimer()
-
-	prep, err := ri.Prepare(pattern, target, ri.Options{
-		Variant: ri.Variant(opts.Algorithm),
-		Induced: opts.Induced,
-	})
+	t, err := NewTarget(target, oneShotOptions(opts.Algorithm))
 	if err != nil {
 		return Result{}, err
 	}
-	if opts.Workers == AutoWorkers {
-		opts.Workers = autoWorkerCount(prep)
-	}
-
-	if opts.Workers <= 1 {
-		res := prep.Run(ri.RunOptions{Limit: opts.Limit, Visit: opts.Visit, Cancel: cancel})
-		return Result{
-			Matches:       res.Matches,
-			States:        res.States,
-			PreprocTime:   res.PreprocTime,
-			MatchTime:     res.MatchTime,
-			TimedOut:      res.Aborted,
-			Unsatisfiable: res.Unsatisfiable,
-			DepthStates:   res.DepthStates,
-		}, nil
-	}
-
-	res := parallel.Enumerate(prep, parallel.Options{
-		Workers:         opts.Workers,
-		TaskGroupSize:   opts.TaskGroupSize,
-		DisableStealing: opts.DisableStealing,
-		Limit:           opts.Limit,
-		Visit:           opts.Visit,
-		Cancel:          cancel,
-		Seed:            opts.Seed,
-	})
-	return Result{
-		Matches:         res.Matches,
-		States:          res.States,
-		PreprocTime:     res.PreprocTime,
-		MatchTime:       res.MatchTime,
-		TimedOut:        res.Aborted,
-		Unsatisfiable:   res.Unsatisfiable,
-		Steals:          res.Steals,
-		PerWorkerStates: res.PerWorkerStates,
-		DepthStates:     res.DepthStates,
-	}, nil
+	return t.Enumerate(context.Background(), pattern, opts)
 }
 
-func enumerateVF2(pattern, target *Graph, opts Options) (Result, error) {
-	cancel, stopTimer := timeoutFlag(opts.Timeout)
-	defer stopTimer()
-	res := vf2.Enumerate(pattern, target, vf2.Options{
-		Limit:  opts.Limit,
-		Visit:  opts.Visit,
-		Cancel: cancel,
-	})
-	return Result{
-		Matches:   res.Matches,
-		States:    res.States,
-		MatchTime: res.MatchTime,
-		TimedOut:  res.Aborted,
-	}, nil
-}
-
-func enumerateLAD(pattern, target *Graph, opts Options) (Result, error) {
-	cancel, stopTimer := timeoutFlag(opts.Timeout)
-	defer stopTimer()
-	res := lad.Enumerate(pattern, target, lad.Options{
-		Limit:  opts.Limit,
-		Visit:  opts.Visit,
-		Cancel: cancel,
-	})
-	return Result{
-		Matches:       res.Matches,
-		States:        res.States,
-		PreprocTime:   res.PreprocTime,
-		MatchTime:     res.MatchTime,
-		TimedOut:      res.Aborted,
-		Unsatisfiable: res.Unsatisfiable,
-	}, nil
+// oneShotOptions sizes a throwaway session for a single query: VF2
+// reads neither domains nor label buckets, so skip the index build.
+func oneShotOptions(a Algorithm) TargetOptions {
+	return TargetOptions{SkipLabelIndex: a == VF2}
 }
 
 // autoWorkerCount sizes the pool for AutoWorkers: one worker per
@@ -320,17 +253,6 @@ func autoWorkerCount(prep *ri.Prepared) int {
 	return w
 }
 
-// timeoutFlag returns an atomic flag set after d (nil flag if d == 0) and
-// a stop function releasing the timer.
-func timeoutFlag(d time.Duration) (*atomic.Bool, func()) {
-	if d <= 0 {
-		return nil, func() {}
-	}
-	var flag atomic.Bool
-	t := time.AfterFunc(d, func() { flag.Store(true) })
-	return &flag, func() { t.Stop() }
-}
-
 // Count is shorthand for Enumerate(...).Matches.
 func Count(pattern, target *Graph, opts Options) (int64, error) {
 	res, err := Enumerate(pattern, target, opts)
@@ -342,19 +264,14 @@ func Count(pattern, target *Graph, opts Options) (int64, error) {
 // for parallel runs. Use a Limit for patterns with very many embeddings —
 // the result set can be exponential in the pattern size.
 func FindAll(pattern, target *Graph, opts Options) ([][]int32, error) {
-	var mu sync.Mutex
-	var all [][]int32
-	opts.Visit = func(m []int32) bool {
-		cp := append([]int32(nil), m...)
-		mu.Lock()
-		all = append(all, cp)
-		mu.Unlock()
-		return true
+	if pattern == nil || target == nil {
+		return nil, fmt.Errorf("parsge: nil graph")
 	}
-	if _, err := Enumerate(pattern, target, opts); err != nil {
+	t, err := NewTarget(target, oneShotOptions(opts.Algorithm))
+	if err != nil {
 		return nil, err
 	}
-	return all, nil
+	return t.FindAll(context.Background(), pattern, opts)
 }
 
 // LabelTable interns string labels for the text graph format.
@@ -387,32 +304,29 @@ type Match struct {
 }
 
 // EnumerateStream runs Enumerate in a background goroutine and delivers
-// matches over a channel, for pipelines that want to consume embeddings
-// as they are found rather than buffer them (FindAll) or process them
-// inline (Visit). The channel is closed when the enumeration finishes;
-// the final Result and error are delivered on the second channel (always
-// exactly one value). Abandoning the stream without draining it leaks
-// the search until it completes or hits opts.Timeout/opts.Limit, so set
-// one of those when early termination is expected. opts.Visit must be
-// nil.
+// matches over a channel; see Target.EnumerateStream for the streaming
+// contract. This wrapper has no context, so the only ways to end a
+// stream early are opts.Timeout, opts.Limit, or draining it — set one
+// of those when early termination is expected, or use
+// Target.EnumerateStream with a cancellable context, which tears the
+// producer down on cancellation. opts.Visit must be nil.
 func EnumerateStream(pattern, target *Graph, opts Options) (<-chan Match, <-chan error) {
-	matches := make(chan Match, 64)
-	done := make(chan error, 1)
-	if opts.Visit != nil {
+	if pattern == nil || target == nil {
+		matches := make(chan Match)
 		close(matches)
-		done <- fmt.Errorf("parsge: EnumerateStream requires a nil Visit")
+		done := make(chan error, 1)
+		done <- fmt.Errorf("parsge: nil graph")
 		return matches, done
 	}
-	opts.Visit = func(m []int32) bool {
-		matches <- Match{Mapping: append([]int32(nil), m...)}
-		return true
-	}
-	go func() {
-		defer close(matches)
-		_, err := Enumerate(pattern, target, opts)
+	t, err := NewTarget(target, oneShotOptions(opts.Algorithm))
+	if err != nil {
+		matches := make(chan Match)
+		close(matches)
+		done := make(chan error, 1)
 		done <- err
-	}()
-	return matches, done
+		return matches, done
+	}
+	return t.EnumerateStream(context.Background(), pattern, opts)
 }
 
 // Automorphisms returns the size of the pattern's automorphism group,

@@ -1,0 +1,385 @@
+package parsge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"parsge/internal/domain"
+	"parsge/internal/lad"
+	"parsge/internal/parallel"
+	"parsge/internal/ri"
+	"parsge/internal/steal"
+	"parsge/internal/vf2"
+)
+
+// TargetOptions configures NewTarget.
+type TargetOptions struct {
+	// SkipLabelIndex skips precomputing the label→node buckets. Queries
+	// then fall back to whole-vertex-set scans during preprocessing,
+	// exactly like the one-shot API of earlier versions. Only worth
+	// setting for a Target that will serve a single query on a graph
+	// where the index memory matters.
+	SkipLabelIndex bool
+	// DefaultWorkers replaces Options.Workers for queries that leave it
+	// at zero: a service can configure its parallelism once per target
+	// instead of at every call site. Zero keeps the library default
+	// (sequential); AutoWorkers sizes the pool per query.
+	DefaultWorkers int
+}
+
+// Target is a session handle for one target graph: it precomputes and
+// caches target-side state exactly once — the label→node index consumed
+// by domain computation and RI root-candidate generation, the degree
+// statistics behind the Auto algorithm choice, and a pool of per-worker
+// scratch arenas — and then serves any number of queries against that
+// graph, concurrently if desired. All methods are safe for concurrent
+// use; the amortization is what turns N independent Enumerate calls into
+// a query-serving session (the architecture distributed engines build
+// their target-side indexes around).
+//
+// Cancellation is context-driven: every query method takes a
+// context.Context, and Options.Timeout (when set) is applied as a
+// per-query context.WithTimeout on top of it. Cancellation is polled at
+// the same low-frequency points the engines always used, so a search
+// terminates promptly (typically well under 100 ms) after the context
+// fires, reporting Result.TimedOut.
+type Target struct {
+	g     *Graph
+	index *domain.Index // nil with SkipLabelIndex
+	arena *ri.Arena
+
+	meanDegree     float64
+	autoAlgorithm  Algorithm // chooseAlgorithm(Auto, g), resolved once
+	defaultWorkers int
+}
+
+// NewTarget precomputes the reusable target-side state for g.
+func NewTarget(g *Graph, opts TargetOptions) (*Target, error) {
+	if g == nil {
+		return nil, fmt.Errorf("parsge: nil target graph")
+	}
+	t := &Target{
+		g:              g,
+		arena:          ri.NewArena(g.NumNodes()),
+		autoAlgorithm:  chooseAlgorithm(Auto, g),
+		defaultWorkers: opts.DefaultWorkers,
+	}
+	if n := g.NumNodes(); n > 0 {
+		t.meanDegree = 2 * float64(g.NumEdges()) / float64(n)
+	}
+	if !opts.SkipLabelIndex {
+		t.index = domain.NewIndex(g)
+	}
+	return t, nil
+}
+
+// Graph returns the target graph the session was built for.
+func (t *Target) Graph() *Graph { return t.g }
+
+// MeanDegree returns the target's mean total degree, the statistic the
+// Auto algorithm choice is based on (cached at NewTarget).
+func (t *Target) MeanDegree() float64 { return t.meanDegree }
+
+// resolveAlgorithm maps Auto to the algorithm cached at NewTarget.
+func (t *Target) resolveAlgorithm(a Algorithm) Algorithm {
+	if a == Auto {
+		return t.autoAlgorithm
+	}
+	return a
+}
+
+// queryContext derives the per-query context: nil means Background, and
+// a positive timeout wraps it in context.WithTimeout. The returned stop
+// function must always be called.
+func queryContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
+}
+
+// Enumerate finds all subgraphs of the session's target isomorphic to
+// pattern. Cancelling ctx (or exceeding opts.Timeout) aborts the search
+// promptly; the partial Result then has TimedOut set and Matches as a
+// lower bound. Safe to call concurrently with any other queries on the
+// same Target.
+func (t *Target) Enumerate(ctx context.Context, pattern *Graph, opts Options) (Result, error) {
+	qctx, stop := queryContext(ctx, opts.Timeout)
+	defer stop()
+	return t.enumerate(qctx, pattern, opts)
+}
+
+// enumerate runs one query under an already-derived context (Timeout has
+// been folded into ctx by the caller).
+func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (Result, error) {
+	if pattern == nil {
+		return Result{}, fmt.Errorf("parsge: nil pattern graph")
+	}
+	// Check before preprocessing, not just in the search loops:
+	// ri.Prepare's domain computation is O(pattern × target) and a
+	// cancelled batch draining its queue must not pay it per pattern.
+	if ctx.Err() != nil {
+		return Result{TimedOut: true}, nil
+	}
+	opts.Algorithm = t.resolveAlgorithm(opts.Algorithm)
+	if opts.Workers == 0 {
+		opts.Workers = t.defaultWorkers
+	}
+	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
+		if opts.Induced {
+			return Result{}, fmt.Errorf("parsge: induced matching requires an RI-family algorithm, not %v", opts.Algorithm)
+		}
+		if opts.Algorithm == VF2 {
+			res := vf2.Enumerate(pattern, t.g, vf2.Options{
+				Limit: opts.Limit,
+				Visit: opts.Visit,
+				Ctx:   ctx,
+			})
+			return Result{
+				Matches:   res.Matches,
+				States:    res.States,
+				MatchTime: res.MatchTime,
+				TimedOut:  res.Aborted,
+			}, nil
+		}
+		res := lad.Enumerate(pattern, t.g, lad.Options{
+			Limit: opts.Limit,
+			Visit: opts.Visit,
+			Ctx:   ctx,
+			Index: t.index,
+		})
+		return Result{
+			Matches:       res.Matches,
+			States:        res.States,
+			PreprocTime:   res.PreprocTime,
+			MatchTime:     res.MatchTime,
+			TimedOut:      res.Aborted,
+			Unsatisfiable: res.Unsatisfiable,
+		}, nil
+	}
+	if opts.Algorithm < RI || opts.Algorithm > RIDSSIFC {
+		return Result{}, fmt.Errorf("parsge: unknown algorithm %d", int(opts.Algorithm))
+	}
+
+	prep, err := ri.Prepare(pattern, t.g, ri.Options{
+		Variant:     ri.Variant(opts.Algorithm),
+		Induced:     opts.Induced,
+		TargetIndex: t.index,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Workers == AutoWorkers {
+		opts.Workers = autoWorkerCount(prep)
+	}
+
+	if opts.Workers <= 1 {
+		res := prep.Run(ri.RunOptions{Limit: opts.Limit, Visit: opts.Visit, Ctx: ctx, Arena: t.arena})
+		return Result{
+			Matches:       res.Matches,
+			States:        res.States,
+			PreprocTime:   res.PreprocTime,
+			MatchTime:     res.MatchTime,
+			TimedOut:      res.Aborted,
+			Unsatisfiable: res.Unsatisfiable,
+			DepthStates:   res.DepthStates,
+		}, nil
+	}
+
+	res := parallel.Enumerate(prep, parallel.Options{
+		Workers:         opts.Workers,
+		TaskGroupSize:   opts.TaskGroupSize,
+		DisableStealing: opts.DisableStealing,
+		Limit:           opts.Limit,
+		Visit:           opts.Visit,
+		Ctx:             ctx,
+		Arena:           t.arena,
+		Seed:            opts.Seed,
+	})
+	return Result{
+		Matches:         res.Matches,
+		States:          res.States,
+		PreprocTime:     res.PreprocTime,
+		MatchTime:       res.MatchTime,
+		TimedOut:        res.Aborted,
+		Unsatisfiable:   res.Unsatisfiable,
+		Steals:          res.Steals,
+		PerWorkerStates: res.PerWorkerStates,
+		DepthStates:     res.DepthStates,
+	}, nil
+}
+
+// Count is shorthand for Enumerate(...).Matches.
+func (t *Target) Count(ctx context.Context, pattern *Graph, opts Options) (int64, error) {
+	res, err := t.Enumerate(ctx, pattern, opts)
+	return res.Matches, err
+}
+
+// FindAll collects every mapping into a slice (mapping[patternNode] =
+// targetNode). It overrides opts.Visit; enumeration order is unspecified
+// for parallel runs. Use a Limit for patterns with very many embeddings.
+func (t *Target) FindAll(ctx context.Context, pattern *Graph, opts Options) ([][]int32, error) {
+	var mu sync.Mutex
+	var all [][]int32
+	opts.Visit = func(m []int32) bool {
+		cp := append([]int32(nil), m...)
+		mu.Lock()
+		all = append(all, cp)
+		mu.Unlock()
+		return true
+	}
+	if _, err := t.Enumerate(ctx, pattern, opts); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// batchRunner schedules whole pattern queries as tasks of the shared
+// work-stealing pool: each task is a pattern index, executed as one
+// sequential enumeration. Distinct tasks write distinct result slots,
+// and steal.Runtime.Run's completion barrier publishes them to the
+// caller.
+type batchRunner struct {
+	t        *Target
+	ctx      context.Context
+	patterns []*Graph
+	opts     Options
+	results  []Result
+	errs     []error
+	executed []bool
+}
+
+func (b *batchRunner) Execute(_ *steal.Worker[int], i int) {
+	b.executed[i] = true
+	b.results[i], b.errs[i] = b.t.enumerate(b.ctx, b.patterns[i], b.opts)
+}
+
+func (b *batchRunner) PackSteal(_ *steal.Worker[int], i int) int { return i }
+
+// EnumerateBatch answers many pattern queries against the session's
+// target over one shared work-stealing pool: patterns are dealt
+// round-robin across the workers and idle workers steal queued patterns
+// from busy ones, so an irregular mix of cheap and expensive patterns
+// still balances. Each query runs with the sequential engine (the
+// parallelism is across patterns); target-side preprocessing, the label
+// index, and the per-worker scratch arenas are shared by all of them.
+//
+// Options applies to every pattern, with Workers sizing the shared pool:
+// 0 or AutoWorkers means min(GOMAXPROCS, number of patterns). A non-nil
+// Visit is invoked concurrently (it must be safe for concurrent use) and
+// does not identify which pattern a mapping belongs to — prefer
+// per-pattern FindAll when that matters. Timeout and ctx cover the whole
+// batch.
+//
+// The returned slice has one Result per pattern, index-aligned. The
+// error is the join of all per-pattern errors (nil when every query
+// succeeded); Results of failed patterns are zero.
+func (t *Target) EnumerateBatch(ctx context.Context, patterns []*Graph, opts Options) ([]Result, error) {
+	results := make([]Result, len(patterns))
+	errs := make([]error, len(patterns))
+	if len(patterns) == 0 {
+		return results, nil
+	}
+	qctx, stop := queryContext(ctx, opts.Timeout)
+	defer stop()
+
+	workers := opts.Workers
+	if workers == 0 || workers == AutoWorkers {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(patterns) {
+		workers = len(patterns)
+	}
+
+	perQuery := opts
+	perQuery.Workers = 1 // parallelism is across patterns
+	perQuery.Timeout = 0 // already folded into qctx
+
+	if workers <= 1 {
+		for i, gp := range patterns {
+			results[i], errs[i] = t.enumerate(qctx, gp, perQuery)
+		}
+		return results, errors.Join(errs...)
+	}
+
+	runner := &batchRunner{
+		t:        t,
+		ctx:      qctx,
+		patterns: patterns,
+		opts:     perQuery,
+		results:  results,
+		errs:     errs,
+		executed: make([]bool, len(patterns)),
+	}
+	rt, err := steal.New(steal.Config{Workers: workers, Stealing: true, Seed: opts.Seed}, runner)
+	if err != nil {
+		// workers ≥ 2 here; steal.New cannot fail.
+		panic(err)
+	}
+	for i := range patterns {
+		rt.Seed(i%workers, i)
+	}
+	rt.Run(qctx)
+	// A cancelled pool exits with seeded-but-never-popped patterns
+	// still queued; their zero Results must not read as "completed, no
+	// matches". Mark them aborted like every executed-and-cancelled
+	// query.
+	if qctx.Err() != nil {
+		for i, done := range runner.executed {
+			if !done {
+				results[i].TimedOut = true
+			}
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// EnumerateStream runs a query in a background goroutine and delivers
+// matches over a channel, for pipelines that consume embeddings as they
+// are found rather than buffer them (FindAll) or process them inline
+// (Visit). The matches channel is closed when the enumeration finishes;
+// the final error is then delivered on the second channel (always
+// exactly one value). opts.Visit must be nil.
+//
+// Contract: cancelling ctx tears the producer down even when the
+// consumer has stopped draining the channel — the producer blocks in a
+// send-or-cancelled select, never in a bare send — so abandoning a
+// stream costs nothing beyond cancelling its context (this fixes the
+// abandonment leak of the pre-session API). A consumer that drains to
+// completion needs no cancel; one that may stop early should
+// defer cancel() and simply return.
+func (t *Target) EnumerateStream(ctx context.Context, pattern *Graph, opts Options) (<-chan Match, <-chan error) {
+	matches := make(chan Match, 64)
+	done := make(chan error, 1)
+	if opts.Visit != nil {
+		close(matches)
+		done <- fmt.Errorf("parsge: EnumerateStream requires a nil Visit")
+		return matches, done
+	}
+	qctx, stop := queryContext(ctx, opts.Timeout)
+	opts.Timeout = 0
+	cancelled := qctx.Done()
+	opts.Visit = func(m []int32) bool {
+		cp := append([]int32(nil), m...)
+		select {
+		case matches <- Match{Mapping: cp}:
+			return true
+		case <-cancelled:
+			return false
+		}
+	}
+	go func() {
+		defer stop()
+		defer close(matches)
+		_, err := t.enumerate(qctx, pattern, opts)
+		done <- err
+	}()
+	return matches, done
+}
