@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sgesolve -pattern p.gff -target t.gff [-algo RI-DS-SI-FC] [-workers 8]
-//	         [-group 4] [-timeout 180s] [-limit 0] [-print]
+//	         [-semantics iso|induced|hom] [-group 4] [-timeout 180s]
+//	         [-limit 0] [-print]
 //
 // When a file contains several graph sections, the first is used; the
 // -pattern-index / -target-index flags select others. Pattern and target
@@ -36,7 +37,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "abort after this wall time (0 = none)")
 		limit        = flag.Int64("limit", 0, "stop after this many matches (0 = all)")
 		printMaps    = flag.Bool("print", false, "print every mapping (pattern node -> target node)")
-		induced      = flag.Bool("induced", false, "induced matching (RI-family algorithms only)")
+		induced      = flag.Bool("induced", false, "shorthand for -semantics induced")
+		semantics    = flag.String("semantics", "iso", "matching semantics: iso (non-induced subgraph isomorphism), induced, or hom (homomorphism)")
 		profile      = flag.Bool("profile", false, "print the per-depth search profile")
 	)
 	flag.Parse()
@@ -53,6 +55,14 @@ func main() {
 
 	alg, err := parseAlgo(*algo)
 	exitOn(err)
+	sem, err := parseSemantics(*semantics)
+	exitOn(err)
+	if *induced {
+		if sem == parsge.Homomorphism {
+			exitOn(fmt.Errorf("-induced contradicts -semantics hom"))
+		}
+		sem = parsge.InducedIso
+	}
 
 	opts := parsge.Options{
 		Algorithm:     alg,
@@ -60,7 +70,7 @@ func main() {
 		TaskGroupSize: *group,
 		Timeout:       *timeout,
 		Limit:         *limit,
-		Induced:       *induced,
+		Semantics:     sem,
 	}
 	var mu sync.Mutex
 	if *printMaps {
@@ -87,7 +97,7 @@ func main() {
 
 	fmt.Printf("pattern: n=%d m=%d   target: n=%d m=%d\n",
 		gp.NumNodes(), gp.NumEdges(), gt.NumNodes(), gt.NumEdges())
-	fmt.Printf("algorithm: %s   workers: %d\n", alg, *workers)
+	fmt.Printf("algorithm: %s   workers: %d   semantics: %s\n", alg, *workers, sem)
 	fmt.Printf("matches:   %d\n", res.Matches)
 	fmt.Printf("states:    %d\n", res.States)
 	fmt.Printf("preproc:   %v\n", res.PreprocTime)
@@ -144,6 +154,19 @@ func parseAlgo(s string) (parsge.Algorithm, error) {
 		return parsge.Auto, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func parseSemantics(s string) (parsge.Semantics, error) {
+	switch strings.ToLower(s) {
+	case "iso", "subgraph-iso", "mono", "":
+		return parsge.SubgraphIso, nil
+	case "induced", "induced-iso":
+		return parsge.InducedIso, nil
+	case "hom", "homomorphism":
+		return parsge.Homomorphism, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q (want iso, induced, or hom)", s)
 	}
 }
 

@@ -1,0 +1,113 @@
+package parsge
+
+import (
+	"testing"
+
+	"parsge/internal/testutil"
+)
+
+// decodeFuzzPair decodes fuzzer bytes into a small (pattern, target,
+// semantics) triple. The layout is positional and total — missing bytes
+// read as zero, so every input decodes to a valid instance and the
+// fuzzer's energy goes into graph shapes rather than parser errors:
+//
+//	[0]              semantics (mod 3)
+//	[1] [2]          pattern / target node counts (1–4 / 1–6)
+//	[3..]            np pattern node labels (mod 3)
+//	[.]              pattern edge count (mod 11)
+//	2 bytes per edge u = b1 mod np, v = b2 mod np, label = (b1>>6) & 1
+//	[.]              nt target node labels (mod 3)
+//	[.]              target edge count (mod 15)
+//	2 bytes per edge as above
+//
+// Self-loops, parallel edges and disconnected patterns all arise
+// naturally from the modular arithmetic — exactly the corner cases the
+// engines must count identically.
+func decodeFuzzPair(data []byte) (gp, gt *Graph, sem Semantics) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	sem = Semantics(next() % 3)
+	np := 1 + int(next())%4
+	nt := 1 + int(next())%6
+
+	build := func(n, maxEdges int) *Graph {
+		b := NewBuilder(n, 0)
+		for i := 0; i < n; i++ {
+			b.AddNode(Label(next() % 3))
+		}
+		m := int(next()) % maxEdges
+		for i := 0; i < m; i++ {
+			e1, e2 := next(), next()
+			b.AddEdge(int32(int(e1)%n), int32(int(e2)%n), Label((e1>>6)&1))
+		}
+		return b.MustBuild()
+	}
+	gp = build(np, 11)
+	gt = build(nt, 15)
+	return gp, gt, sem
+}
+
+// FuzzCrossEngine decodes fuzzer bytes into a (pattern, target,
+// semantics) instance and asserts that every engine configuration agrees
+// with the brute-force oracle — the differential test of
+// TestCrossEngineDifferential, driven by coverage-guided inputs instead
+// of seeds. The committed corpus under testdata/fuzz/FuzzCrossEngine
+// plus the f.Add seeds below pin known-tricky shapes; in a plain
+// `go test` run the seeds execute as regression tests.
+func FuzzCrossEngine(f *testing.F) {
+	// Undirected triangle pattern (no self-loops) in K4, per semantics.
+	triangle := []byte{
+		0, 2, 3, // sem, np=3, nt=4
+		0, 0, 0, // pattern labels
+		6, 0, 1, 1, 0, 1, 2, 2, 1, 2, 0, 0, 2, // 6 arcs = undirected C3
+		0, 0, 0, 0, // target labels
+		12, // 12 arcs = undirected K4
+		0, 1, 1, 0, 0, 2, 2, 0, 0, 3, 3, 0, 1, 2, 2, 1, 1, 3, 3, 1, 2, 3, 3, 2,
+	}
+	for sem := byte(0); sem < 3; sem++ {
+		seed := append([]byte(nil), triangle...)
+		seed[0] = sem
+		f.Add(seed)
+	}
+	// Star pattern (center 0, three leaves) in a 5-node star target.
+	f.Add([]byte{
+		2, 3, 4,
+		0, 0, 0, 0,
+		6, 0, 1, 1, 0, 0, 2, 2, 0, 0, 3, 3, 0,
+		0, 0, 0, 0, 0,
+		8, 0, 1, 1, 0, 0, 2, 2, 0, 0, 3, 3, 0, 0, 4, 4, 0,
+	})
+	// Disconnected pattern (two isolated labeled nodes) in a labeled path.
+	f.Add([]byte{1, 1, 2, 1, 2, 0, 1, 2, 0, 2, 0, 1, 1, 0})
+	// Self-loops and parallel edges on both sides (byte 64 flips the
+	// edge-label bit): pattern {0→0, 0→1 twice with different labels},
+	// target {both self-loops, 0→1 twice}.
+	f.Add([]byte{0, 1, 1, 0, 0, 3, 0, 0, 64, 1, 0, 1, 0, 0, 4, 0, 0, 1, 1, 64, 1, 0, 1})
+	// Pattern path P3 into a single looped node: zero under the
+	// injective semantics, nonzero as a homomorphism.
+	f.Add([]byte{2, 3, 0, 0, 0, 0, 0, 2, 0, 1, 1, 2, 0, 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gp, gt, sem := decodeFuzzPair(data)
+		want := testutil.BruteCountSem(gp, gt, sem)
+		for _, ec := range engineConfigs {
+			opts := ec.opts
+			opts.Semantics = sem
+			got, err := Count(gp, gt, opts)
+			if err != nil {
+				t.Fatalf("%s under %v: %v\npattern=%v target=%v", ec.name, sem, err, gp.Edges(), gt.Edges())
+			}
+			if got != want {
+				t.Fatalf("%s under %v = %d, oracle = %d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
+					ec.name, sem, got, want, gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
+			}
+		}
+	})
+}

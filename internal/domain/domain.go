@@ -74,6 +74,14 @@ type Options struct {
 	// initial label/degree filter to each label's bucket instead of
 	// scanning every target node. Results are identical either way.
 	Index *Index
+	// Semantics adjusts the filters to the matching semantics: under
+	// graph.Homomorphism the degree bounds are dropped (several pattern
+	// edges may collapse onto one target edge, so "image degree ≥
+	// pattern degree" would wrongly prune valid images). Arc consistency
+	// is sound for every semantics — it only requires each pattern edge
+	// to have some compatible target edge. The zero value is the paper's
+	// non-induced subgraph isomorphism.
+	Semantics graph.Semantics
 }
 
 // Compute builds the domains of pattern gp against target gt.
@@ -93,6 +101,9 @@ func Compute(gp, gt *graph.Graph, opts Options) *Domains {
 		s := bitset.New(nt)
 		lab := gp.NodeLabel(vp)
 		din, dout := gp.InDegree(vp), gp.OutDegree(vp)
+		if !opts.Semantics.DegreePruning() {
+			din, dout = 0, 0
+		}
 		if ix != nil {
 			for _, vt := range ix.Nodes(lab) {
 				if gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
@@ -204,6 +215,9 @@ func (d *Domains) AnyEmpty() bool {
 // pattern node with a singleton domain, its unique target node is removed
 // from every other domain (the injectivity constraint is propagated ahead
 // of the search). Newly created singletons are processed transitively.
+// It propagates injectivity, so callers must not invoke it for
+// non-injective semantics (graph.Homomorphism) — ri.Prepare gates on
+// Semantics.Injective().
 //
 // It returns false when the instance is proven unsatisfiable: a domain
 // ran empty, or two pattern nodes are both pinned to the same target.

@@ -27,6 +27,63 @@ type Label int32
 // NoLabel is the label of nodes/edges in unlabeled graphs.
 const NoLabel Label = 0
 
+// Semantics selects what "match" means for every engine in this
+// repository. All semantics preserve node labels (equal labels) and map
+// every pattern edge onto a label-compatible target edge of the same
+// direction; they differ in injectivity and in how pattern *non*-edges
+// constrain the target. The zero value is the paper's semantics.
+type Semantics int32
+
+const (
+	// SubgraphIso is non-induced subgraph isomorphism (subgraph
+	// monomorphism), the semantics of Kimmig et al. §2.1 and the zero
+	// value: the mapping is injective and target edges not present in
+	// the pattern are ignored.
+	SubgraphIso Semantics = iota
+	// InducedIso is induced subgraph isomorphism: injective, and every
+	// ordered pattern non-edge (self-loops included) must map onto a
+	// target non-edge — the target may not add edges between images,
+	// regardless of edge labels.
+	InducedIso
+	// Homomorphism drops injectivity: distinct pattern nodes may share
+	// an image, so several pattern edges may map onto one target edge.
+	// Degree-based pruning is unsound under this semantics and every
+	// engine disables it.
+	Homomorphism
+)
+
+// String returns the conventional name of the semantics.
+func (s Semantics) String() string {
+	switch s {
+	case SubgraphIso:
+		return "subgraph-iso"
+	case InducedIso:
+		return "induced-iso"
+	case Homomorphism:
+		return "homomorphism"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int32(s))
+	}
+}
+
+// Injective reports whether distinct pattern nodes must map to distinct
+// target nodes. Engines gate their used-set checks — and every
+// consequence of injectivity such as forward checking — on this.
+func (s Semantics) Injective() bool { return s != Homomorphism }
+
+// Induced reports whether pattern non-edges must map to target non-edges.
+func (s Semantics) Induced() bool { return s == InducedIso }
+
+// DegreePruning reports whether "image degree ≥ pattern degree" is a
+// sound filter. Under homomorphism several pattern edges may collapse
+// onto one target edge, so it is not.
+func (s Semantics) DegreePruning() bool { return s != Homomorphism }
+
+// Valid reports whether s is one of the defined semantics constants.
+func (s Semantics) Valid() bool {
+	return s == SubgraphIso || s == InducedIso || s == Homomorphism
+}
+
 // Graph is an immutable directed labeled graph in CSR form. Construct one
 // with a Builder. The zero value is an empty graph.
 type Graph struct {
@@ -366,6 +423,38 @@ func (g *Graph) Simplify() *Graph {
 	}
 	// The node set and endpoints are unchanged, so Build cannot fail.
 	return b.MustBuild()
+}
+
+// Relabel returns the graph with node ids permuted by perm (node v of g
+// becomes node perm[v]); node labels, edges and edge labels follow their
+// nodes. perm must be a permutation of [0, NumNodes()). Enumeration
+// counts are invariant under Relabel for every matching semantics, which
+// the property tests exploit to catch ordering-dependent bugs.
+func (g *Graph) Relabel(perm []int32) (*Graph, error) {
+	n := g.NumNodes()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation has %d entries for %d nodes", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: not a permutation of [0,%d)", n)
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n, g.numEdges)
+	labels := make([]Label, n)
+	for v := int32(0); v < int32(n); v++ {
+		labels[perm[v]] = g.NodeLabel(v)
+	}
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e.From], perm[e.To], e.Label)
+	}
+	// Permuting endpoints of a valid graph cannot fail validation.
+	return b.MustBuild(), nil
 }
 
 // ConnectedUndirected reports whether g is connected when edge direction

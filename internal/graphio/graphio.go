@@ -5,6 +5,7 @@
 // The format, one graph per section, any number of sections per file:
 //
 //	#graph-name
+//	%undirected        (optional directive, see below)
 //	<number of nodes>
 //	<label of node 0>
 //	<label of node 1>
@@ -18,6 +19,14 @@
 // engines can compare labels as integers. Sharing one LabelTable between
 // a pattern and its target guarantees that equal strings map to equal ids
 // (label equivalence, Kimmig et al. §2.1).
+//
+// Directive lines starting with '%' may appear between the header and
+// the node count. "%directed" (the default) reads each edge line as one
+// arc; "%undirected" reads each line as an undirected edge and adds both
+// arcs (one arc for a self-loop), halving the on-disk size of symmetric
+// datasets — the common case for the paper's collections. Write always
+// emits the directed form; WriteUndirected emits "%undirected" sections
+// for symmetric graphs.
 package graphio
 
 import (
@@ -151,6 +160,20 @@ func (r *Reader) Read() (NamedGraph, error) {
 	if err != nil {
 		return NamedGraph{}, r.errf("missing node count: %v", err)
 	}
+	undirected := false
+	for strings.HasPrefix(nLine, "%") {
+		switch strings.TrimSpace(nLine[1:]) {
+		case "undirected":
+			undirected = true
+		case "directed":
+			undirected = false
+		default:
+			return NamedGraph{}, r.errf("unknown directive %q", nLine)
+		}
+		if nLine, err = r.nextLine(); err != nil {
+			return NamedGraph{}, r.errf("missing node count: %v", err)
+		}
+	}
 	n, err := strconv.Atoi(nLine)
 	if err != nil || n < 0 {
 		return NamedGraph{}, r.errf("bad node count %q", nLine)
@@ -192,7 +215,11 @@ func (r *Reader) Read() (NamedGraph, error) {
 		if len(fields) == 3 {
 			lab = r.labels.Intern(fields[2])
 		}
-		b.AddEdge(int32(u), int32(v), lab)
+		if undirected && u != v {
+			b.AddEdgeBoth(int32(u), int32(v), lab)
+		} else {
+			b.AddEdge(int32(u), int32(v), lab)
+		}
 	}
 
 	g, err := b.Build()
@@ -217,11 +244,55 @@ func (r *Reader) ReadAll() ([]NamedGraph, error) {
 	}
 }
 
+// WriteUndirected serializes g as one "%undirected" section: every
+// symmetric arc pair is written once, self-loop arcs once each. It
+// errors when g is not symmetric — some arc (u,v,l) lacks a matching
+// reverse arc (v,u,l) — since the undirected form could not round-trip
+// such a graph. Reading the section back yields a graph equal to g up
+// to edge order.
+func WriteUndirected(w io.Writer, name string, g *graph.Graph, table *LabelTable) error {
+	unpaired := make(map[graph.Edge]int)
+	var lines []graph.Edge
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			lines = append(lines, e)
+			continue
+		}
+		rev := graph.Edge{From: e.To, To: e.From, Label: e.Label}
+		if unpaired[rev] > 0 {
+			unpaired[rev]--
+			if e.From > e.To {
+				e = rev
+			}
+			lines = append(lines, e)
+			continue
+		}
+		unpaired[e]++
+	}
+	for e, n := range unpaired {
+		if n > 0 {
+			return fmt.Errorf("graphio: graph is not symmetric: arc (%d,%d) has no reverse", e.From, e.To)
+		}
+	}
+	return writeSection(w, name, "undirected", g, lines, table)
+}
+
 // Write serializes g as one section. Labels are resolved through table;
 // passing the table used while building g round-trips label strings.
 func Write(w io.Writer, name string, g *graph.Graph, table *LabelTable) error {
+	return writeSection(w, name, "", g, g.Edges(), table)
+}
+
+// writeSection emits one text section — header, optional directive,
+// node-label block, and the given edge lines — the serialization shared
+// by Write and WriteUndirected so the two cannot drift apart.
+func writeSection(w io.Writer, name, directive string, g *graph.Graph, edges []graph.Edge, table *LabelTable) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "#%s\n%d\n", name, g.NumNodes())
+	fmt.Fprintf(bw, "#%s\n", name)
+	if directive != "" {
+		fmt.Fprintf(bw, "%%%s\n", directive)
+	}
+	fmt.Fprintf(bw, "%d\n", g.NumNodes())
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		lab := table.Spell(g.NodeLabel(v))
 		if lab == "" {
@@ -229,7 +300,6 @@ func Write(w io.Writer, name string, g *graph.Graph, table *LabelTable) error {
 		}
 		fmt.Fprintln(bw, lab)
 	}
-	edges := g.Edges()
 	fmt.Fprintf(bw, "%d\n", len(edges))
 	for _, e := range edges {
 		if e.Label == graph.NoLabel {

@@ -249,3 +249,81 @@ func TestWriteNumericLabelsRoundTrip(t *testing.T) {
 		t.Fatal("equal labels diverged through round trip")
 	}
 }
+
+func TestUndirectedDirective(t *testing.T) {
+	// One undirected edge line must expand to both arcs; a self-loop
+	// line to a single arc.
+	in := "#u\n%undirected\n3\nA\nB\nA\n3\n0 1 x\n1 2\n2 2 y\n"
+	gs, err := NewReader(strings.NewReader(in), nil).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gs[0].Graph
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5 (2+2+1)", g.NumEdges())
+	}
+	for _, pair := range [][2]int32{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 2}} {
+		if !g.HasEdge(pair[0], pair[1]) {
+			t.Errorf("missing arc (%d,%d)", pair[0], pair[1])
+		}
+	}
+	// An explicit %directed directive restores the default.
+	in = "#d\n%directed\n2\nA\nA\n1\n0 1\n"
+	gs, err = NewReader(strings.NewReader(in), nil).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := gs[0].Graph; g.NumEdges() != 1 || g.HasEdge(1, 0) {
+		t.Errorf("directed section got reverse arc: %v", g)
+	}
+	// Unknown directives are a parse error, not silently ignored.
+	if _, err := NewReader(strings.NewReader("#x\n%multigraph\n0\n0\n"), nil).ReadAll(); err == nil {
+		t.Error("unknown directive accepted")
+	}
+}
+
+func TestWriteUndirectedRoundTrip(t *testing.T) {
+	table := NewLabelTable()
+	b := graph.NewBuilder(4, 8)
+	for _, l := range []string{"A", "B", "A", "C"} {
+		b.AddNode(table.Intern(l))
+	}
+	b.AddEdgeBoth(0, 1, table.Intern("x"))
+	b.AddEdgeBoth(1, 2, table.Intern("y"))
+	b.AddEdgeBoth(2, 3, graph.NoLabel)
+	b.AddEdge(3, 3, table.Intern("x")) // self-loop: one arc
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteUndirected(&buf, "g", g, table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "%undirected") {
+		t.Fatalf("missing directive in output:\n%s", buf.String())
+	}
+	// 3 undirected lines + 1 self-loop line, not 7 arcs.
+	if want := "4\n"; !strings.Contains(buf.String(), "\n"+want) {
+		t.Errorf("expected edge count 4 in output:\n%s", buf.String())
+	}
+	gs, err := NewReader(&buf, table).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := gs[0].Graph
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got %v, want %v", back, g)
+	}
+	for _, e := range g.Edges() {
+		if !back.HasEdgeLabeled(e.From, e.To, e.Label) {
+			t.Errorf("round trip lost arc (%d,%d,%d)", e.From, e.To, e.Label)
+		}
+	}
+
+	// Asymmetric graphs are rejected rather than silently mangled.
+	ab := graph.NewBuilder(2, 1)
+	ab.AddNodes(2)
+	ab.AddEdge(0, 1, graph.NoLabel)
+	if err := WriteUndirected(io.Discard, "bad", ab.MustBuild(), table); err == nil {
+		t.Error("asymmetric graph accepted")
+	}
+}

@@ -16,9 +16,11 @@
 // This implementation is deliberately faithful to that trade-off rather
 // than to LAD's exact filtering schedule: it is the repository's
 // representative of the "spend time to shrink space" end of the design
-// spectrum, used as a baseline in the ablation benchmarks. Semantics are
-// identical to internal/ri and internal/vf2 (non-induced, labeled,
-// injective), so all three engines cross-validate each other.
+// spectrum, used as a baseline in the ablation benchmarks. It supports
+// the same graph.Semantics axis as internal/ri and internal/vf2
+// (non-induced subgraph isomorphism by default, induced and
+// homomorphism on request), so all three engines cross-validate each
+// other under every semantics.
 package lad
 
 import (
@@ -44,6 +46,12 @@ type Options struct {
 	// Index, when non-nil and built for the same target, narrows the
 	// initial domain filter to label buckets (see domain.Index).
 	Index *domain.Index
+	// Semantics selects the matching semantics (zero value: non-induced
+	// subgraph isomorphism). Under graph.Homomorphism the AllDifferent
+	// propagation is skipped (no injectivity); under graph.InducedIso
+	// the propagation additionally removes the images' neighborhoods
+	// from the domains of pattern non-neighbors.
+	Semantics graph.Semantics
 }
 
 // Result reports an enumeration run.
@@ -69,9 +77,11 @@ const cancelCheckMask = 0xFF
 // solver carries the DFS state. Domains are saved by copy per depth —
 // simple and adequate for a baseline (LAD itself uses smarter trailing).
 type solver struct {
-	gp, gt *graph.Graph
-	ord    *order.Ordering
-	opts   Options
+	gp, gt    *graph.Graph
+	ord       *order.Ordering
+	opts      Options
+	injective bool
+	induced   bool
 
 	// domains[d] is the domain vector valid at depth d (one bitset per
 	// pattern node). domains[0] comes from preprocessing; deeper levels
@@ -88,14 +98,14 @@ type solver struct {
 	aborted      bool
 }
 
-// Enumerate lists all non-induced labeled embeddings of gp in gt using
-// constraint propagation.
+// Enumerate lists all labeled embeddings of gp in gt under the
+// configured semantics using constraint propagation.
 func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	start := time.Now()
 	res := Result{}
 
 	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
-	doms := domain.Compute(gp, gt, domain.Options{Index: opts.Index})
+	doms := domain.Compute(gp, gt, domain.Options{Index: opts.Index, Semantics: opts.Semantics})
 	if doms.AnyEmpty() {
 		res.Unsatisfiable = true
 		res.PreprocTime = time.Since(start)
@@ -109,7 +119,9 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	res.PreprocTime = time.Since(start)
 
 	n := gp.NumNodes()
-	if n == 0 || n > gt.NumNodes() {
+	// Homomorphic images may coincide, so only injective semantics rule
+	// out patterns larger than the target.
+	if n == 0 || (opts.Semantics.Injective() && n > gt.NumNodes()) {
 		return res
 	}
 
@@ -118,13 +130,15 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		return res
 	}
 	s := &solver{
-		gp:      gp,
-		gt:      gt,
-		ord:     ord,
-		opts:    opts,
-		domains: make([][]*bitset.Set, n+1),
-		mapped:  make([]int32, n),
-		nodeMap: make([]int32, n),
+		gp:        gp,
+		gt:        gt,
+		ord:       ord,
+		opts:      opts,
+		injective: opts.Semantics.Injective(),
+		induced:   opts.Semantics.Induced(),
+		domains:   make([][]*bitset.Set, n+1),
+		mapped:    make([]int32, n),
+		nodeMap:   make([]int32, n),
 	}
 	if opts.Ctx != nil {
 		s.done = opts.Ctx.Done()
@@ -178,14 +192,24 @@ func (s *solver) search(pos int) {
 	})
 }
 
-// selfLoopsOK verifies self-loop labels, which domains do not encode.
+// selfLoopsOK verifies self-loop labels, which domains do not encode:
+// pattern self-loops need a label-compatible target self-loop, and under
+// induced semantics a target self-loop is forbidden when the pattern
+// node has none.
 func (s *solver) selfLoopsOK(u, vt int32) bool {
 	adj := s.gp.OutNeighbors(u)
 	labs := s.gp.OutEdgeLabels(u)
+	hasLoop := false
 	for i, w := range adj {
-		if w == u && !s.gt.HasEdgeLabeled(vt, vt, labs[i]) {
-			return false
+		if w == u {
+			hasLoop = true
+			if !s.gt.HasEdgeLabeled(vt, vt, labs[i]) {
+				return false
+			}
 		}
+	}
+	if s.induced && !hasLoop && s.gt.HasEdge(vt, vt) {
+		return false
 	}
 	return true
 }
@@ -206,22 +230,46 @@ func (s *solver) propagate(pos int, u, vt int32) bool {
 		s.domains[pos+1] = next
 	}
 
-	// Start from the parent level, remove the assigned target from every
-	// other domain (AllDifferent/forward checking).
+	// Start from the parent level, then remove the assigned target from
+	// every other domain (AllDifferent/forward checking) — injective
+	// semantics only: homomorphic images may coincide.
 	for v := int32(0); v < int32(n); v++ {
 		next[v].Copy(cur[v])
 	}
 	assignedPos := s.ord.Pos
-	for v := int32(0); v < int32(n); v++ {
-		if assignedPos[v] <= int32(pos) {
-			continue // already assigned (including u itself)
+	if s.injective {
+		for v := int32(0); v < int32(n); v++ {
+			if assignedPos[v] <= int32(pos) {
+				continue // already assigned (including u itself)
+			}
+			next[v].Clear(int(vt))
 		}
-		next[v].Clear(int(vt))
 	}
 	// Pin u's domain to the chosen value so later propagation through u
 	// stays exact.
 	next[u].ClearAll()
 	next[u].Set(int(vt))
+
+	// Induced semantics: a pattern non-edge between u and an unassigned
+	// w forbids the corresponding target edge, per direction — so w's
+	// domain must exclude the matching neighborhood of vt.
+	if s.induced {
+		for w := int32(0); w < int32(n); w++ {
+			if w == u || assignedPos[w] <= int32(pos) {
+				continue
+			}
+			if !s.gp.HasEdge(u, w) {
+				for _, wt := range s.gt.OutNeighbors(vt) {
+					next[w].Clear(int(wt))
+				}
+			}
+			if !s.gp.HasEdge(w, u) {
+				for _, wt := range s.gt.InNeighbors(vt) {
+					next[w].Clear(int(wt))
+				}
+			}
+		}
+	}
 
 	// Arc consistency along every pattern edge incident to u: unassigned
 	// out-neighbors must lie in vt's out-neighborhood with a matching

@@ -186,3 +186,40 @@ func BenchmarkLAD(b *testing.B) {
 		Enumerate(gp, gt, Options{})
 	}
 }
+
+// TestSemanticsAgainstOracle validates the propagation engine under
+// every matching semantics directly at the package level: the induced
+// non-edge filtering and the homomorphism AllDifferent skip must both
+// agree with the brute-force oracle.
+func TestSemanticsAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		gp, gt := testutil.RandomInstance(seed, testutil.InstanceOptions{
+			TargetNodes: 8, TargetEdges: 20, PatternNodes: 4, Nasty: seed%2 == 1,
+		})
+		for _, sem := range []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism} {
+			want := testutil.BruteCountSem(gp, gt, sem)
+			res := Enumerate(gp, gt, Options{Semantics: sem})
+			if res.Matches != want {
+				t.Errorf("seed %d under %v: LAD = %d, oracle = %d", seed, sem, res.Matches, want)
+			}
+		}
+	}
+}
+
+// TestInducedSelfLoopRejected: a looped target node is not an induced
+// image of a loop-free pattern node, even when degrees allow it.
+func TestInducedSelfLoopRejected(t *testing.T) {
+	bp := &graph.Builder{}
+	bp.AddNodes(1)
+	gp := bp.MustBuild()
+	bt := &graph.Builder{}
+	bt.AddNodes(2)
+	bt.AddEdge(1, 1, 0)
+	gt := bt.MustBuild()
+	if res := Enumerate(gp, gt, Options{Semantics: graph.InducedIso}); res.Matches != 1 {
+		t.Fatalf("induced single-node matches = %d, want 1 (only the loop-free node)", res.Matches)
+	}
+	if res := Enumerate(gp, gt, Options{}); res.Matches != 2 {
+		t.Fatalf("non-induced single-node matches = %d, want 2", res.Matches)
+	}
+}

@@ -428,7 +428,7 @@ func TestInducedParallel(t *testing.T) {
 	gp, gt := testutil.RandomInstance(23, testutil.InstanceOptions{
 		TargetNodes: 40, TargetEdges: 260, PatternNodes: 5, Extract: true,
 	})
-	p, err := ri.Prepare(gp, gt, ri.Options{Variant: ri.VariantRIDS, Induced: true})
+	p, err := ri.Prepare(gp, gt, ri.Options{Variant: ri.VariantRIDS, Semantics: graph.InducedIso})
 	if err != nil {
 		t.Fatal(err)
 	}

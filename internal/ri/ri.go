@@ -74,12 +74,11 @@ type Options struct {
 	ACPasses int
 	// SkipAC disables arc consistency (ablation only).
 	SkipAC bool
-	// Induced switches to induced subgraph enumeration: non-edges of
-	// the pattern must map to non-edges of the target (per direction),
-	// in addition to the usual edge/label/injectivity constraints. This
-	// is an extension beyond the paper, which enumerates non-induced
-	// subgraphs (§2.1).
-	Induced bool
+	// Semantics selects the matching semantics; the zero value is the
+	// paper's non-induced subgraph isomorphism (§2.1). InducedIso adds
+	// per-direction non-edge checks; Homomorphism drops injectivity (no
+	// used-set) and degree-based pruning. An extension beyond the paper.
+	Semantics graph.Semantics
 	// OrderStrategy overrides the node-ordering ranking rule (ablation:
 	// order.DegreeOnly vs the default GreatestConstraintFirst).
 	OrderStrategy order.Strategy
@@ -155,6 +154,10 @@ type Prepared struct {
 	Pattern *graph.Graph
 	Target  *graph.Graph
 	Variant Variant
+	// Sem is the matching semantics every search over this instance
+	// enumerates under; the parallel engine inherits it through the
+	// shared Feasible rules, so it never needs its own semantics switch.
+	Sem graph.Semantics
 
 	Ord  *order.Ordering
 	Doms *domain.Domains // nil for VariantRI
@@ -170,7 +173,11 @@ type Prepared struct {
 	// position j with NO pattern edge Seq[i]→Seq[j] (the target must
 	// then lack the corresponding edge too); noIn likewise for
 	// Seq[j]→Seq[i]. hasSelfLoop[i] marks a pattern self-loop at Seq[i].
-	induced     bool
+	induced bool
+	// injective and degPrune cache Sem.Injective() / Sem.DegreePruning()
+	// for the hot loop.
+	injective   bool
+	degPrune    bool
 	noOut, noIn [][]bool
 	hasSelfLoop []bool
 
@@ -184,20 +191,39 @@ type Prepared struct {
 // forward checking (FC variant), static ordering, and back-edge tables.
 func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 	start := time.Now()
-	// Duplicate pattern edges add no constraint but would poison the
-	// degree-based pruning bounds; see graph.Simplify.
+	if !opts.Semantics.Valid() {
+		return nil, fmt.Errorf("ri: unknown semantics %d", int32(opts.Semantics))
+	}
+	// Duplicate pattern edges add no constraint under any of the
+	// supported semantics but would poison the degree-based pruning
+	// bounds; see graph.Simplify.
 	gp = gp.Simplify()
-	p := &Prepared{Pattern: gp, Target: gt, Variant: opts.Variant}
+	p := &Prepared{
+		Pattern:   gp,
+		Target:    gt,
+		Variant:   opts.Variant,
+		Sem:       opts.Semantics,
+		injective: opts.Semantics.Injective(),
+		degPrune:  opts.Semantics.DegreePruning(),
+	}
 	if ix := opts.TargetIndex; ix != nil && ix.NumNodes() == gt.NumNodes() {
 		p.Idx = ix
 	}
 
 	if opts.Variant.UsesDomains() {
-		p.Doms = domain.Compute(gp, gt, domain.Options{ACPasses: opts.ACPasses, SkipAC: opts.SkipAC, Index: p.Idx})
+		p.Doms = domain.Compute(gp, gt, domain.Options{
+			ACPasses:  opts.ACPasses,
+			SkipAC:    opts.SkipAC,
+			Index:     p.Idx,
+			Semantics: opts.Semantics,
+		})
 		if p.Doms.AnyEmpty() {
 			p.Unsat = true
 		}
-		if !p.Unsat && opts.Variant == VariantRIDSSIFC {
+		// Forward checking propagates injectivity; it is skipped for
+		// homomorphisms, where two pattern nodes sharing a pinned image
+		// is perfectly legal.
+		if !p.Unsat && opts.Variant == VariantRIDSSIFC && p.injective {
 			if !p.Doms.ForwardCheck() {
 				p.Unsat = true
 			}
@@ -215,7 +241,7 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 	}
 	p.Ord = ord
 	p.buildBackEdges()
-	if opts.Induced {
+	if opts.Semantics.Induced() {
 		p.buildInducedTables()
 	}
 	p.PreprocTime = time.Since(start)
@@ -301,12 +327,15 @@ func (p *Prepared) ParentPos(pos int) int32 { return p.Ord.Parent[pos] }
 // Feasible applies RI's consistency rules for mapping the pattern node at
 // ordering position pos onto target node vt, given the current partial
 // mapping (indexed by position) and the used-set of target nodes. The
-// rules run cheapest-first (§3.1): injectivity, then label equality and
-// degree bounds (subsumed by the domain test for DS variants), then edge
-// existence and edge-label compatibility towards every already-mapped
-// pattern neighbor.
+// rules run cheapest-first (§3.1): injectivity (skipped for
+// homomorphisms), then label equality and degree bounds (subsumed by the
+// domain test for DS variants; degree bounds are dropped under
+// homomorphism where they are unsound), then edge existence and
+// edge-label compatibility towards every already-mapped pattern
+// neighbor, and finally the induced non-edge checks when Sem requires
+// them.
 func (p *Prepared) Feasible(pos int, vt int32, mapped []int32, used []bool) bool {
-	if used[vt] {
+	if p.injective && used[vt] {
 		return false
 	}
 	u := p.Ord.Seq[pos]
@@ -318,8 +347,9 @@ func (p *Prepared) Feasible(pos int, vt int32, mapped []int32, used []bool) bool
 		if p.Target.NodeLabel(vt) != p.Pattern.NodeLabel(u) {
 			return false
 		}
-		if p.Target.OutDegree(vt) < p.Pattern.OutDegree(u) ||
-			p.Target.InDegree(vt) < p.Pattern.InDegree(u) {
+		if p.degPrune &&
+			(p.Target.OutDegree(vt) < p.Pattern.OutDegree(u) ||
+				p.Target.InDegree(vt) < p.Pattern.InDegree(u)) {
 			return false
 		}
 	}

@@ -569,7 +569,7 @@ func TestInducedTriangleVsPath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ind, err := Enumerate(gp, gt, Options{Variant: v, Induced: true}, RunOptions{})
+		ind, err := Enumerate(gp, gt, Options{Variant: v, Semantics: graph.InducedIso}, RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -589,7 +589,7 @@ func TestInducedSelfLoopExcluded(t *testing.T) {
 	bt.AddNodes(2)
 	bt.AddEdge(1, 1, 0)
 	gt := bt.MustBuild()
-	res, err := Enumerate(gp, gt, Options{Variant: VariantRI, Induced: true}, RunOptions{})
+	res, err := Enumerate(gp, gt, Options{Variant: VariantRI, Semantics: graph.InducedIso}, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -610,7 +610,7 @@ func TestQuickInducedAgreesWithBruteForce(t *testing.T) {
 		})
 		want := testutil.BruteCountInduced(gp, gt)
 		for _, v := range allVariants {
-			res, err := Enumerate(gp, gt, Options{Variant: v, Induced: true}, RunOptions{})
+			res, err := Enumerate(gp, gt, Options{Variant: v, Semantics: graph.InducedIso}, RunOptions{})
 			if err != nil || res.Matches != want {
 				t.Logf("seed=%d nasty=%v variant=%v got=%d want=%d", seed, nasty, v, res.Matches, want)
 				return false
@@ -629,7 +629,7 @@ func TestQuickInducedSubset(t *testing.T) {
 		gp, gt := testutil.RandomInstance(seed, testutil.InstanceOptions{
 			TargetNodes: 12, TargetEdges: 40, PatternNodes: 4, Extract: true,
 		})
-		ind, err1 := Enumerate(gp, gt, Options{Variant: VariantRIDS, Induced: true}, RunOptions{})
+		ind, err1 := Enumerate(gp, gt, Options{Variant: VariantRIDS, Semantics: graph.InducedIso}, RunOptions{})
 		non, err2 := Enumerate(gp, gt, Options{Variant: VariantRIDS}, RunOptions{})
 		return err1 == nil && err2 == nil && ind.Matches <= non.Matches
 	}
@@ -672,5 +672,62 @@ func TestOrderStrategyCorrectness(t *testing.T) {
 	}
 	if gcf.Matches != deg.Matches {
 		t.Fatalf("orderings disagree: GCF %d vs degree-only %d", gcf.Matches, deg.Matches)
+	}
+}
+
+// TestQuickHomomorphismAgreesWithBruteForce cross-validates the
+// non-injective semantics against the oracle for every variant: the
+// used-set, degree pruning and forward checking must all be disabled
+// consistently or counts drift.
+func TestQuickHomomorphismAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64, nasty bool) bool {
+		gp, gt := testutil.RandomInstance(seed, testutil.InstanceOptions{
+			TargetNodes:  8,
+			TargetEdges:  22,
+			PatternNodes: 4,
+			Nasty:        nasty,
+		})
+		want := testutil.BruteCountSem(gp, gt, graph.Homomorphism)
+		for _, v := range allVariants {
+			res, err := Enumerate(gp, gt, Options{Variant: v, Semantics: graph.Homomorphism}, RunOptions{})
+			if err != nil || res.Matches != want {
+				t.Logf("seed=%d nasty=%v variant=%v got=%d want=%d", seed, nasty, v, res.Matches, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHomomorphismSharedImage: homs into the single undirected edge K2
+// are exactly proper 2-colorings, so the odd cycle C3 has none and the
+// even cycle C4 has two.
+func TestHomomorphismSharedImage(t *testing.T) {
+	edge := func() *graph.Graph {
+		b := &graph.Builder{}
+		b.AddNodes(2)
+		b.AddEdge(0, 1, 0)
+		b.AddEdge(1, 0, 0)
+		return b.MustBuild()
+	}
+	cycle := func(n int) *graph.Graph {
+		b := &graph.Builder{}
+		b.AddNodes(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(int32(i), int32((i+1)%n), 0)
+			b.AddEdge(int32((i+1)%n), int32(i), 0)
+		}
+		return b.MustBuild()
+	}
+	res, err := Enumerate(cycle(3), edge(), Options{Semantics: graph.Homomorphism}, RunOptions{})
+	if err != nil || res.Matches != 0 {
+		t.Fatalf("C3 -> K2 homs = %d, %v; want 0 (odd cycle)", res.Matches, err)
+	}
+	res, err = Enumerate(cycle(4), edge(), Options{Semantics: graph.Homomorphism}, RunOptions{})
+	if err != nil || res.Matches != 2 {
+		t.Fatalf("C4 -> K2 homs = %d, %v; want 2 (proper 2-colorings)", res.Matches, err)
 	}
 }

@@ -11,14 +11,17 @@ import (
 	"parsge/internal/graph"
 )
 
-// BruteCount counts subgraph monomorphisms of gp in gt by exhaustive
-// backtracking over injective assignments in pattern-node id order. It
-// applies only the definitional constraints (label equivalence, edge
-// preservation with compatible edge labels, injectivity) and is intended
-// for small instances in tests.
-func BruteCount(gp, gt *graph.Graph) int64 {
+// BruteCountSem counts embeddings of gp in gt under the given matching
+// semantics by exhaustive backtracking over assignments in pattern-node
+// id order. It applies only the definitional constraints — label
+// equivalence, edge preservation with compatible edge labels,
+// injectivity when sem requires it, and per-direction non-edge
+// preservation for induced matching — with none of the engines' pruning,
+// ordering or propagation machinery, so it is independent ground truth
+// for every engine. Intended for small instances in tests.
+func BruteCountSem(gp, gt *graph.Graph, sem graph.Semantics) int64 {
 	np, nt := gp.NumNodes(), gt.NumNodes()
-	if np == 0 || np > nt {
+	if np == 0 || (sem.Injective() && np > nt) {
 		return 0
 	}
 	assign := make([]int32, np)
@@ -31,10 +34,16 @@ func BruteCount(gp, gt *graph.Graph) int64 {
 			return
 		}
 		for vt := int32(0); vt < int32(nt); vt++ {
-			if used[vt] || gt.NodeLabel(vt) != gp.NodeLabel(vp) {
+			if sem.Injective() && used[vt] {
+				continue
+			}
+			if gt.NodeLabel(vt) != gp.NodeLabel(vp) {
 				continue
 			}
 			if !consistent(gp, gt, assign, vp, vt) {
+				continue
+			}
+			if sem.Induced() && !inducedConsistent(gp, gt, assign, vp, vt) {
 				continue
 			}
 			assign[vp] = vt
@@ -47,41 +56,17 @@ func BruteCount(gp, gt *graph.Graph) int64 {
 	return count
 }
 
+// BruteCount counts subgraph monomorphisms (non-induced subgraph
+// isomorphisms) of gp in gt — BruteCountSem under the default semantics.
+func BruteCount(gp, gt *graph.Graph) int64 {
+	return BruteCountSem(gp, gt, graph.SubgraphIso)
+}
+
 // BruteCountInduced counts induced embeddings: in addition to the
 // non-induced constraints, every ordered non-edge of the pattern must map
 // to a non-edge of the target (self-loops included).
 func BruteCountInduced(gp, gt *graph.Graph) int64 {
-	np, nt := gp.NumNodes(), gt.NumNodes()
-	if np == 0 || np > nt {
-		return 0
-	}
-	assign := make([]int32, np)
-	used := make([]bool, nt)
-	var count int64
-	var rec func(vp int32)
-	rec = func(vp int32) {
-		if vp == int32(np) {
-			count++
-			return
-		}
-		for vt := int32(0); vt < int32(nt); vt++ {
-			if used[vt] || gt.NodeLabel(vt) != gp.NodeLabel(vp) {
-				continue
-			}
-			if !consistent(gp, gt, assign, vp, vt) {
-				continue
-			}
-			if !inducedConsistent(gp, gt, assign, vp, vt) {
-				continue
-			}
-			assign[vp] = vt
-			used[vt] = true
-			rec(vp + 1)
-			used[vt] = false
-		}
-	}
-	rec(0)
-	return count
+	return BruteCountSem(gp, gt, graph.InducedIso)
 }
 
 // inducedConsistent rejects vt when a pattern non-edge towards an
@@ -306,6 +291,24 @@ func ExtractPattern(rng *rand.Rand, gt *graph.Graph, want int) *graph.Graph {
 		g = bp2.MustBuild()
 	}
 	return g
+}
+
+// PermuteGraph returns g with node ids relabeled by a random permutation
+// drawn from rng. Enumeration counts are invariant under this for every
+// semantics; the property tests use it to flush out ordering-dependent
+// bugs in the node ordering and domain filtering.
+func PermuteGraph(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	n := g.NumNodes()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	pg, err := g.Relabel(perm)
+	if err != nil {
+		panic(err) // perm is a permutation by construction
+	}
+	return pg
 }
 
 func neighborsUndirected(g *graph.Graph, v int32) []int32 {

@@ -6,9 +6,10 @@
 // every state it selects the next pattern node from the connectivity
 // fringe of the partial mapping, paying per-state selection cost for a
 // potentially smaller search space. The implementation enumerates
-// non-induced matches with node- and edge-label compatibility — the same
-// semantics as internal/ri — so the two engines are interchangeable
-// oracles for one another in tests and baselines in benchmarks.
+// matches with node- and edge-label compatibility under any
+// graph.Semantics (non-induced by default) — the same semantics axis as
+// internal/ri — so the two engines are interchangeable oracles for one
+// another in tests and baselines in benchmarks.
 //
 // The classic VF2 feasibility rules include lookahead counts over the
 // "terminal" sets (neighbors of the mapped region). For non-induced
@@ -33,6 +34,10 @@ type Options struct {
 	// Ctx, when non-nil, cooperatively aborts the search soon after the
 	// context is cancelled (polled every cancelCheckMask+1 states).
 	Ctx context.Context
+	// Semantics selects the matching semantics (zero value: non-induced
+	// subgraph isomorphism, identical to internal/ri's default, so the
+	// engines stay interchangeable oracles across all semantics).
+	Semantics graph.Semantics
 }
 
 // Result reports an enumeration run.
@@ -49,26 +54,33 @@ type state struct {
 	gp, gt *graph.Graph
 	opts   Options
 
-	core    []int32 // pattern node → target node or -1
-	used    []bool  // target node used
-	depth   int
-	matches int64
-	states  int64
-	done    <-chan struct{}
-	stopped bool
-	aborted bool
+	core      []int32 // pattern node → target node or -1
+	used      []bool  // target node used
+	injective bool
+	induced   bool
+	degPrune  bool
+	depth     int
+	matches   int64
+	states    int64
+	done      <-chan struct{}
+	stopped   bool
+	aborted   bool
 }
 
-// Enumerate lists all non-induced label-compatible embeddings of gp in gt.
+// Enumerate lists all label-compatible embeddings of gp in gt under the
+// configured semantics (non-induced subgraph isomorphism by default).
 func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	start := time.Now()
 	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
 	s := &state{
-		gp:   gp,
-		gt:   gt,
-		opts: opts,
-		core: make([]int32, gp.NumNodes()),
-		used: make([]bool, gt.NumNodes()),
+		gp:        gp,
+		gt:        gt,
+		opts:      opts,
+		core:      make([]int32, gp.NumNodes()),
+		used:      make([]bool, gt.NumNodes()),
+		injective: opts.Semantics.Injective(),
+		induced:   opts.Semantics.Induced(),
+		degPrune:  opts.Semantics.DegreePruning(),
 	}
 	for i := range s.core {
 		s.core[i] = -1
@@ -79,7 +91,11 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 			s.aborted = true
 		}
 	}
-	if !s.aborted && gp.NumNodes() > 0 && gp.NumNodes() <= gt.NumNodes() {
+	// Injective semantics cannot fit a larger pattern into a smaller
+	// target; homomorphisms can (images may coincide), so the size gate
+	// only applies when injective.
+	sizeOK := !s.injective || gp.NumNodes() <= gt.NumNodes()
+	if !s.aborted && gp.NumNodes() > 0 && sizeOK {
 		s.match()
 	}
 	return Result{
@@ -141,16 +157,19 @@ func (s *state) candidates(u int32) []int32 {
 	return nil // caller falls back to all target nodes
 }
 
-// feasible validates mapping u→v under non-induced semantics plus a
-// conservative degree lookahead.
+// feasible validates mapping u→v under the configured semantics plus a
+// conservative degree lookahead (when Semantics.DegreePruning() — under
+// homomorphism several pattern edges may share one target edge, so the
+// degree bound would wrongly prune).
 func (s *state) feasible(u, v int32) bool {
-	if s.used[v] {
+	if s.injective && s.used[v] {
 		return false
 	}
 	if s.gt.NodeLabel(v) != s.gp.NodeLabel(u) {
 		return false
 	}
-	if s.gt.OutDegree(v) < s.gp.OutDegree(u) || s.gt.InDegree(v) < s.gp.InDegree(u) {
+	if s.degPrune &&
+		(s.gt.OutDegree(v) < s.gp.OutDegree(u) || s.gt.InDegree(v) < s.gp.InDegree(u)) {
 		return false
 	}
 	// Every mapped pattern neighbor must be consistent now.
@@ -172,6 +191,25 @@ func (s *state) feasible(u, v int32) bool {
 	for i, w := range adj {
 		if tw := s.core[w]; tw >= 0 && w != u {
 			if !s.gt.HasEdgeLabeled(tw, v, labs[i]) {
+				return false
+			}
+		}
+	}
+	if s.induced {
+		// Pattern non-edges (per direction, any label) must map onto
+		// target non-edges, self-loops included.
+		if !s.gp.HasEdge(u, u) && s.gt.HasEdge(v, v) {
+			return false
+		}
+		for w := int32(0); w < int32(s.gp.NumNodes()); w++ {
+			tw := s.core[w]
+			if tw < 0 || w == u {
+				continue
+			}
+			if !s.gp.HasEdge(u, w) && s.gt.HasEdge(v, tw) {
+				return false
+			}
+			if !s.gp.HasEdge(w, u) && s.gt.HasEdge(tw, v) {
 				return false
 			}
 		}

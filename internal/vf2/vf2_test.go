@@ -160,3 +160,44 @@ func BenchmarkVF2(b *testing.B) {
 		Enumerate(gp, gt, Options{})
 	}
 }
+
+// TestSemanticsAgainstOracle validates the engine under every matching
+// semantics directly at the package level (the facade-level differential
+// lives in the root package).
+func TestSemanticsAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		gp, gt := testutil.RandomInstance(seed, testutil.InstanceOptions{
+			TargetNodes: 8, TargetEdges: 20, PatternNodes: 4, Nasty: seed%2 == 0,
+		})
+		for _, sem := range []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism} {
+			want := testutil.BruteCountSem(gp, gt, sem)
+			res := Enumerate(gp, gt, Options{Semantics: sem})
+			if res.Matches != want {
+				t.Errorf("seed %d under %v: VF2 = %d, oracle = %d", seed, sem, res.Matches, want)
+			}
+		}
+	}
+}
+
+// TestHomomorphismFoldsPath: the canonical non-injective case — the path
+// P3 folds onto a single undirected edge in exactly two ways.
+func TestHomomorphismFoldsPath(t *testing.T) {
+	bp := &graph.Builder{}
+	bp.AddNodes(3)
+	bp.AddEdge(0, 1, 0)
+	bp.AddEdge(1, 0, 0)
+	bp.AddEdge(1, 2, 0)
+	bp.AddEdge(2, 1, 0)
+	gp := bp.MustBuild()
+	bt := &graph.Builder{}
+	bt.AddNodes(2)
+	bt.AddEdge(0, 1, 0)
+	bt.AddEdge(1, 0, 0)
+	gt := bt.MustBuild()
+	if res := Enumerate(gp, gt, Options{Semantics: graph.Homomorphism}); res.Matches != 2 {
+		t.Fatalf("P3 -> K2 homs = %d, want 2", res.Matches)
+	}
+	if res := Enumerate(gp, gt, Options{}); res.Matches != 0 {
+		t.Fatalf("P3 -> K2 subgraph isos = %d, want 0", res.Matches)
+	}
+}

@@ -37,10 +37,13 @@
 // A *Target is safe for concurrent use.
 //
 // Graphs are directed and labeled; model an undirected edge by adding
-// both arcs (Builder.AddEdgeBoth). Matching is non-induced: every
-// pattern edge must exist in the target with a compatible label, target
-// edges not in the pattern are ignored, node labels must be equal, and
-// the mapping is injective.
+// both arcs (Builder.AddEdgeBoth). The default matching semantics is
+// non-induced subgraph isomorphism: every pattern edge must exist in the
+// target with a compatible label, target edges not in the pattern are
+// ignored, node labels must be equal, and the mapping is injective.
+// Options.Semantics switches every engine to induced matching
+// (InducedIso: pattern non-edges must map to target non-edges) or to
+// graph homomorphisms (Homomorphism: the mapping need not be injective).
 //
 // The heavy lifting lives in the internal packages (see DESIGN.md for
 // the full inventory); this package is the stable outward-facing API.
@@ -56,6 +59,27 @@ import (
 	"parsge/internal/graph"
 	"parsge/internal/graphio"
 	"parsge/internal/ri"
+)
+
+// Semantics selects what counts as a match; see the package comment and
+// the constants below. The zero value, SubgraphIso, is the semantics of
+// the source paper and of every release before the semantics axis was
+// introduced.
+type Semantics = graph.Semantics
+
+const (
+	// SubgraphIso is non-induced subgraph isomorphism (the default):
+	// injective, edge- and label-preserving; extra target edges between
+	// images are ignored.
+	SubgraphIso = graph.SubgraphIso
+	// InducedIso is induced subgraph isomorphism: additionally, every
+	// ordered pattern non-edge (self-loops included) must map to a
+	// target non-edge, regardless of edge labels.
+	InducedIso = graph.InducedIso
+	// Homomorphism drops injectivity: distinct pattern nodes may map to
+	// the same target node. Patterns larger than the target can match;
+	// counts can be much larger than under the injective semantics.
+	Homomorphism = graph.Homomorphism
 )
 
 // Graph is an immutable directed labeled graph. Build one with Builder.
@@ -167,10 +191,18 @@ type Options struct {
 	// context.WithTimeout layered over the ctx the session methods
 	// take, so both compose: whichever fires first aborts the query.
 	Timeout time.Duration
-	// Induced switches to induced subgraph enumeration: pattern
-	// non-edges must map to target non-edges, per direction. An
-	// extension beyond the paper (which enumerates non-induced
-	// subgraphs); supported by the RI family only.
+	// Semantics selects the matching semantics: SubgraphIso (the zero
+	// value, the paper's non-induced subgraph isomorphism), InducedIso,
+	// or Homomorphism. Every engine — the RI family, the parallel
+	// engine, VF2 and LAD — supports all three, so cross-validation
+	// stays available under every semantics. An extension beyond the
+	// paper.
+	Semantics Semantics
+	// Induced is the legacy spelling of Semantics: InducedIso. It may
+	// accompany a Semantics of SubgraphIso (it then wins) or InducedIso,
+	// but contradicts Homomorphism (an error).
+	//
+	// Deprecated: set Semantics instead.
 	Induced bool
 	// Visit is called for every match with the mapping indexed by
 	// pattern node id (mapping[patternNode] = targetNode). The slice is
@@ -183,9 +215,25 @@ type Options struct {
 	Seed int64
 }
 
+// resolveSemantics folds the legacy Induced flag into the Semantics
+// axis and validates the combination.
+func resolveSemantics(opts Options) (Semantics, error) {
+	if !opts.Semantics.Valid() {
+		return 0, fmt.Errorf("parsge: unknown semantics %d", int32(opts.Semantics))
+	}
+	if opts.Induced {
+		if opts.Semantics == Homomorphism {
+			return 0, fmt.Errorf("parsge: Options.Induced contradicts Semantics: Homomorphism")
+		}
+		return InducedIso, nil
+	}
+	return opts.Semantics, nil
+}
+
 // Result reports one enumeration.
 type Result struct {
-	// Matches is the number of isomorphic (non-induced) subgraphs.
+	// Matches is the number of embeddings found under the query's
+	// Semantics (non-induced subgraph isomorphisms by default).
 	Matches int64
 	// States is the number of search states explored — the paper's
 	// "search space size".

@@ -390,12 +390,23 @@ func TestInducedFacade(t *testing.T) {
 	if ind != non {
 		t.Fatalf("grid 4-cycles: induced %d != non-induced %d", ind, non)
 	}
-	// ...while VF2/LAD reject the flag.
-	if _, err := Count(gp, gt, Options{Algorithm: VF2, Induced: true}); err == nil {
-		t.Error("VF2 accepted Induced")
+	// ...and VF2/LAD now support every semantics, so they must agree.
+	if got, err := Count(gp, gt, Options{Algorithm: VF2, Induced: true}); err != nil || got != ind {
+		t.Errorf("VF2 induced = %d, %v; want %d", got, err, ind)
 	}
-	if _, err := Count(gp, gt, Options{Algorithm: LAD, Induced: true}); err == nil {
-		t.Error("LAD accepted Induced")
+	if got, err := Count(gp, gt, Options{Algorithm: LAD, Induced: true}); err != nil || got != ind {
+		t.Errorf("LAD induced = %d, %v; want %d", got, err, ind)
+	}
+	// The legacy flag and the Semantics axis spell the same thing; a
+	// contradictory combination is rejected.
+	if got, err := Count(gp, gt, Options{Semantics: InducedIso}); err != nil || got != ind {
+		t.Errorf("Semantics: InducedIso = %d, %v; want %d", got, err, ind)
+	}
+	if _, err := Count(gp, gt, Options{Semantics: Homomorphism, Induced: true}); err == nil {
+		t.Error("Induced + Homomorphism accepted")
+	}
+	if _, err := Count(gp, gt, Options{Semantics: Semantics(42)}); err == nil {
+		t.Error("unknown Semantics accepted")
 	}
 }
 

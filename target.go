@@ -29,6 +29,17 @@ type TargetOptions struct {
 	// instead of at every call site. Zero keeps the library default
 	// (sequential); AutoWorkers sizes the pool per query.
 	DefaultWorkers int
+	// DefaultSemantics replaces Options.Semantics for queries that
+	// leave both Semantics and the legacy Induced flag at their zero
+	// values: a service can fix the matching semantics once per target.
+	// The zero value keeps the library default (SubgraphIso).
+	//
+	// Like DefaultWorkers, the substitution keys on the zero value, so
+	// a Target built with a non-default DefaultSemantics cannot be
+	// queried under SubgraphIso (an explicit Semantics: SubgraphIso is
+	// indistinguishable from unset); build a plain Target for those
+	// queries.
+	DefaultSemantics Semantics
 }
 
 // Target is a session handle for one target graph: it precomputes and
@@ -52,9 +63,10 @@ type Target struct {
 	index *domain.Index // nil with SkipLabelIndex
 	arena *ri.Arena
 
-	meanDegree     float64
-	autoAlgorithm  Algorithm // chooseAlgorithm(Auto, g), resolved once
-	defaultWorkers int
+	meanDegree       float64
+	autoAlgorithm    Algorithm // chooseAlgorithm(Auto, g), resolved once
+	defaultWorkers   int
+	defaultSemantics Semantics
 }
 
 // NewTarget precomputes the reusable target-side state for g.
@@ -62,11 +74,15 @@ func NewTarget(g *Graph, opts TargetOptions) (*Target, error) {
 	if g == nil {
 		return nil, fmt.Errorf("parsge: nil target graph")
 	}
+	if !opts.DefaultSemantics.Valid() {
+		return nil, fmt.Errorf("parsge: unknown semantics %d", int32(opts.DefaultSemantics))
+	}
 	t := &Target{
-		g:              g,
-		arena:          ri.NewArena(g.NumNodes()),
-		autoAlgorithm:  chooseAlgorithm(Auto, g),
-		defaultWorkers: opts.DefaultWorkers,
+		g:                g,
+		arena:            ri.NewArena(g.NumNodes()),
+		autoAlgorithm:    chooseAlgorithm(Auto, g),
+		defaultWorkers:   opts.DefaultWorkers,
+		defaultSemantics: opts.DefaultSemantics,
 	}
 	if n := g.NumNodes(); n > 0 {
 		t.meanDegree = 2 * float64(g.NumEdges()) / float64(n)
@@ -132,15 +148,20 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 	if opts.Workers == 0 {
 		opts.Workers = t.defaultWorkers
 	}
+	if opts.Semantics == SubgraphIso && !opts.Induced {
+		opts.Semantics = t.defaultSemantics
+	}
+	sem, err := resolveSemantics(opts)
+	if err != nil {
+		return Result{}, err
+	}
 	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
-		if opts.Induced {
-			return Result{}, fmt.Errorf("parsge: induced matching requires an RI-family algorithm, not %v", opts.Algorithm)
-		}
 		if opts.Algorithm == VF2 {
 			res := vf2.Enumerate(pattern, t.g, vf2.Options{
-				Limit: opts.Limit,
-				Visit: opts.Visit,
-				Ctx:   ctx,
+				Limit:     opts.Limit,
+				Visit:     opts.Visit,
+				Ctx:       ctx,
+				Semantics: sem,
 			})
 			return Result{
 				Matches:   res.Matches,
@@ -150,10 +171,11 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 			}, nil
 		}
 		res := lad.Enumerate(pattern, t.g, lad.Options{
-			Limit: opts.Limit,
-			Visit: opts.Visit,
-			Ctx:   ctx,
-			Index: t.index,
+			Limit:     opts.Limit,
+			Visit:     opts.Visit,
+			Ctx:       ctx,
+			Index:     t.index,
+			Semantics: sem,
 		})
 		return Result{
 			Matches:       res.Matches,
@@ -170,7 +192,7 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 
 	prep, err := ri.Prepare(pattern, t.g, ri.Options{
 		Variant:     ri.Variant(opts.Algorithm),
-		Induced:     opts.Induced,
+		Semantics:   sem,
 		TargetIndex: t.index,
 	})
 	if err != nil {
