@@ -9,15 +9,22 @@
 // produces ./data/PPIS32-targets.gff (all target graphs) and
 // ./data/PPIS32-patterns.gff (all pattern graphs, named with their
 // provenance: target index, edge class, density class).
+//
+// The collections are undirected by construction, so sections are
+// written in the compact "%undirected" form (one line per undirected
+// edge — half the file size); -directed forces the legacy one-arc-per-
+// line form. Both forms read back identically through graphio.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"parsge/internal/datasets"
+	"parsge/internal/graph"
 	"parsge/internal/graphio"
 )
 
@@ -28,6 +35,7 @@ func main() {
 		seed       = flag.Int64("seed", 20170525, "generation seed")
 		patterns   = flag.Int("patterns", 0, "number of patterns (0 = scaled default)")
 		out        = flag.String("out", ".", "output directory")
+		directed   = flag.Bool("directed", false, "write the legacy one-arc-per-line form instead of %undirected sections")
 	)
 	flag.Parse()
 
@@ -40,12 +48,18 @@ func main() {
 
 	exitOn(os.MkdirAll(*out, 0o755))
 	table := graphio.NewLabelTable()
+	write := func(w io.Writer, name string, g *graph.Graph) error {
+		if *directed || !g.Symmetric() {
+			return graphio.Write(w, name, g, table)
+		}
+		return graphio.WriteUndirected(w, name, g, table)
+	}
 
 	targetsPath := filepath.Join(*out, c.Name+"-targets.gff")
 	tf, err := os.Create(targetsPath)
 	exitOn(err)
 	for i, g := range c.Targets {
-		exitOn(graphio.Write(tf, fmt.Sprintf("%s-t%02d", c.Name, i), g, table))
+		exitOn(write(tf, fmt.Sprintf("%s-t%02d", c.Name, i), g))
 	}
 	exitOn(tf.Close())
 
@@ -53,7 +67,7 @@ func main() {
 	pf, err := os.Create(patternsPath)
 	exitOn(err)
 	for _, p := range c.Patterns {
-		exitOn(graphio.Write(pf, p.Name, p.Graph, table))
+		exitOn(write(pf, p.Name, p.Graph))
 	}
 	exitOn(pf.Close())
 

@@ -8,6 +8,8 @@
 //	sgestats -in data/PPIS32-targets.gff
 //	sgestats -in data/PPIS32-patterns.gff -labels
 //	sgestats -in q.gff -dot 0 > q.dot     # section 0 as DOT
+//	sgestats -in old.gff -rewrite new.gff # re-serialize, %undirected
+//	                                      # where symmetric (≈half size)
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 		in         = flag.String("in", "", "input graph file (required)")
 		withLabels = flag.Bool("labels", false, "print the node-label histogram per graph")
 		dotIndex   = flag.Int("dot", -1, "write section N as Graphviz DOT to stdout and exit")
+		rewrite    = flag.String("rewrite", "", "re-serialize every section to this file, using the compact %undirected form for symmetric graphs, and exit")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -52,14 +55,29 @@ func main() {
 		return
 	}
 
+	if *rewrite != "" {
+		out, err := os.Create(*rewrite)
+		exitOn(err)
+		for _, ng := range gs {
+			if ng.Graph.Symmetric() {
+				exitOn(graphio.WriteUndirected(out, ng.Name, ng.Graph, table))
+			} else {
+				exitOn(graphio.Write(out, ng.Name, ng.Graph, table))
+			}
+		}
+		exitOn(out.Close())
+		fmt.Printf("rewrote %d sections to %s\n", len(gs), *rewrite)
+		return
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "graph\tnodes\tedges\tdeg µ\tdeg σ\tdeg max\tlabels\tconnected")
+	fmt.Fprintln(w, "graph\tnodes\tedges\tdeg µ\tdeg σ\tdeg max\tlabels\tconnected\tundirected")
 	for _, ng := range gs {
 		g := ng.Graph
 		mean, sd, maxDeg := degreeStats(g)
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%.2f\t%d\t%d\t%v\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%.2f\t%d\t%d\t%v\t%v\n",
 			ng.Name, g.NumNodes(), g.NumEdges(), mean, sd, maxDeg,
-			distinctLabels(g), g.ConnectedUndirected())
+			distinctLabels(g), g.ConnectedUndirected(), g.Symmetric())
 	}
 	w.Flush()
 

@@ -11,7 +11,7 @@ import (
 // read as zero, so every input decodes to a valid instance and the
 // fuzzer's energy goes into graph shapes rather than parser errors:
 //
-//	[0]              semantics (mod 3)
+//	[0]              semantics (1 + mod 3: SubgraphIso, InducedIso, Homomorphism)
 //	[1] [2]          pattern / target node counts (1–4 / 1–6)
 //	[3..]            np pattern node labels (mod 3)
 //	[.]              pattern edge count (mod 11)
@@ -33,7 +33,9 @@ func decodeFuzzPair(data []byte) (gp, gt *Graph, sem Semantics) {
 		pos++
 		return b
 	}
-	sem = Semantics(next() % 3)
+	// 1 + mod 3 keeps byte values 0/1/2 mapping to iso/induced/hom like
+	// the pre-sentinel encoding, so the committed corpus keeps meaning.
+	sem = Semantics(1 + next()%3)
 	np := 1 + int(next())%4
 	nt := 1 + int(next())%6
 
@@ -108,6 +110,102 @@ func FuzzCrossEngine(f *testing.F) {
 				t.Fatalf("%s under %v = %d, oracle = %d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
 					ec.name, sem, got, want, gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
 			}
+		}
+	})
+}
+
+// decodeContainmentPair decodes fuzzer bytes into a (pattern, target)
+// pair for FuzzContainment. The layout mirrors decodeFuzzPair but scales
+// past the oracle-bound caps: up to 4 pattern and 18 target nodes with
+// denser edge budgets — instances far too large for the brute-force
+// oracle (O(nt^np) with no pruning) yet cheap for the engines:
+//
+//	[0] [1]          pattern / target node counts (1–4 / 1–18)
+//	[2..]            np pattern node labels (mod 4)
+//	[.]              pattern edge count (mod 13)
+//	2 bytes per edge u = b1 mod np, v = b2 mod np, label = (b1>>6) & 1
+//	[.]              nt target node labels (mod 4)
+//	[.]              target edge count (mod 61)
+//	2 bytes per edge as above
+func decodeContainmentPair(data []byte) (gp, gt *Graph) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	np := 1 + int(next())%4
+	nt := 1 + int(next())%18
+
+	build := func(n, maxEdges int) *Graph {
+		b := NewBuilder(n, 0)
+		for i := 0; i < n; i++ {
+			b.AddNode(Label(next() % 4))
+		}
+		m := int(next()) % maxEdges
+		for i := 0; i < m; i++ {
+			e1, e2 := next(), next()
+			b.AddEdge(int32(int(e1)%n), int32(int(e2)%n), Label((e1>>6)&1))
+		}
+		return b.MustBuild()
+	}
+	gp = build(np, 13)
+	gt = build(nt, 61)
+	return gp, gt
+}
+
+// FuzzContainment checks the definitional containment chain
+// induced ≤ iso ≤ hom on instances well past the 4/6-node cap of the
+// oracle-backed FuzzCrossEngine: no brute-force reference is needed,
+// because the chain is an invariant of the definitions themselves, and
+// cross-checking two independent engine families (RI-DS-SI-FC and LAD)
+// per semantics supplies the equality oracle. A pruning bug that loses
+// or invents matches in just one semantics breaks the chain or the
+// cross-check. Seeds and the committed corpus under
+// testdata/fuzz/FuzzContainment pin known-tricky shapes.
+func FuzzContainment(f *testing.F) {
+	// Undirected C4 in a 12-node target: a C6 ring plus a hub node 6
+	// joined to ring nodes 0, 1 and 2 (18 arcs), leaving nodes 7–11
+	// isolated.
+	f.Add([]byte{
+		3, 11,
+		0, 0, 0, 0,
+		8, 0, 1, 1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 3, 0, 0, 3,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		18, 0, 1, 1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 3, 4, 4, 3, 4, 5, 5, 4,
+		5, 0, 0, 5, 0, 6, 6, 0, 1, 6, 6, 1, 2, 6, 6, 2,
+	})
+	// Self-loops and parallel edges on a mid-size target.
+	f.Add([]byte{1, 9, 2, 0, 5, 0, 0, 64, 1, 0, 1, 1, 0, 2, 2, 2, 1, 0, 1, 2, 0,
+		9, 0, 0, 1, 1, 64, 1, 0, 1, 3, 3, 2, 3, 3, 2})
+	// A pattern larger than small targets under hom (nt=2).
+	f.Add([]byte{3, 1, 0, 0, 0, 0, 6, 0, 1, 1, 0, 1, 2, 2, 1, 2, 3, 3, 2, 0, 0, 3, 0, 1, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gp, gt := decodeContainmentPair(data)
+		var counts [3]int64
+		sems := []Semantics{InducedIso, SubgraphIso, Homomorphism}
+		for i, sem := range sems {
+			ri, err := Count(gp, gt, Options{Algorithm: RIDSSIFC, Semantics: sem})
+			if err != nil {
+				t.Fatalf("RI-DS-SI-FC under %v: %v\npattern=%v target=%v", sem, err, gp.Edges(), gt.Edges())
+			}
+			lad, err := Count(gp, gt, Options{Algorithm: LAD, Semantics: sem})
+			if err != nil {
+				t.Fatalf("LAD under %v: %v\npattern=%v target=%v", sem, err, gp.Edges(), gt.Edges())
+			}
+			if ri != lad {
+				t.Fatalf("engines disagree under %v: RI-DS-SI-FC=%d LAD=%d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
+					sem, ri, lad, gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
+			}
+			counts[i] = ri
+		}
+		if counts[0] > counts[1] || counts[1] > counts[2] {
+			t.Fatalf("containment violated: induced=%d iso=%d hom=%d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
+				counts[0], counts[1], counts[2], gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
 		}
 	})
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"parsge/internal/datasets"
+	"parsge/internal/graph"
 	"parsge/internal/order"
 	"parsge/internal/ri"
 	"parsge/internal/stats"
@@ -117,13 +119,16 @@ func (s *Suite) AblationInitialDistribution() AblationResult {
 
 // AblationArcConsistency compares domain preprocessing depth: no arc
 // consistency, a single pass (the original RI-DS description), and the
-// fixpoint this implementation defaults to.
+// fixpoint this implementation defaults to. The NLF filter is disabled
+// for all three configurations so the measurement isolates AC depth
+// (with NLF on, initial domains are already near-tight and ordering
+// noise would swamp the AC effect).
 func (s *Suite) AblationArcConsistency() AblationResult {
 	insts := s.instances("GRAEMLIN32")
-	res := AblationResult{Title: "arc-consistency depth (domains, §4.1)"}
-	none := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, skipAC: true})
-	one := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, acPasses: 1})
-	fix := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1})
+	res := AblationResult{Title: "arc-consistency depth (domains, §4.1; NLF off)"}
+	none := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, skipAC: true, skipNLF: true})
+	one := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, acPasses: 1, skipNLF: true})
+	fix := s.runAll(insts, runConfig{variant: ri.VariantRIDS, workers: 1, skipNLF: true})
 	res.Rows = append(res.Rows,
 		aggregate("no AC (label+degree only)", none),
 		aggregate("single pass (RI-DS paper)", one),
@@ -131,6 +136,77 @@ func (s *Suite) AblationArcConsistency() AblationResult {
 	s.printAblation(res)
 	s.csvAblation(res)
 	return res
+}
+
+// pruningSemantics are the semantics the pruning ablation sweeps.
+var pruningSemantics = []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism}
+
+// PruningRowName names one pruning-ablation configuration; the
+// acceptance tests parse rows back by these names.
+func PruningRowName(collection string, sem graph.Semantics, config string) string {
+	return collection + "/" + sem.String() + "/" + config
+}
+
+// AblationPruningFilters measures the semantics-aware pruning
+// subsystem on a dense (PPIS32) and a sparse (PDBSv1) collection under
+// all three matching semantics, along two axes:
+//
+//   - the RI-DS pipeline with all filters on vs the pre-subsystem
+//     baseline (label/degree + classic arc consistency only), plus —
+//     under induced semantics, where the non-edge propagation is the
+//     dominant filter — each new filter off individually;
+//   - the VF2 engine with the pruning subsystem wired in vs its classic
+//     domain-free baseline, measuring what threading the shared domain
+//     reductions through an engine that historically had none buys.
+//
+// Instances are restricted to small patterns so the homomorphism sweeps
+// stay cheap.
+func (s *Suite) AblationPruningFilters() AblationResult {
+	res := AblationResult{Title: "semantics-aware pruning (NLF + induced non-edge AC; RI-DS and VF2 wiring)"}
+	for _, coll := range []string{"PPIS32", "PDBSv1"} {
+		insts := s.smallInstances(coll, 6, 8)
+		for _, sem := range pruningSemantics {
+			base := runConfig{variant: ri.VariantRIDSSIFC, workers: 1, semantics: sem}
+			off := base
+			off.skipNLF, off.skipInducedAC = true, true
+			res.Rows = append(res.Rows,
+				aggregate(PruningRowName(coll, sem, "RI-DS filters on"), s.runAll(insts, base)),
+				aggregate(PruningRowName(coll, sem, "RI-DS filters off"), s.runAll(insts, off)))
+			if sem == graph.InducedIso {
+				noNLF, noIAC := base, base
+				noNLF.skipNLF = true
+				noIAC.skipInducedAC = true
+				res.Rows = append(res.Rows,
+					aggregate(PruningRowName(coll, sem, "RI-DS no NLF"), s.runAll(insts, noNLF)),
+					aggregate(PruningRowName(coll, sem, "RI-DS no induced-AC"), s.runAll(insts, noIAC)))
+			}
+			vf2On := runConfig{vf2: true, semantics: sem}
+			vf2Off := runConfig{vf2: true, vf2SkipDomains: true, semantics: sem}
+			res.Rows = append(res.Rows,
+				aggregate(PruningRowName(coll, sem, "VF2 pruned"), s.runAll(insts, vf2On)),
+				aggregate(PruningRowName(coll, sem, "VF2 baseline"), s.runAll(insts, vf2Off)))
+		}
+	}
+	s.printAblation(res)
+	s.csvAblation(res)
+	return res
+}
+
+// smallInstances returns up to k instances of the collection whose
+// patterns have at most maxEdges undirected edges. Unlike instances it
+// filters the full collection (not just the MaxInstances prefix), since
+// small patterns are interleaved with large ones.
+func (s *Suite) smallInstances(name string, k, maxEdges int) []datasets.Instance {
+	var out []datasets.Instance
+	for _, inst := range s.collection(name).Instances() {
+		if inst.Pattern.NumEdges()/2 <= maxEdges {
+			out = append(out, inst)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
 }
 
 // Ablations runs every ablation.
@@ -141,6 +217,7 @@ func (s *Suite) Ablations() []AblationResult {
 		s.AblationInitialDistribution(),
 		s.AblationArcConsistency(),
 		s.AblationOrdering(),
+		s.AblationPruningFilters(),
 	}
 }
 

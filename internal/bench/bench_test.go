@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"parsge/internal/graph"
 )
 
 // tinySuite keeps experiments fast for unit tests: minuscule scale, few
@@ -206,8 +208,8 @@ func TestFig12(t *testing.T) {
 func TestAblations(t *testing.T) {
 	var out bytes.Buffer
 	res := tinySuite(&out).Ablations()
-	if len(res) != 5 {
-		t.Fatalf("ablations = %d, want 5", len(res))
+	if len(res) != 6 {
+		t.Fatalf("ablations = %d, want 6", len(res))
 	}
 	for _, a := range res {
 		if len(a.Rows) < 2 {
@@ -219,6 +221,72 @@ func TestAblations(t *testing.T) {
 	if ac.Rows[2].MeanStates > ac.Rows[1].MeanStates*1.001 ||
 		ac.Rows[1].MeanStates > ac.Rows[0].MeanStates*1.001 {
 		t.Errorf("AC depth did not shrink search space: %+v", ac.Rows)
+	}
+}
+
+// TestAblationPruningFilters is the acceptance check for the
+// semantics-aware pruning subsystem on a dense (PPIS32) and a sparse
+// (PDBSv1) collection under every matching semantics — the win is
+// measured, not asserted. Soundness (identical match counts) is covered
+// by the root-package differential tests; this test covers efficacy:
+//
+//   - wiring the subsystem into VF2 must strictly shrink its visited
+//     search space for every (collection, semantics) pair;
+//   - the RI-DS filters must never meaningfully enlarge the search
+//     space, and the induced non-edge propagation must strictly shrink
+//     it on the dense collection (where target edges make pattern
+//     non-edges binding);
+//   - under induced semantics, no individual filter may beat the full
+//     filter set.
+func TestAblationPruningFilters(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).AblationPruningFilters()
+
+	rows := make(map[string]AblationRow, len(res.Rows))
+	for _, r := range res.Rows {
+		rows[r.Name] = r
+	}
+	row := func(coll string, sem graph.Semantics, config string) AblationRow {
+		r, ok := rows[PruningRowName(coll, sem, config)]
+		if !ok {
+			t.Fatalf("%s/%v: missing ablation row %q", coll, sem, config)
+		}
+		return r
+	}
+	for _, coll := range []string{"PPIS32", "PDBSv1"} {
+		for _, sem := range pruningSemantics {
+			von := row(coll, sem, "VF2 pruned")
+			voff := row(coll, sem, "VF2 baseline")
+			if von.MeanStates >= voff.MeanStates {
+				t.Errorf("%s under %v: pruning subsystem did not shrink VF2's search space: on=%.0f off=%.0f states",
+					coll, sem, von.MeanStates, voff.MeanStates)
+			}
+			ron := row(coll, sem, "RI-DS filters on")
+			roff := row(coll, sem, "RI-DS filters off")
+			if ron.MeanStates > roff.MeanStates*1.05 {
+				t.Errorf("%s under %v: filters enlarged the RI-DS search space: on=%.0f off=%.0f states",
+					coll, sem, ron.MeanStates, roff.MeanStates)
+			}
+		}
+	}
+	// Dense targets make induced non-edge constraints binding: the
+	// filters must collapse the induced search space outright.
+	denseOn := row("PPIS32", graph.InducedIso, "RI-DS filters on")
+	denseOff := row("PPIS32", graph.InducedIso, "RI-DS filters off")
+	if denseOn.MeanStates >= denseOff.MeanStates {
+		t.Errorf("PPIS32 induced: filters did not shrink RI-DS search space: on=%.0f off=%.0f states",
+			denseOn.MeanStates, denseOff.MeanStates)
+	}
+	// Under induced semantics each filter must individually not hurt.
+	for _, coll := range []string{"PPIS32", "PDBSv1"} {
+		on := row(coll, graph.InducedIso, "RI-DS filters on")
+		for _, partial := range []string{"RI-DS no NLF", "RI-DS no induced-AC"} {
+			p := row(coll, graph.InducedIso, partial)
+			if on.MeanStates > p.MeanStates*1.05 {
+				t.Errorf("%s induced: %q explored fewer states (%.0f) than all filters (%.0f)",
+					coll, partial, p.MeanStates, on.MeanStates)
+			}
+		}
 	}
 }
 

@@ -26,10 +26,12 @@ import (
 	"time"
 
 	"parsge/internal/datasets"
+	"parsge/internal/graph"
 	"parsge/internal/order"
 	"parsge/internal/parallel"
 	"parsge/internal/ri"
 	"parsge/internal/stats"
+	"parsge/internal/vf2"
 )
 
 // Suite configures a harness run.
@@ -177,6 +179,18 @@ type runConfig struct {
 	// arc-consistency fixpoint).
 	acPasses int
 	skipAC   bool
+	// skipNLF / skipInducedAC disable the semantics-aware domain
+	// filters (ablation of the pruning subsystem).
+	skipNLF       bool
+	skipInducedAC bool
+	// vf2 measures the VF2 engine instead of the RI family;
+	// vf2SkipDomains restores its classic domain-free baseline
+	// (ablation of wiring the pruning subsystem into VF2).
+	vf2            bool
+	vf2SkipDomains bool
+	// semantics selects the matching semantics (zero value: the paper's
+	// subgraph isomorphism).
+	semantics graph.Semantics
 	// orderStrategy overrides the node-ordering rule (ablation).
 	orderStrategy order.Strategy
 	seed          int64
@@ -193,10 +207,29 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 	ctx, cancel := context.WithTimeout(parent, s.Timeout)
 	defer cancel()
 
+	if cfg.vf2 {
+		res := vf2.Enumerate(inst.Pattern, inst.Target, vf2.Options{
+			Ctx:           ctx,
+			Semantics:     cfg.semantics,
+			SkipDomains:   cfg.vf2SkipDomains,
+			SkipNLF:       cfg.skipNLF,
+			SkipInducedAC: cfg.skipInducedAC,
+		})
+		rec.Matches = res.Matches
+		rec.States = res.States
+		rec.Preproc = res.PreprocTime
+		rec.Match = res.MatchTime
+		rec.TimedOut = res.Aborted
+		return rec
+	}
+
 	prep, err := ri.Prepare(inst.Pattern, inst.Target, ri.Options{
 		Variant:       cfg.variant,
 		ACPasses:      cfg.acPasses,
 		SkipAC:        cfg.skipAC,
+		SkipNLF:       cfg.skipNLF,
+		SkipInducedAC: cfg.skipInducedAC,
+		Semantics:     cfg.semantics,
 		OrderStrategy: cfg.orderStrategy,
 	})
 	if err != nil {

@@ -1,9 +1,14 @@
 package datasets
 
 import (
+	"bytes"
+	"fmt"
+	"sort"
 	"testing"
 	"testing/quick"
 
+	"parsge/internal/graph"
+	"parsge/internal/graphio"
 	"parsge/internal/ri"
 )
 
@@ -215,4 +220,88 @@ func BenchmarkGeneratePPIS32(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		PPIS32(Config{Scale: 0.02, Seed: int64(i), NumPatterns: 10})
 	}
+}
+
+// TestUndirectedRoundTrip: every generated graph is symmetric by
+// construction (both arcs per undirected edge), so the compact
+// %undirected serialization must round-trip it exactly — same node
+// labels and same edge multiset — at half the edge-line count. This is
+// the reader path sgegen-produced files now take.
+func TestUndirectedRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name, Config{Scale: 0.012, Seed: 3, NumPatterns: 6, NumTargets: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs := append([]*graph.Graph(nil), c.Targets...)
+		for _, p := range c.Patterns {
+			graphs = append(graphs, p.Graph)
+		}
+		table := graphio.NewLabelTable()
+		var buf bytes.Buffer
+		for i, g := range graphs {
+			if !g.Symmetric() {
+				t.Fatalf("%s graph %d not symmetric", name, i)
+			}
+			if err := graphio.WriteUndirected(&buf, fmt.Sprintf("g%03d", i), g, table); err != nil {
+				t.Fatalf("%s graph %d: %v", name, i, err)
+			}
+		}
+		back, err := graphio.NewReader(bytes.NewReader(buf.Bytes()), table).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: reread: %v", name, err)
+		}
+		if len(back) != len(graphs) {
+			t.Fatalf("%s: %d sections back, want %d", name, len(back), len(graphs))
+		}
+		// Numeric labels are re-interned on reread (graphio.Spell), so
+		// round-tripping preserves label *equivalence*, not label ids:
+		// the original→reread mapping must be a bijection consistent
+		// across the whole collection (the table is shared).
+		fwd := map[graph.Label]graph.Label{}
+		rev := map[graph.Label]graph.Label{}
+		mapLabel := func(where string, orig, got graph.Label) {
+			if prev, ok := fwd[orig]; ok && prev != got {
+				t.Fatalf("%s %s: label %d reread inconsistently (%d vs %d)", name, where, orig, prev, got)
+			}
+			if prev, ok := rev[got]; ok && prev != orig {
+				t.Fatalf("%s %s: labels %d and %d collapsed onto %d", name, where, prev, orig, got)
+			}
+			fwd[orig], rev[got] = got, orig
+		}
+		for i, g := range graphs {
+			got := back[i].Graph
+			if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+				t.Fatalf("%s graph %d: round-trip changed size: n=%d→%d m=%d→%d",
+					name, i, g.NumNodes(), got.NumNodes(), g.NumEdges(), got.NumEdges())
+			}
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				mapLabel(fmt.Sprintf("graph %d node %d", i, v), g.NodeLabel(v), got.NodeLabel(v))
+			}
+			want := g.Edges()
+			have := got.Edges()
+			sortEdges(want)
+			sortEdges(have)
+			for k := range want {
+				if want[k].From != have[k].From || want[k].To != have[k].To {
+					t.Fatalf("%s graph %d: edge %d differs after round-trip: %v vs %v",
+						name, i, k, want[k], have[k])
+				}
+				mapLabel(fmt.Sprintf("graph %d edge %d", i, k), want[k].Label, have[k].Label)
+			}
+		}
+	}
+}
+
+// sortEdges orders an edge slice canonically for comparison.
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].From != es[b].From {
+			return es[a].From < es[b].From
+		}
+		if es[a].To != es[b].To {
+			return es[a].To < es[b].To
+		}
+		return es[a].Label < es[b].Label
+	})
 }

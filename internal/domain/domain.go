@@ -1,13 +1,25 @@
 // Package domain implements RI-DS domain assignment (Kimmig et al. §4.1)
-// and the paper's forward-checking improvement (§4.2.2).
+// and the paper's forward-checking improvement (§4.2.2), extended into a
+// semantics-aware pruning subsystem.
 //
 // A domain D(v_p) is the set of target nodes that pattern node v_p may
 // map to. Domains start from label equivalence and degree bounds, are
-// pruned by arc consistency over the pattern edges, and — in the
-// RI-DS-SI-FC variant — further reduced by forward checking: every
-// pattern node with a singleton domain will definitely be assigned its
-// unique target node, so that target is removed from every other domain,
-// cascading over newly created singletons.
+// tightened by the neighborhood-label-frequency filter (NLF: the
+// candidate's labeled neighborhood must dominate the pattern node's),
+// pruned by arc consistency over the pattern edges — and, under induced
+// semantics, over the pattern *non*-edges too — and, in the RI-DS-SI-FC
+// variant, further reduced by forward checking: every pattern node with
+// a singleton domain will definitely be assigned its unique target node,
+// so that target is removed from every other domain, cascading over
+// newly created singletons.
+//
+// Every filter adapts to the matching semantics (see Options.Semantics):
+// degree bounds and multiset NLF domination require injectivity, so
+// under graph.Homomorphism the NLF check weakens to set containment (the
+// image must offer every labeled-neighbor kind the pattern node needs,
+// counted as a set) — the sound homomorphism label bound — and degree
+// bounds are dropped. The non-edge propagation applies only under
+// graph.InducedIso, the one semantics that constrains non-edges.
 //
 // Domains are represented as bitmasks over the target vertex set, exactly
 // as in the original RI implementation ("In RI, domains are implemented
@@ -17,6 +29,7 @@ package domain
 
 import (
 	"fmt"
+	"slices"
 
 	"parsge/internal/bitset"
 	"parsge/internal/graph"
@@ -29,22 +42,38 @@ type Domains struct {
 }
 
 // Index is precomputed target-side state reusable across queries against
-// the same target graph: nodes bucketed by label, in ascending node-id
-// order. Building it once per target and sharing it between Compute calls
-// turns the initial domain filter from a scan over all target nodes into
-// a scan over the label's bucket only. An Index is immutable after
-// NewIndex and safe for concurrent use.
+// the same target graph: nodes bucketed by label (in ascending node-id
+// order) and per-node neighborhood-label-frequency signatures for the
+// NLF filter. Building it once per target and sharing it between Compute
+// calls turns the initial domain filter from a scan over all target
+// nodes into a scan over the label's bucket, with each candidate's NLF
+// signature ready instead of recomputed per query. An Index is immutable
+// after NewIndex and safe for concurrent use.
 type Index struct {
 	byLabel map[graph.Label][]int32
 	nt      int
+	// out[v] / in[v] are node v's NLF signatures per direction.
+	out, in []nlfSig
 }
 
-// NewIndex buckets the target's nodes by label.
+// NewIndex buckets the target's nodes by label and precomputes the
+// per-node NLF signatures.
 func NewIndex(gt *graph.Graph) *Index {
-	ix := &Index{byLabel: make(map[graph.Label][]int32), nt: gt.NumNodes()}
-	for vt := int32(0); vt < int32(gt.NumNodes()); vt++ {
+	nt := gt.NumNodes()
+	ix := &Index{
+		byLabel: make(map[graph.Label][]int32),
+		nt:      nt,
+		out:     make([]nlfSig, nt),
+		in:      make([]nlfSig, nt),
+	}
+	var buf []uint64
+	for vt := int32(0); vt < int32(nt); vt++ {
 		l := gt.NodeLabel(vt)
 		ix.byLabel[l] = append(ix.byLabel[l], vt)
+		buf = appendNLFKeys(buf[:0], gt, gt.OutNeighbors(vt), gt.OutEdgeLabels(vt))
+		ix.out[vt] = buildNLFSig(buf)
+		buf = appendNLFKeys(buf[:0], gt, gt.InNeighbors(vt), gt.InEdgeLabels(vt))
+		ix.in[vt] = buildNLFSig(buf)
 	}
 	return ix
 }
@@ -60,6 +89,97 @@ func (ix *Index) NumNodes() int { return ix.nt }
 // NumLabels returns the number of distinct node labels in the target.
 func (ix *Index) NumLabels() int { return len(ix.byLabel) }
 
+// nlfKey packs a (neighbor node label, edge label) pair into one
+// comparable word. Labels are int32, so the two halves never collide.
+func nlfKey(nodeLab, edgeLab graph.Label) uint64 {
+	return uint64(uint32(nodeLab))<<32 | uint64(uint32(edgeLab))
+}
+
+// nlfSig is one node's neighborhood-label-frequency signature in one
+// direction: sorted (neighbor label, edge label) keys with the number of
+// distinct neighbors per key. Self-loops are included as ordinary
+// incidences on both the pattern and the target side, which keeps the
+// domination test sound for every semantics (a pattern self-loop can
+// only map onto a target self-loop; under homomorphism a pattern edge
+// may map onto a target self-loop, whose key is then present).
+type nlfSig struct {
+	keys   []uint64
+	counts []int32
+}
+
+// appendNLFKeys appends one key per distinct (neighbor, edge label)
+// incidence of an adjacency row. Rows are sorted by neighbor id, so
+// parallel edges are contiguous; equal-label parallels are deduplicated
+// (they impose a single constraint), different-label parallels each
+// contribute their own key.
+func appendNLFKeys(dst []uint64, g *graph.Graph, adj []int32, labs []graph.Label) []uint64 {
+	for i := 0; i < len(adj); {
+		j := i
+		for j < len(adj) && adj[j] == adj[i] {
+			j++
+		}
+		nl := g.NodeLabel(adj[i])
+		for k := i; k < j; k++ {
+			dup := false
+			for m := i; m < k; m++ {
+				if labs[m] == labs[k] {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, nlfKey(nl, labs[k]))
+			}
+		}
+		i = j
+	}
+	return dst
+}
+
+// buildNLFSig sorts the key buffer and run-length encodes it into a
+// signature. The buffer may be reused afterwards; the signature owns
+// fresh storage.
+func buildNLFSig(keys []uint64) nlfSig {
+	if len(keys) == 0 {
+		return nlfSig{}
+	}
+	slices.Sort(keys)
+	var sig nlfSig
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		sig.keys = append(sig.keys, keys[i])
+		sig.counts = append(sig.counts, int32(j-i))
+		i = j
+	}
+	return sig
+}
+
+// dominates reports whether target signature t covers pattern signature
+// p: every pattern key must be present with at least the pattern's
+// count (multiset domination — sound under the injective semantics,
+// where distinct pattern neighbors need distinct images) or, under
+// homomorphism, with at least one distinct neighbor (set containment —
+// distinct pattern neighbors may collapse onto one image, but every
+// required labeled-edge kind must exist).
+func (t nlfSig) dominates(p nlfSig, hom bool) bool {
+	ti := 0
+	for pi, k := range p.keys {
+		for ti < len(t.keys) && t.keys[ti] < k {
+			ti++
+		}
+		if ti == len(t.keys) || t.keys[ti] != k {
+			return false
+		}
+		if !hom && t.counts[ti] < p.counts[pi] {
+			return false
+		}
+	}
+	return true
+}
+
 // Options configures domain computation.
 type Options struct {
 	// ACPasses bounds the number of arc-consistency sweeps: 0 means
@@ -67,53 +187,133 @@ type Options struct {
 	// what the original RI-DS description performs; the fixpoint is
 	// never weaker. The ablation bench compares the two.
 	ACPasses int
-	// SkipAC disables arc consistency entirely, leaving only the
-	// label/degree filter. Used by ablation benchmarks.
+	// SkipAC disables arc consistency entirely (the induced non-edge
+	// propagation included), leaving only the unary filters. Used by
+	// ablation benchmarks.
 	SkipAC bool
+	// SkipNLF disables the neighborhood-label-frequency filter, leaving
+	// the label/degree/self-loop unary filters. Used by ablation
+	// benchmarks and the differential tests.
+	SkipNLF bool
+	// SkipInducedAC disables the induced non-edge propagation while
+	// keeping the classic edge-support arc consistency. Only meaningful
+	// under graph.InducedIso. Used by ablations and differential tests.
+	SkipInducedAC bool
 	// Index, when non-nil and built for the same target, restricts the
 	// initial label/degree filter to each label's bucket instead of
-	// scanning every target node. Results are identical either way.
+	// scanning every target node, and supplies precomputed target NLF
+	// signatures. Results are identical either way.
 	Index *Index
 	// Semantics adjusts the filters to the matching semantics: under
 	// graph.Homomorphism the degree bounds are dropped (several pattern
 	// edges may collapse onto one target edge, so "image degree ≥
-	// pattern degree" would wrongly prune valid images). Arc consistency
+	// pattern degree" would wrongly prune valid images) and NLF
+	// domination weakens to set containment; under graph.InducedIso the
+	// unary self-loop filter and the arc-consistency sweep additionally
+	// enforce non-edge constraints. Arc consistency over pattern edges
 	// is sound for every semantics — it only requires each pattern edge
-	// to have some compatible target edge. The zero value is the paper's
-	// non-induced subgraph isomorphism.
+	// to have some compatible target edge. The zero value normalizes to
+	// the paper's non-induced subgraph isomorphism.
 	Semantics graph.Semantics
 }
 
 // Compute builds the domains of pattern gp against target gt.
 func Compute(gp, gt *graph.Graph, opts Options) *Domains {
+	sem := opts.Semantics.Norm()
 	np, nt := gp.NumNodes(), gt.NumNodes()
 	d := &Domains{sets: make([]*bitset.Set, np), nt: nt}
 
-	// Initial filter: equivalent labels and sufficient in/out degrees
-	// ("all nodes with in- and outdegree at least that of v_p's, and
-	// with labels that match v_p's", §4.1). With a label Index only the
-	// matching bucket is scanned; the label test is then implicit.
 	ix := opts.Index
 	if ix != nil && ix.nt != nt {
 		ix = nil // index built for a different target: ignore
 	}
+	hom := !sem.Injective()
+	induced := sem.Induced()
+
+	// Pattern-side unary state, computed once per pattern node: NLF
+	// signatures and self-loop label sets.
+	var psigOut, psigIn []nlfSig
+	if !opts.SkipNLF {
+		psigOut = make([]nlfSig, np)
+		psigIn = make([]nlfSig, np)
+		var buf []uint64
+		for vp := int32(0); vp < int32(np); vp++ {
+			buf = appendNLFKeys(buf[:0], gp, gp.OutNeighbors(vp), gp.OutEdgeLabels(vp))
+			psigOut[vp] = buildNLFSig(buf)
+			buf = appendNLFKeys(buf[:0], gp, gp.InNeighbors(vp), gp.InEdgeLabels(vp))
+			psigIn[vp] = buildNLFSig(buf)
+		}
+	}
+	selfLoops := patternSelfLoops(gp)
+
+	// Without an Index, target signatures are built on the fly and
+	// memoized per node: same-label pattern nodes share a candidate
+	// bucket, so each candidate would otherwise be re-encoded once per
+	// pattern node.
+	var scratch []uint64
+	var tout, tin []nlfSig
+	var tbuilt []bool
+	targetSigs := func(vt int32) (out, in nlfSig) {
+		if ix != nil {
+			return ix.out[vt], ix.in[vt]
+		}
+		if tbuilt == nil {
+			tout = make([]nlfSig, nt)
+			tin = make([]nlfSig, nt)
+			tbuilt = make([]bool, nt)
+		}
+		if !tbuilt[vt] {
+			scratch = appendNLFKeys(scratch[:0], gt, gt.OutNeighbors(vt), gt.OutEdgeLabels(vt))
+			tout[vt] = buildNLFSig(scratch)
+			scratch = appendNLFKeys(scratch[:0], gt, gt.InNeighbors(vt), gt.InEdgeLabels(vt))
+			tin[vt] = buildNLFSig(scratch)
+			tbuilt[vt] = true
+		}
+		return tout[vt], tin[vt]
+	}
+
+	// Initial unary filter per pattern node: equivalent labels,
+	// sufficient in/out degrees ("all nodes with in- and outdegree at
+	// least that of v_p's, and with labels that match v_p's", §4.1, only
+	// under the injective semantics), label-compatible self-loops (under
+	// induced semantics also the absence of extra target self-loops),
+	// and NLF domination. With a label Index only the matching bucket is
+	// scanned; the label test is then implicit.
 	for vp := int32(0); vp < int32(np); vp++ {
 		s := bitset.New(nt)
 		lab := gp.NodeLabel(vp)
 		din, dout := gp.InDegree(vp), gp.OutDegree(vp)
-		if !opts.Semantics.DegreePruning() {
+		if !sem.DegreePruning() {
 			din, dout = 0, 0
+		}
+		admit := func(vt int32) {
+			if gt.InDegree(vt) < din || gt.OutDegree(vt) < dout {
+				return
+			}
+			for _, l := range selfLoops[vp] {
+				if !gt.HasEdgeLabeled(vt, vt, l) {
+					return
+				}
+			}
+			if induced && len(selfLoops[vp]) == 0 && gt.HasEdge(vt, vt) {
+				return
+			}
+			if !opts.SkipNLF && (len(psigOut[vp].keys) > 0 || len(psigIn[vp].keys) > 0) {
+				tout, tin := targetSigs(vt)
+				if !tout.dominates(psigOut[vp], hom) || !tin.dominates(psigIn[vp], hom) {
+					return
+				}
+			}
+			s.Set(int(vt))
 		}
 		if ix != nil {
 			for _, vt := range ix.Nodes(lab) {
-				if gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
-					s.Set(int(vt))
-				}
+				admit(vt)
 			}
 		} else {
 			for vt := int32(0); vt < int32(nt); vt++ {
-				if gt.NodeLabel(vt) == lab && gt.InDegree(vt) >= din && gt.OutDegree(vt) >= dout {
-					s.Set(int(vt))
+				if gt.NodeLabel(vt) == lab {
+					admit(vt)
 				}
 			}
 		}
@@ -121,16 +321,35 @@ func Compute(gp, gt *graph.Graph, opts Options) *Domains {
 	}
 
 	if !opts.SkipAC {
-		d.arcConsistency(gp, gt, opts.ACPasses)
+		d.arcConsistency(gp, gt, opts.ACPasses, induced && !opts.SkipInducedAC)
 	}
 	return d
+}
+
+// patternSelfLoops collects, per pattern node, the distinct labels of
+// its self-loops.
+func patternSelfLoops(gp *graph.Graph) [][]graph.Label {
+	out := make([][]graph.Label, gp.NumNodes())
+	for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+		adj := gp.OutNeighbors(vp)
+		labs := gp.OutEdgeLabels(vp)
+		for i, w := range adj {
+			if w == vp && !slices.Contains(out[vp], labs[i]) {
+				out[vp] = append(out[vp], labs[i])
+			}
+		}
+	}
+	return out
 }
 
 // arcConsistency removes v_t from D(v_p) whenever some pattern edge at
 // v_p has no compatible counterpart at v_t (§4.1): for every edge
 // (v_p, w_p) there must be an edge-label-compatible w_t ∈ D(w_p) with
-// (v_t, w_t) ∈ E(G_t), and symmetrically for incoming edges.
-func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int) {
+// (v_t, w_t) ∈ E(G_t), and symmetrically for incoming edges. When
+// induced is set, each sweep additionally propagates the pattern
+// *non*-edge constraints (see inducedPass); both prunings share the
+// pass loop so they reach a joint fixpoint.
+func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, induced bool) {
 	np := gp.NumNodes()
 	for pass := 0; maxPasses == 0 || pass < maxPasses; pass++ {
 		changed := false
@@ -148,12 +367,18 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int) {
 			dom.ForEach(func(vti int) bool {
 				vt := int32(vti)
 				for i, wp := range outP {
+					if wp == vp {
+						continue // self-loops are a unary constraint
+					}
 					if !hasSupport(gt.OutNeighbors(vt), gt.OutEdgeLabels(vt), outL[i], d.sets[wp]) {
 						drop = append(drop, vti)
 						return true
 					}
 				}
 				for i, wp := range inP {
+					if wp == vp {
+						continue
+					}
 					if !hasSupport(gt.InNeighbors(vt), gt.InEdgeLabels(vt), inL[i], d.sets[wp]) {
 						drop = append(drop, vti)
 						return true
@@ -166,10 +391,86 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int) {
 				changed = true
 			}
 		}
+		if induced && d.inducedPass(gp, gt) {
+			changed = true
+		}
 		if !changed {
 			return
 		}
 	}
+}
+
+// inducedPass propagates the non-edge constraints of induced matching:
+// for an ordered pattern pair (v_p, w_p) with a missing edge in either
+// direction, a valid induced embedding maps w_p to some w_t ∈ D(w_p)
+// distinct from v_t (induced matching is injective) whose corresponding
+// target edges are missing too. A candidate v_t with no such support in
+// D(w_p) is removed.
+//
+// The support test is O(1) in the common case by pigeonhole: at most
+// OutDegree(v_t) target nodes have an edge from v_t, at most
+// InDegree(v_t) an edge to v_t, plus v_t itself — a domain larger than
+// that necessarily contains a support, so only small domains are
+// scanned. It returns whether any domain changed.
+func (d *Domains) inducedPass(gp, gt *graph.Graph) bool {
+	np := gp.NumNodes()
+	changed := false
+	for vp := int32(0); vp < int32(np); vp++ {
+		dom := d.sets[vp]
+		if dom.Empty() {
+			continue
+		}
+		for wp := int32(0); wp < int32(np); wp++ {
+			if wp == vp {
+				continue // the self pair is the unary self-loop filter
+			}
+			needOut := !gp.HasEdge(vp, wp) // pattern non-edge vp→wp
+			needIn := !gp.HasEdge(wp, vp)  // pattern non-edge wp→vp
+			if !needOut && !needIn {
+				continue
+			}
+			domW := d.sets[wp]
+			sizeW := domW.Count()
+			var drop []int
+			dom.ForEach(func(vti int) bool {
+				vt := int32(vti)
+				bound := 1 // v_t itself is never a valid image of w_p
+				if needOut {
+					bound += gt.OutDegree(vt)
+				}
+				if needIn {
+					bound += gt.InDegree(vt)
+				}
+				if sizeW > bound {
+					return true // pigeonhole: a non-adjacent support exists
+				}
+				supported := false
+				domW.ForEach(func(wti int) bool {
+					wt := int32(wti)
+					if wt == vt {
+						return true
+					}
+					if needOut && gt.HasEdge(vt, wt) {
+						return true
+					}
+					if needIn && gt.HasEdge(wt, vt) {
+						return true
+					}
+					supported = true
+					return false
+				})
+				if !supported {
+					drop = append(drop, vti)
+				}
+				return true
+			})
+			for _, vti := range drop {
+				dom.Clear(vti)
+				changed = true
+			}
+		}
+	}
+	return changed
 }
 
 // hasSupport reports whether some neighbor w_t (with matching edge label)

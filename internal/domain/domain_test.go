@@ -276,3 +276,146 @@ func BenchmarkCompute(b *testing.B) {
 		Compute(gp, gt, Options{})
 	}
 }
+
+// undirected adds both arcs of an undirected NoLabel edge to an edge
+// list.
+func undirected(pairs [][2]int32) [][3]int32 {
+	var out [][3]int32
+	for _, p := range pairs {
+		out = append(out, [3]int32{p[0], p[1], 0}, [3]int32{p[1], p[0], 0})
+	}
+	return out
+}
+
+// TestGoldenDomainSizes pins exact per-node domain sizes on small
+// fixtures for every (semantics, filter) combination that matters —
+// the golden tables proving each filter actually shrinks domains:
+//
+//   - nlfStar: the multiset NLF bound (a candidate with only one
+//     label-1 neighbor cannot host a pattern node needing two) prunes
+//     under the injective semantics and correctly does NOT prune under
+//     homomorphism, where the two pattern neighbors may collapse;
+//   - homBound: the set-containment NLF bound prunes hom candidates
+//     lacking a needed labeled-neighbor kind even with AC disabled —
+//     the ROADMAP's "sound hom label bound" over label-only domains;
+//   - inducedP3K3: the induced non-edge propagation wipes the domains
+//     of P3-into-K3 (no independent pair exists in a clique), proving
+//     unsatisfiability before any search;
+//   - loops: the unary self-loop filters (label-compatible self-loop
+//     required under every semantics; extra target self-loops rejected
+//     under induced).
+func TestGoldenDomainSizes(t *testing.T) {
+	// nlfStar: pattern 0(L0)–1(L1), 0–2(L1); target a0(L0)–{b1,c1 (L1)},
+	// d3(L0)–{e4 (L1), f5,g6 (L2)}.
+	nlfStarP := buildGraph([]graph.Label{0, 1, 1}, undirected([][2]int32{{0, 1}, {0, 2}}))
+	nlfStarT := buildGraph([]graph.Label{0, 1, 1, 0, 1, 2, 2},
+		undirected([][2]int32{{0, 1}, {0, 2}, {3, 4}, {3, 5}, {3, 6}}))
+
+	// homBound: pattern arc 0(L0)→1(L1); target h0(L0)→i1(L2),
+	// j2(L0)→k3(L1).
+	homBoundP := buildGraph([]graph.Label{0, 1}, [][3]int32{{0, 1, 0}})
+	homBoundT := buildGraph([]graph.Label{0, 2, 0, 1}, [][3]int32{{0, 1, 0}, {2, 3, 0}})
+
+	// inducedP3K3: path 0–1–2 into the triangle.
+	p3 := buildGraph([]graph.Label{0, 0, 0}, undirected([][2]int32{{0, 1}, {1, 2}}))
+	k3 := buildGraph([]graph.Label{0, 0, 0}, undirected([][2]int32{{0, 1}, {1, 2}, {0, 2}}))
+
+	// loops: single pattern node without a self-loop; target node 1
+	// carries one.
+	plain := buildGraph([]graph.Label{0}, nil)
+	looped := buildGraph([]graph.Label{0}, [][3]int32{{0, 0, 0}})
+	loopT := buildGraph([]graph.Label{0, 0}, [][3]int32{{1, 1, 0}})
+
+	cases := []struct {
+		name   string
+		gp, gt *graph.Graph
+		opts   Options
+		want   []int
+	}{
+		// The multiset bound prunes d3 (one L1 neighbor, two needed),
+		// and AC then drops e4 (its only L0 neighbor left the domain).
+		{"nlfStar/iso/filters", nlfStarP, nlfStarT, Options{Semantics: graph.SubgraphIso}, []int{1, 2, 2}},
+		{"nlfStar/iso/noNLF", nlfStarP, nlfStarT, Options{Semantics: graph.SubgraphIso, SkipNLF: true}, []int{2, 3, 3}},
+		{"nlfStar/induced/filters", nlfStarP, nlfStarT, Options{Semantics: graph.InducedIso}, []int{1, 2, 2}},
+		// Homomorphism: the two L1 pattern nodes may share e4, so d3
+		// must stay — set containment, not multiset domination.
+		{"nlfStar/hom/filters", nlfStarP, nlfStarT, Options{Semantics: graph.Homomorphism}, []int{2, 3, 3}},
+
+		// With AC off and NLF off, hom domains are label-only; NLF
+		// restores the sound neighborhood-label bound.
+		{"homBound/hom/labelOnly", homBoundP, homBoundT, Options{Semantics: graph.Homomorphism, SkipAC: true, SkipNLF: true}, []int{2, 1}},
+		{"homBound/hom/nlf", homBoundP, homBoundT, Options{Semantics: graph.Homomorphism, SkipAC: true}, []int{1, 1}},
+
+		// Induced non-edge propagation proves P3-into-K3 unsatisfiable;
+		// without it the domains stay full.
+		{"inducedP3K3/induced/filters", p3, k3, Options{Semantics: graph.InducedIso}, []int{0, 0, 0}},
+		{"inducedP3K3/induced/noIAC", p3, k3, Options{Semantics: graph.InducedIso, SkipInducedAC: true}, []int{3, 3, 3}},
+		{"inducedP3K3/iso/filters", p3, k3, Options{Semantics: graph.SubgraphIso}, []int{3, 3, 3}},
+
+		// Self-loop unary filters: a pattern self-loop needs a target
+		// self-loop under every semantics; under induced the absence of
+		// a pattern self-loop forbids one.
+		{"loops/iso/plain", plain, loopT, Options{Semantics: graph.SubgraphIso}, []int{2}},
+		{"loops/induced/plain", plain, loopT, Options{Semantics: graph.InducedIso}, []int{1}},
+		{"loops/iso/looped", looped, loopT, Options{Semantics: graph.SubgraphIso}, []int{1}},
+		{"loops/hom/looped", looped, loopT, Options{Semantics: graph.Homomorphism}, []int{1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := Compute(c.gp, c.gt, c.opts)
+			got := d.Sizes()
+			if len(got) != len(c.want) {
+				t.Fatalf("sizes = %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("sizes = %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestQuickFiltersMonotone: the NLF filter and the induced non-edge
+// propagation may only shrink domains relative to their disabled
+// configurations, under every semantics.
+func TestQuickFiltersMonotone(t *testing.T) {
+	sems := []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism}
+	f := func(seed int64) bool {
+		gp, gt, _ := randomInstance(seed)
+		for _, sem := range sems {
+			full := Compute(gp, gt, Options{Semantics: sem})
+			noNLF := Compute(gp, gt, Options{Semantics: sem, SkipNLF: true})
+			noIAC := Compute(gp, gt, Options{Semantics: sem, SkipInducedAC: true})
+			for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+				if !full.Of(vp).Subset(noNLF.Of(vp)) || !full.Of(vp).Subset(noIAC.Of(vp)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexSignaturesMatchOnTheFly: Compute with and without an Index
+// must produce identical domains — the Index only precomputes.
+func TestIndexSignaturesMatchOnTheFly(t *testing.T) {
+	sems := []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism}
+	for seed := int64(0); seed < 40; seed++ {
+		gp, gt, _ := randomInstance(seed)
+		ix := NewIndex(gt)
+		for _, sem := range sems {
+			with := Compute(gp, gt, Options{Semantics: sem, Index: ix})
+			without := Compute(gp, gt, Options{Semantics: sem})
+			for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+				if !with.Of(vp).Equal(without.Of(vp)) {
+					t.Fatalf("seed %d %v node %d: indexed %v vs scan %v",
+						seed, sem, vp, with.Of(vp), without.Of(vp))
+				}
+			}
+		}
+	}
+}

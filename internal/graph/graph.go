@@ -31,15 +31,27 @@ const NoLabel Label = 0
 // repository. All semantics preserve node labels (equal labels) and map
 // every pattern edge onto a label-compatible target edge of the same
 // direction; they differ in injectivity and in how pattern *non*-edges
-// constrain the target. The zero value is the paper's semantics.
+// constrain the target.
+//
+// The zero value is SemanticsUnset — "no semantics chosen" — so that an
+// explicitly chosen SubgraphIso is distinguishable from an Options
+// struct that simply left the field alone. Session defaults
+// (parsge.TargetOptions.DefaultSemantics) substitute only for unset
+// queries; the engines themselves normalize unset to SubgraphIso (the
+// paper's semantics) via Norm, so zero-valued engine options keep their
+// historical meaning.
 type Semantics int32
 
 const (
+	// SemanticsUnset is the zero value: no semantics was chosen. The
+	// public API resolves it against session defaults; every engine
+	// normalizes it to SubgraphIso.
+	SemanticsUnset Semantics = iota
 	// SubgraphIso is non-induced subgraph isomorphism (subgraph
-	// monomorphism), the semantics of Kimmig et al. §2.1 and the zero
-	// value: the mapping is injective and target edges not present in
-	// the pattern are ignored.
-	SubgraphIso Semantics = iota
+	// monomorphism), the semantics of Kimmig et al. §2.1 and the
+	// library default: the mapping is injective and target edges not
+	// present in the pattern are ignored.
+	SubgraphIso
 	// InducedIso is induced subgraph isomorphism: injective, and every
 	// ordered pattern non-edge (self-loops included) must map onto a
 	// target non-edge — the target may not add edges between images,
@@ -52,9 +64,22 @@ const (
 	Homomorphism
 )
 
+// Norm maps SemanticsUnset to the library default, SubgraphIso, and
+// returns every other value unchanged. Engines call it once at their
+// entry points so the zero value of their option structs keeps meaning
+// the paper's semantics.
+func (s Semantics) Norm() Semantics {
+	if s == SemanticsUnset {
+		return SubgraphIso
+	}
+	return s
+}
+
 // String returns the conventional name of the semantics.
 func (s Semantics) String() string {
 	switch s {
+	case SemanticsUnset:
+		return "unset"
 	case SubgraphIso:
 		return "subgraph-iso"
 	case InducedIso:
@@ -69,6 +94,7 @@ func (s Semantics) String() string {
 // Injective reports whether distinct pattern nodes must map to distinct
 // target nodes. Engines gate their used-set checks — and every
 // consequence of injectivity such as forward checking — on this.
+// SemanticsUnset behaves like its normalization, SubgraphIso.
 func (s Semantics) Injective() bool { return s != Homomorphism }
 
 // Induced reports whether pattern non-edges must map to target non-edges.
@@ -79,9 +105,10 @@ func (s Semantics) Induced() bool { return s == InducedIso }
 // onto one target edge, so it is not.
 func (s Semantics) DegreePruning() bool { return s != Homomorphism }
 
-// Valid reports whether s is one of the defined semantics constants.
+// Valid reports whether s is one of the defined semantics constants
+// (SemanticsUnset included — it normalizes to SubgraphIso).
 func (s Semantics) Valid() bool {
-	return s == SubgraphIso || s == InducedIso || s == Homomorphism
+	return s == SemanticsUnset || s == SubgraphIso || s == InducedIso || s == Homomorphism
 }
 
 // Graph is an immutable directed labeled graph in CSR form. Construct one
@@ -423,6 +450,32 @@ func (g *Graph) Simplify() *Graph {
 	}
 	// The node set and endpoints are unchanged, so Build cannot fail.
 	return b.MustBuild()
+}
+
+// Symmetric reports whether every arc (u, v, l) has a matching reverse
+// arc (v, u, l), with equal multiplicities — the property that lets the
+// graph be serialized in graphio's compact %undirected form. Self-loops
+// are their own reverse. It allocates; intended for I/O and tooling,
+// not search.
+func (g *Graph) Symmetric() bool {
+	unpaired := make(map[Edge]int)
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		rev := Edge{From: e.To, To: e.From, Label: e.Label}
+		if unpaired[rev] > 0 {
+			unpaired[rev]--
+		} else {
+			unpaired[e]++
+		}
+	}
+	for _, n := range unpaired {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Relabel returns the graph with node ids permuted by perm (node v of g

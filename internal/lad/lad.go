@@ -44,13 +44,18 @@ type Options struct {
 	// context is cancelled (polled every cancelCheckMask+1 states).
 	Ctx context.Context
 	// Index, when non-nil and built for the same target, narrows the
-	// initial domain filter to label buckets (see domain.Index).
+	// initial domain filter to label buckets and supplies precomputed
+	// NLF signatures (see domain.Index).
 	Index *domain.Index
-	// Semantics selects the matching semantics (zero value: non-induced
-	// subgraph isomorphism). Under graph.Homomorphism the AllDifferent
-	// propagation is skipped (no injectivity); under graph.InducedIso
-	// the propagation additionally removes the images' neighborhoods
-	// from the domains of pattern non-neighbors.
+	// SkipNLF / SkipInducedAC disable the corresponding preprocessing
+	// filters (ablation and differential testing); see domain.Options.
+	SkipNLF       bool
+	SkipInducedAC bool
+	// Semantics selects the matching semantics (zero value: normalized
+	// to non-induced subgraph isomorphism). Under graph.Homomorphism
+	// the AllDifferent propagation is skipped (no injectivity); under
+	// graph.InducedIso the propagation additionally removes the images'
+	// neighborhoods from the domains of pattern non-neighbors.
 	Semantics graph.Semantics
 }
 
@@ -103,9 +108,15 @@ type solver struct {
 func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	start := time.Now()
 	res := Result{}
+	opts.Semantics = opts.Semantics.Norm()
 
 	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
-	doms := domain.Compute(gp, gt, domain.Options{Index: opts.Index, Semantics: opts.Semantics})
+	doms := domain.Compute(gp, gt, domain.Options{
+		Index:         opts.Index,
+		SkipNLF:       opts.SkipNLF,
+		SkipInducedAC: opts.SkipInducedAC,
+		Semantics:     opts.Semantics,
+	})
 	if doms.AnyEmpty() {
 		res.Unsatisfiable = true
 		res.PreprocTime = time.Since(start)

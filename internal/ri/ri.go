@@ -74,10 +74,18 @@ type Options struct {
 	ACPasses int
 	// SkipAC disables arc consistency (ablation only).
 	SkipAC bool
-	// Semantics selects the matching semantics; the zero value is the
-	// paper's non-induced subgraph isomorphism (§2.1). InducedIso adds
-	// per-direction non-edge checks; Homomorphism drops injectivity (no
-	// used-set) and degree-based pruning. An extension beyond the paper.
+	// SkipNLF disables the neighborhood-label-frequency domain filter
+	// (ablation and differential testing); see domain.Options.SkipNLF.
+	SkipNLF bool
+	// SkipInducedAC disables the induced non-edge domain propagation
+	// (ablation and differential testing); see
+	// domain.Options.SkipInducedAC.
+	SkipInducedAC bool
+	// Semantics selects the matching semantics; the zero value
+	// (graph.SemanticsUnset) normalizes to the paper's non-induced
+	// subgraph isomorphism (§2.1). InducedIso adds per-direction
+	// non-edge checks; Homomorphism drops injectivity (no used-set) and
+	// degree-based pruning. An extension beyond the paper.
 	Semantics graph.Semantics
 	// OrderStrategy overrides the node-ordering ranking rule (ablation:
 	// order.DegreeOnly vs the default GreatestConstraintFirst).
@@ -194,6 +202,7 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 	if !opts.Semantics.Valid() {
 		return nil, fmt.Errorf("ri: unknown semantics %d", int32(opts.Semantics))
 	}
+	opts.Semantics = opts.Semantics.Norm()
 	// Duplicate pattern edges add no constraint under any of the
 	// supported semantics but would poison the degree-based pruning
 	// bounds; see graph.Simplify.
@@ -212,10 +221,12 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 
 	if opts.Variant.UsesDomains() {
 		p.Doms = domain.Compute(gp, gt, domain.Options{
-			ACPasses:  opts.ACPasses,
-			SkipAC:    opts.SkipAC,
-			Index:     p.Idx,
-			Semantics: opts.Semantics,
+			ACPasses:      opts.ACPasses,
+			SkipAC:        opts.SkipAC,
+			SkipNLF:       opts.SkipNLF,
+			SkipInducedAC: opts.SkipInducedAC,
+			Index:         p.Idx,
+			Semantics:     opts.Semantics,
 		})
 		if p.Doms.AnyEmpty() {
 			p.Unsat = true

@@ -14,13 +14,20 @@
 // The classic VF2 feasibility rules include lookahead counts over the
 // "terminal" sets (neighbors of the mapped region). For non-induced
 // matching only the conservative parts of those rules are valid; we use
-// degree lookahead and fringe-connectivity checks.
+// degree lookahead and fringe-connectivity checks — plus, by default,
+// the shared semantics-aware domain preprocessing of internal/domain
+// (label/degree/NLF filters and arc consistency): domains are computed
+// once before the search and consulted as the first feasibility rule,
+// so VF2 benefits from the same candidate reductions as the RI-DS
+// family while keeping its dynamic ordering. SkipDomains restores the
+// classic domain-free baseline for comparison runs.
 package vf2
 
 import (
 	"context"
 	"time"
 
+	"parsge/internal/domain"
 	"parsge/internal/graph"
 )
 
@@ -34,18 +41,35 @@ type Options struct {
 	// Ctx, when non-nil, cooperatively aborts the search soon after the
 	// context is cancelled (polled every cancelCheckMask+1 states).
 	Ctx context.Context
-	// Semantics selects the matching semantics (zero value: non-induced
-	// subgraph isomorphism, identical to internal/ri's default, so the
-	// engines stay interchangeable oracles across all semantics).
+	// Index, when non-nil and built for the same target, speeds up the
+	// domain preprocessing (label buckets + precomputed NLF signatures).
+	Index *domain.Index
+	// SkipDomains disables domain preprocessing entirely, restoring the
+	// classic VF2 baseline (label + degree + edge checks only). Used by
+	// comparison benchmarks and differential tests.
+	SkipDomains bool
+	// SkipNLF / SkipInducedAC disable individual domain filters
+	// (ablation and differential testing); see domain.Options.
+	SkipNLF       bool
+	SkipInducedAC bool
+	// Semantics selects the matching semantics (zero value: normalized
+	// to non-induced subgraph isomorphism, identical to internal/ri's
+	// default, so the engines stay interchangeable oracles across all
+	// semantics).
 	Semantics graph.Semantics
 }
 
 // Result reports an enumeration run.
 type Result struct {
-	Matches   int64
-	States    int64 // candidate pairs examined
-	MatchTime time.Duration
-	Aborted   bool
+	Matches int64
+	States  int64 // candidate pairs examined
+	// PreprocTime covers the domain computation (zero with SkipDomains).
+	PreprocTime time.Duration
+	MatchTime   time.Duration
+	Aborted     bool
+	// Unsatisfiable reports that domain preprocessing proved zero
+	// matches without any search.
+	Unsatisfiable bool
 }
 
 const cancelCheckMask = 0x3FF
@@ -53,6 +77,7 @@ const cancelCheckMask = 0x3FF
 type state struct {
 	gp, gt *graph.Graph
 	opts   Options
+	doms   *domain.Domains // nil with SkipDomains
 
 	core      []int32 // pattern node → target node or -1
 	used      []bool  // target node used
@@ -71,6 +96,7 @@ type state struct {
 // configured semantics (non-induced subgraph isomorphism by default).
 func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	start := time.Now()
+	opts.Semantics = opts.Semantics.Norm()
 	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
 	s := &state{
 		gp:        gp,
@@ -81,6 +107,20 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		injective: opts.Semantics.Injective(),
 		induced:   opts.Semantics.Induced(),
 		degPrune:  opts.Semantics.DegreePruning(),
+	}
+	res := Result{}
+	if !opts.SkipDomains {
+		s.doms = domain.Compute(gp, gt, domain.Options{
+			Index:         opts.Index,
+			SkipNLF:       opts.SkipNLF,
+			SkipInducedAC: opts.SkipInducedAC,
+			Semantics:     opts.Semantics,
+		})
+		res.PreprocTime = time.Since(start)
+		if gp.NumNodes() > 0 && s.doms.AnyEmpty() {
+			res.Unsatisfiable = true
+			return res
+		}
 	}
 	for i := range s.core {
 		s.core[i] = -1
@@ -94,16 +134,16 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	// Injective semantics cannot fit a larger pattern into a smaller
 	// target; homomorphisms can (images may coincide), so the size gate
 	// only applies when injective.
+	matchStart := time.Now()
 	sizeOK := !s.injective || gp.NumNodes() <= gt.NumNodes()
 	if !s.aborted && gp.NumNodes() > 0 && sizeOK {
 		s.match()
 	}
-	return Result{
-		Matches:   s.matches,
-		States:    s.states,
-		MatchTime: time.Since(start),
-		Aborted:   s.aborted,
-	}
+	res.Matches = s.matches
+	res.States = s.states
+	res.MatchTime = time.Since(matchStart)
+	res.Aborted = s.aborted
+	return res
 }
 
 // nextPatternNode picks the unmapped pattern node with dynamic ordering:
@@ -160,17 +200,25 @@ func (s *state) candidates(u int32) []int32 {
 // feasible validates mapping u→v under the configured semantics plus a
 // conservative degree lookahead (when Semantics.DegreePruning() — under
 // homomorphism several pattern edges may share one target edge, so the
-// degree bound would wrongly prune).
+// degree bound would wrongly prune). With domain preprocessing, the
+// domain membership test subsumes the label and degree rules and adds
+// the NLF and arc-consistency reductions.
 func (s *state) feasible(u, v int32) bool {
 	if s.injective && s.used[v] {
 		return false
 	}
-	if s.gt.NodeLabel(v) != s.gp.NodeLabel(u) {
-		return false
-	}
-	if s.degPrune &&
-		(s.gt.OutDegree(v) < s.gp.OutDegree(u) || s.gt.InDegree(v) < s.gp.InDegree(u)) {
-		return false
+	if s.doms != nil {
+		if !s.doms.Of(u).Test(int(v)) {
+			return false
+		}
+	} else {
+		if s.gt.NodeLabel(v) != s.gp.NodeLabel(u) {
+			return false
+		}
+		if s.degPrune &&
+			(s.gt.OutDegree(v) < s.gp.OutDegree(u) || s.gt.InDegree(v) < s.gp.InDegree(u)) {
+			return false
+		}
 	}
 	// Every mapped pattern neighbor must be consistent now.
 	adj := s.gp.OutNeighbors(u)
@@ -234,6 +282,15 @@ func (s *state) match() {
 				return
 			}
 		}
+		return
+	}
+	// No mapped pattern neighbor: candidates are u's precomputed domain
+	// when available, the whole target vertex set otherwise.
+	if s.doms != nil {
+		s.doms.Of(u).ForEach(func(vi int) bool {
+			s.try(u, int32(vi))
+			return !s.stopped
+		})
 		return
 	}
 	for v := int32(0); v < int32(s.gt.NumNodes()); v++ {

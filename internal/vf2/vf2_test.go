@@ -201,3 +201,43 @@ func TestHomomorphismFoldsPath(t *testing.T) {
 		t.Fatalf("P3 -> K2 subgraph isos = %d, want 0", res.Matches)
 	}
 }
+
+// TestDomainsMatchBaseline: the domain-backed default and the classic
+// domain-free baseline (SkipDomains) must count identically under every
+// semantics, while the default never explores more states — the wiring
+// of the shared pruning subsystem into VF2 is an optimization, not a
+// semantics change.
+func TestDomainsMatchBaseline(t *testing.T) {
+	sems := []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism}
+	for seed := int64(0); seed < 30; seed++ {
+		gp, gt := testutil.RandomInstance(seed, testutil.InstanceOptions{
+			TargetNodes: 10, TargetEdges: 30, PatternNodes: 4, Extract: seed%2 == 0, Nasty: seed%3 == 0,
+		})
+		for _, sem := range sems {
+			pruned := Enumerate(gp, gt, Options{Semantics: sem})
+			base := Enumerate(gp, gt, Options{Semantics: sem, SkipDomains: true})
+			if pruned.Matches != base.Matches {
+				t.Fatalf("seed %d %v: pruned=%d baseline=%d matches", seed, sem, pruned.Matches, base.Matches)
+			}
+			if pruned.States > base.States {
+				t.Errorf("seed %d %v: domains enlarged the search: %d > %d states",
+					seed, sem, pruned.States, base.States)
+			}
+		}
+	}
+}
+
+// TestUnsatisfiableViaDomains: a pattern whose label does not occur in
+// the target is rejected by preprocessing without visiting any state.
+func TestUnsatisfiableViaDomains(t *testing.T) {
+	bp := &graph.Builder{}
+	bp.AddNode(7)
+	gp := bp.MustBuild()
+	bt := &graph.Builder{}
+	bt.AddNodes(3)
+	gt := bt.MustBuild()
+	res := Enumerate(gp, gt, Options{})
+	if !res.Unsatisfiable || res.Matches != 0 || res.States != 0 {
+		t.Fatalf("want unsatisfiable with zero work, got %+v", res)
+	}
+}

@@ -62,15 +62,21 @@ import (
 )
 
 // Semantics selects what counts as a match; see the package comment and
-// the constants below. The zero value, SubgraphIso, is the semantics of
-// the source paper and of every release before the semantics axis was
-// introduced.
+// the constants below. The zero value is SemanticsUnset — "no semantics
+// chosen" — which resolves to the session's DefaultSemantics and then to
+// the library default, SubgraphIso (the semantics of the source paper).
+// Because unset and SubgraphIso are distinct values, an explicit
+// Semantics: SubgraphIso always wins over a Target's DefaultSemantics.
 type Semantics = graph.Semantics
 
 const (
-	// SubgraphIso is non-induced subgraph isomorphism (the default):
-	// injective, edge- and label-preserving; extra target edges between
-	// images are ignored.
+	// SemanticsUnset is the zero value: the query does not choose a
+	// semantics, deferring to TargetOptions.DefaultSemantics and then
+	// to the library default (SubgraphIso).
+	SemanticsUnset = graph.SemanticsUnset
+	// SubgraphIso is non-induced subgraph isomorphism (the library
+	// default): injective, edge- and label-preserving; extra target
+	// edges between images are ignored.
 	SubgraphIso = graph.SubgraphIso
 	// InducedIso is induced subgraph isomorphism: additionally, every
 	// ordered pattern non-edge (self-loops included) must map to a
@@ -191,19 +197,28 @@ type Options struct {
 	// context.WithTimeout layered over the ctx the session methods
 	// take, so both compose: whichever fires first aborts the query.
 	Timeout time.Duration
-	// Semantics selects the matching semantics: SubgraphIso (the zero
-	// value, the paper's non-induced subgraph isomorphism), InducedIso,
-	// or Homomorphism. Every engine — the RI family, the parallel
+	// Semantics selects the matching semantics: SubgraphIso (the
+	// paper's non-induced subgraph isomorphism), InducedIso, or
+	// Homomorphism. The zero value, SemanticsUnset, falls back to the
+	// session's TargetOptions.DefaultSemantics and then to SubgraphIso;
+	// an explicit choice — SubgraphIso included — always overrides the
+	// session default. Every engine — the RI family, the parallel
 	// engine, VF2 and LAD — supports all three, so cross-validation
 	// stays available under every semantics. An extension beyond the
 	// paper.
 	Semantics Semantics
 	// Induced is the legacy spelling of Semantics: InducedIso. It may
-	// accompany a Semantics of SubgraphIso (it then wins) or InducedIso,
-	// but contradicts Homomorphism (an error).
+	// accompany an unset Semantics or a redundant InducedIso; any other
+	// explicit Semantics — SubgraphIso included, now that the unset
+	// sentinel makes it an explicit choice — is a contradiction (an
+	// error).
 	//
 	// Deprecated: set Semantics instead.
 	Induced bool
+	// Pruning tunes the semantics-aware domain filters applied during
+	// preprocessing. The zero value enables everything; the fields are
+	// opt-outs for ablation, debugging and differential testing.
+	Pruning PruningOptions
 	// Visit is called for every match with the mapping indexed by
 	// pattern node id (mapping[patternNode] = targetNode). The slice is
 	// reused — copy it to retain. With Workers > 1 it is called
@@ -215,17 +230,40 @@ type Options struct {
 	Seed int64
 }
 
+// PruningOptions selects which of the semantics-aware domain filters
+// run during query preprocessing. All filters are sound under every
+// semantics they apply to — disabling one never changes match counts,
+// only the searched space — so these knobs exist for ablation
+// measurements and for differential tests that cross-check the filters
+// against unfiltered runs.
+type PruningOptions struct {
+	// DisableNLF turns off the neighborhood-label-frequency filter
+	// (candidate neighborhoods must dominate the pattern node's labeled
+	// neighborhood — multiset domination under the injective semantics,
+	// set containment under Homomorphism).
+	DisableNLF bool
+	// DisableInducedAC turns off the induced non-edge arc-consistency
+	// propagation (InducedIso only: pattern non-edges shrink the
+	// domains before the search).
+	DisableInducedAC bool
+}
+
 // resolveSemantics folds the legacy Induced flag into the Semantics
-// axis and validates the combination.
+// axis and validates the combination. SemanticsUnset (without Induced)
+// passes through so the session layer can substitute its default.
 func resolveSemantics(opts Options) (Semantics, error) {
 	if !opts.Semantics.Valid() {
 		return 0, fmt.Errorf("parsge: unknown semantics %d", int32(opts.Semantics))
 	}
 	if opts.Induced {
-		if opts.Semantics == Homomorphism {
-			return 0, fmt.Errorf("parsge: Options.Induced contradicts Semantics: Homomorphism")
+		switch opts.Semantics {
+		case SemanticsUnset, InducedIso:
+			return InducedIso, nil
+		default:
+			// Post-sentinel, any other Semantics is an explicit choice
+			// the legacy flag contradicts — SubgraphIso included.
+			return 0, fmt.Errorf("parsge: Options.Induced contradicts Semantics: %v", opts.Semantics)
 		}
-		return InducedIso, nil
 	}
 	return opts.Semantics, nil
 }
@@ -268,17 +306,11 @@ func Enumerate(pattern, target *Graph, opts Options) (Result, error) {
 	if pattern == nil || target == nil {
 		return Result{}, fmt.Errorf("parsge: nil graph")
 	}
-	t, err := NewTarget(target, oneShotOptions(opts.Algorithm))
+	t, err := NewTarget(target, TargetOptions{})
 	if err != nil {
 		return Result{}, err
 	}
 	return t.Enumerate(context.Background(), pattern, opts)
-}
-
-// oneShotOptions sizes a throwaway session for a single query: VF2
-// reads neither domains nor label buckets, so skip the index build.
-func oneShotOptions(a Algorithm) TargetOptions {
-	return TargetOptions{SkipLabelIndex: a == VF2}
 }
 
 // autoWorkerCount sizes the pool for AutoWorkers: one worker per
@@ -315,7 +347,7 @@ func FindAll(pattern, target *Graph, opts Options) ([][]int32, error) {
 	if pattern == nil || target == nil {
 		return nil, fmt.Errorf("parsge: nil graph")
 	}
-	t, err := NewTarget(target, oneShotOptions(opts.Algorithm))
+	t, err := NewTarget(target, TargetOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +398,7 @@ func EnumerateStream(pattern, target *Graph, opts Options) (<-chan Match, <-chan
 		done <- fmt.Errorf("parsge: nil graph")
 		return matches, done
 	}
-	t, err := NewTarget(target, oneShotOptions(opts.Algorithm))
+	t, err := NewTarget(target, TargetOptions{})
 	if err != nil {
 		matches := make(chan Match)
 		close(matches)

@@ -405,6 +405,15 @@ func TestInducedFacade(t *testing.T) {
 	if _, err := Count(gp, gt, Options{Semantics: Homomorphism, Induced: true}); err == nil {
 		t.Error("Induced + Homomorphism accepted")
 	}
+	// Post-sentinel, SubgraphIso is an explicit choice too, so the
+	// legacy flag contradicts it instead of silently winning.
+	if _, err := Count(gp, gt, Options{Semantics: SubgraphIso, Induced: true}); err == nil {
+		t.Error("Induced + explicit SubgraphIso accepted")
+	}
+	// The redundant spelling stays valid.
+	if got, err := Count(gp, gt, Options{Semantics: InducedIso, Induced: true}); err != nil || got != ind {
+		t.Errorf("Semantics: InducedIso + Induced = %d, %v; want %d", got, err, ind)
+	}
 	if _, err := Count(gp, gt, Options{Semantics: Semantics(42)}); err == nil {
 		t.Error("unknown Semantics accepted")
 	}

@@ -15,8 +15,11 @@ var allSemantics = []Semantics{SubgraphIso, InducedIso, Homomorphism}
 
 // engineConfigs are the engine configurations the differential tests run
 // against the brute-force oracle: the four RI variants, the parallel
-// engine (which inherits semantics through the shared ri.Prepare), and
-// the two independent baselines.
+// engine (which inherits semantics through the shared ri.Prepare), the
+// two independent baselines, and filter-toggled variants of each domain
+// consumer — every new pruning filter is differentially validated both
+// on (the default) and off, so an unsound filter and a filter whose
+// absence breaks a code path are both caught.
 var engineConfigs = []struct {
 	name string
 	opts Options
@@ -29,6 +32,10 @@ var engineConfigs = []struct {
 	{"parallel-RI-DS-SI-FC", Options{Algorithm: RIDSSIFC, Workers: 4, TaskGroupSize: 2}},
 	{"VF2", Options{Algorithm: VF2}},
 	{"LAD", Options{Algorithm: LAD}},
+	{"RI-DS-SI-FC/noNLF", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{DisableNLF: true}}},
+	{"RI-DS-SI-FC/noInducedAC", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{DisableInducedAC: true}}},
+	{"LAD/noNLF", Options{Algorithm: LAD, Pruning: PruningOptions{DisableNLF: true}}},
+	{"VF2/noInducedAC", Options{Algorithm: VF2, Pruning: PruningOptions{DisableInducedAC: true}}},
 }
 
 // countAllEngines runs every engine configuration under sem and fails the
@@ -269,9 +276,13 @@ func TestSemanticsContainment(t *testing.T) {
 }
 
 // TestTargetDefaultSemantics: a session-level default applies to queries
-// that don't choose a semantics and is overridden by ones that do.
+// that don't choose a semantics and is overridden by ones that do —
+// including an explicit Semantics: SubgraphIso, which is distinguishable
+// from "unset" since the SemanticsUnset zero value was introduced
+// (regression: it used to be silently replaced by the default, making a
+// hom-default Target unqueryable under plain subgraph isomorphism).
 func TestTargetDefaultSemantics(t *testing.T) {
-	gp, gt := pathGraph(3), cycleGraph(3)
+	gp, gt := pathGraph(3), cycleGraph(3) // 6 iso / 0 induced / 12 hom
 	tgt, err := NewTarget(gt, TargetOptions{DefaultSemantics: Homomorphism})
 	if err != nil {
 		t.Fatal(err)
@@ -280,20 +291,103 @@ func TestTargetDefaultSemantics(t *testing.T) {
 	if n, err := tgt.Count(ctx, gp, Options{}); err != nil || n != 12 {
 		t.Errorf("default semantics: got %d, %v; want 12 homs", n, err)
 	}
+	if n, err := tgt.Count(ctx, gp, Options{Semantics: SubgraphIso}); err != nil || n != 6 {
+		t.Errorf("explicit SubgraphIso overrides default: got %d, %v; want 6 isos", n, err)
+	}
+	if n, err := tgt.Count(ctx, gp, Options{Semantics: InducedIso}); err != nil || n != 0 {
+		t.Errorf("explicit InducedIso overrides default: got %d, %v; want 0", n, err)
+	}
 	if n, err := tgt.Count(ctx, gp, Options{Induced: true}); err != nil || n != 0 {
 		t.Errorf("Induced overrides default: got %d, %v; want 0", n, err)
 	}
 	if _, err := NewTarget(gt, TargetOptions{DefaultSemantics: Semantics(9)}); err == nil {
 		t.Error("invalid DefaultSemantics accepted")
 	}
+	// The override must hold for every engine, not just the default one.
+	for _, ec := range engineConfigs {
+		opts := ec.opts
+		opts.Semantics = SubgraphIso
+		if n, err := tgt.Count(ctx, gp, opts); err != nil || n != 6 {
+			t.Errorf("%s: explicit SubgraphIso on hom-default target: got %d, %v; want 6", ec.name, n, err)
+		}
+	}
+}
+
+// TestTargetDefaultWorkersExplicitSequential: Workers: 1 is the explicit
+// spelling of "sequential" and must not be replaced by DefaultWorkers
+// (only the zero value is). The sequential engine reports no per-worker
+// breakdown, which is how the two paths are told apart.
+func TestTargetDefaultWorkersExplicitSequential(t *testing.T) {
+	gp, gt := pathGraph(3), cycleGraph(6)
+	tgt, err := NewTarget(gt, TargetOptions{DefaultWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := tgt.Enumerate(ctx, gp, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerWorkerStates != nil {
+		t.Errorf("Workers: 1 ran the parallel engine (%d workers) despite the explicit sequential request",
+			len(res.PerWorkerStates))
+	}
+	res, err = tgt.Enumerate(ctx, gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorkerStates) != 4 {
+		t.Errorf("unset Workers: got %d per-worker entries, want the default pool of 4", len(res.PerWorkerStates))
+	}
+}
+
+// TestEnumerateBatchItemsMixedSemantics: one batch over one shared pool
+// answers patterns under different matching semantics; unset items fall
+// back to the batch Options, then to the Target default.
+func TestEnumerateBatchItemsMixedSemantics(t *testing.T) {
+	gp, gt := pathGraph(3), cycleGraph(3) // 6 iso / 0 induced / 12 hom
+	tgt, err := NewTarget(gt, TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []BatchItem{
+		{Pattern: gp, Semantics: SubgraphIso},
+		{Pattern: gp, Semantics: InducedIso},
+		{Pattern: gp, Semantics: Homomorphism},
+		{Pattern: gp}, // falls back to the batch Options below
+	}
+	want := []int64{6, 0, 12, 12}
+	for _, workers := range []int{1, 3} {
+		res, err := tgt.EnumerateBatchItems(context.Background(), items,
+			Options{Semantics: Homomorphism, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res {
+			if r.Matches != want[i] {
+				t.Errorf("workers=%d item %d: got %d matches, want %d", workers, i, r.Matches, want[i])
+			}
+		}
+	}
+	// A per-item choice also wins over the legacy Induced flag.
+	res, err := tgt.EnumerateBatchItems(context.Background(),
+		[]BatchItem{{Pattern: gp, Semantics: Homomorphism}, {Pattern: gp}},
+		Options{Induced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Matches != 12 || res[1].Matches != 0 {
+		t.Errorf("Induced batch with hom item: got %d/%d, want 12/0", res[0].Matches, res[1].Matches)
+	}
 }
 
 // TestSemanticsString pins the names used in logs and CLI output.
 func TestSemanticsString(t *testing.T) {
 	for sem, want := range map[Semantics]string{
-		SubgraphIso:  "subgraph-iso",
-		InducedIso:   "induced-iso",
-		Homomorphism: "homomorphism",
+		SemanticsUnset: "unset",
+		SubgraphIso:    "subgraph-iso",
+		InducedIso:     "induced-iso",
+		Homomorphism:   "homomorphism",
 	} {
 		if sem.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int32(sem), sem.String(), want)

@@ -25,20 +25,23 @@ type TargetOptions struct {
 	// where the index memory matters.
 	SkipLabelIndex bool
 	// DefaultWorkers replaces Options.Workers for queries that leave it
-	// at zero: a service can configure its parallelism once per target
-	// instead of at every call site. Zero keeps the library default
-	// (sequential); AutoWorkers sizes the pool per query.
+	// at zero ("unset"): a service can configure its parallelism once
+	// per target instead of at every call site. Zero keeps the library
+	// default (sequential); AutoWorkers sizes the pool per query. A
+	// query that explicitly wants the sequential engine on such a
+	// Target sets Workers: 1 — the explicit spelling of sequential,
+	// never substituted.
 	DefaultWorkers int
 	// DefaultSemantics replaces Options.Semantics for queries that
-	// leave both Semantics and the legacy Induced flag at their zero
-	// values: a service can fix the matching semantics once per target.
-	// The zero value keeps the library default (SubgraphIso).
+	// leave it at SemanticsUnset (and don't set the legacy Induced
+	// flag): a service can fix the matching semantics once per target.
+	// The zero value (SemanticsUnset) keeps the library default
+	// (SubgraphIso).
 	//
-	// Like DefaultWorkers, the substitution keys on the zero value, so
-	// a Target built with a non-default DefaultSemantics cannot be
-	// queried under SubgraphIso (an explicit Semantics: SubgraphIso is
-	// indistinguishable from unset); build a plain Target for those
-	// queries.
+	// Because SemanticsUnset and SubgraphIso are distinct values, an
+	// explicit Options{Semantics: SubgraphIso} always overrides this
+	// default — a hom- or induced-default Target remains fully
+	// queryable under plain subgraph isomorphism.
 	DefaultSemantics Semantics
 }
 
@@ -148,34 +151,46 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 	if opts.Workers == 0 {
 		opts.Workers = t.defaultWorkers
 	}
-	if opts.Semantics == SubgraphIso && !opts.Induced {
-		opts.Semantics = t.defaultSemantics
-	}
+	// Fold the legacy Induced flag first (an explicit choice), then let
+	// the session default stand in for a query that chose nothing, and
+	// finally normalize to the library default. An explicit Semantics —
+	// SubgraphIso included — is never overridden.
 	sem, err := resolveSemantics(opts)
 	if err != nil {
 		return Result{}, err
 	}
+	if sem == SemanticsUnset {
+		sem = t.defaultSemantics
+	}
+	sem = sem.Norm()
 	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
 		if opts.Algorithm == VF2 {
 			res := vf2.Enumerate(pattern, t.g, vf2.Options{
-				Limit:     opts.Limit,
-				Visit:     opts.Visit,
-				Ctx:       ctx,
-				Semantics: sem,
+				Limit:         opts.Limit,
+				Visit:         opts.Visit,
+				Ctx:           ctx,
+				Index:         t.index,
+				SkipNLF:       opts.Pruning.DisableNLF,
+				SkipInducedAC: opts.Pruning.DisableInducedAC,
+				Semantics:     sem,
 			})
 			return Result{
-				Matches:   res.Matches,
-				States:    res.States,
-				MatchTime: res.MatchTime,
-				TimedOut:  res.Aborted,
+				Matches:       res.Matches,
+				States:        res.States,
+				PreprocTime:   res.PreprocTime,
+				MatchTime:     res.MatchTime,
+				TimedOut:      res.Aborted,
+				Unsatisfiable: res.Unsatisfiable,
 			}, nil
 		}
 		res := lad.Enumerate(pattern, t.g, lad.Options{
-			Limit:     opts.Limit,
-			Visit:     opts.Visit,
-			Ctx:       ctx,
-			Index:     t.index,
-			Semantics: sem,
+			Limit:         opts.Limit,
+			Visit:         opts.Visit,
+			Ctx:           ctx,
+			Index:         t.index,
+			SkipNLF:       opts.Pruning.DisableNLF,
+			SkipInducedAC: opts.Pruning.DisableInducedAC,
+			Semantics:     sem,
 		})
 		return Result{
 			Matches:       res.Matches,
@@ -191,9 +206,11 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 	}
 
 	prep, err := ri.Prepare(pattern, t.g, ri.Options{
-		Variant:     ri.Variant(opts.Algorithm),
-		Semantics:   sem,
-		TargetIndex: t.index,
+		Variant:       ri.Variant(opts.Algorithm),
+		Semantics:     sem,
+		SkipNLF:       opts.Pruning.DisableNLF,
+		SkipInducedAC: opts.Pruning.DisableInducedAC,
+		TargetIndex:   t.index,
 	})
 	if err != nil {
 		return Result{}, err
@@ -263,24 +280,48 @@ func (t *Target) FindAll(ctx context.Context, pattern *Graph, opts Options) ([][
 	return all, nil
 }
 
+// BatchItem is one query of a mixed batch: a pattern plus optional
+// per-pattern overrides of the batch-wide Options.
+type BatchItem struct {
+	// Pattern is the query graph.
+	Pattern *Graph
+	// Semantics, when not SemanticsUnset, selects this pattern's
+	// matching semantics, overriding the batch Options (the Semantics
+	// field and the legacy Induced flag alike) — so one batch, served
+	// by one shared worker pool, can mix subgraph-iso, induced and
+	// homomorphism queries. SemanticsUnset falls back to the batch
+	// Options, then to the Target's DefaultSemantics.
+	Semantics Semantics
+}
+
 // batchRunner schedules whole pattern queries as tasks of the shared
-// work-stealing pool: each task is a pattern index, executed as one
+// work-stealing pool: each task is an item index, executed as one
 // sequential enumeration. Distinct tasks write distinct result slots,
 // and steal.Runtime.Run's completion barrier publishes them to the
 // caller.
 type batchRunner struct {
 	t        *Target
 	ctx      context.Context
-	patterns []*Graph
+	items    []BatchItem
 	opts     Options
 	results  []Result
 	errs     []error
 	executed []bool
 }
 
+// optsFor applies item i's overrides to the batch-wide options.
+func (b *batchRunner) optsFor(i int) Options {
+	o := b.opts
+	if s := b.items[i].Semantics; s != SemanticsUnset {
+		o.Semantics = s
+		o.Induced = false // the explicit per-item choice wins
+	}
+	return o
+}
+
 func (b *batchRunner) Execute(_ *steal.Worker[int], i int) {
 	b.executed[i] = true
-	b.results[i], b.errs[i] = b.t.enumerate(b.ctx, b.patterns[i], b.opts)
+	b.results[i], b.errs[i] = b.t.enumerate(b.ctx, b.items[i].Pattern, b.optsFor(i))
 }
 
 func (b *batchRunner) PackSteal(_ *steal.Worker[int], i int) int { return i }
@@ -304,9 +345,24 @@ func (b *batchRunner) PackSteal(_ *steal.Worker[int], i int) int { return i }
 // error is the join of all per-pattern errors (nil when every query
 // succeeded); Results of failed patterns are zero.
 func (t *Target) EnumerateBatch(ctx context.Context, patterns []*Graph, opts Options) ([]Result, error) {
-	results := make([]Result, len(patterns))
-	errs := make([]error, len(patterns))
-	if len(patterns) == 0 {
+	items := make([]BatchItem, len(patterns))
+	for i, gp := range patterns {
+		items[i] = BatchItem{Pattern: gp}
+	}
+	return t.EnumerateBatchItems(ctx, items, opts)
+}
+
+// EnumerateBatchItems is EnumerateBatch with per-pattern overrides:
+// each BatchItem may choose its own matching semantics, so a mixed
+// workload (say, motif counting under subgraph-iso next to clique
+// detection under induced and reachability-style homomorphism queries)
+// shares one work-stealing pool instead of needing one batch per
+// semantics. Scheduling, cancellation and the result contract are
+// exactly those of EnumerateBatch.
+func (t *Target) EnumerateBatchItems(ctx context.Context, items []BatchItem, opts Options) ([]Result, error) {
+	results := make([]Result, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
 		return results, nil
 	}
 	qctx, stop := queryContext(ctx, opts.Timeout)
@@ -316,36 +372,37 @@ func (t *Target) EnumerateBatch(ctx context.Context, patterns []*Graph, opts Opt
 	if workers == 0 || workers == AutoWorkers {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(patterns) {
-		workers = len(patterns)
+	if workers > len(items) {
+		workers = len(items)
 	}
 
 	perQuery := opts
 	perQuery.Workers = 1 // parallelism is across patterns
 	perQuery.Timeout = 0 // already folded into qctx
 
+	runner := &batchRunner{
+		t:        t,
+		ctx:      qctx,
+		items:    items,
+		opts:     perQuery,
+		results:  results,
+		errs:     errs,
+		executed: make([]bool, len(items)),
+	}
+
 	if workers <= 1 {
-		for i, gp := range patterns {
-			results[i], errs[i] = t.enumerate(qctx, gp, perQuery)
+		for i := range items {
+			results[i], errs[i] = t.enumerate(qctx, items[i].Pattern, runner.optsFor(i))
 		}
 		return results, errors.Join(errs...)
 	}
 
-	runner := &batchRunner{
-		t:        t,
-		ctx:      qctx,
-		patterns: patterns,
-		opts:     perQuery,
-		results:  results,
-		errs:     errs,
-		executed: make([]bool, len(patterns)),
-	}
 	rt, err := steal.New(steal.Config{Workers: workers, Stealing: true, Seed: opts.Seed}, runner)
 	if err != nil {
 		// workers ≥ 2 here; steal.New cannot fail.
 		panic(err)
 	}
-	for i := range patterns {
+	for i := range items {
 		rt.Seed(i%workers, i)
 	}
 	rt.Run(qctx)
