@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -33,16 +34,38 @@ var experiments = []string{
 	"ablations",
 }
 
+// ablations maps the -ablation names to their suite methods, so a
+// single ablation can be (re)run without paying for all of them.
+var ablations = map[string]func(*bench.Suite) bench.AblationResult{
+	"stealend":  (*bench.Suite).AblationStealEnd,
+	"eagercopy": (*bench.Suite).AblationEagerCopy,
+	"initdist":  (*bench.Suite).AblationInitialDistribution,
+	"ac":        (*bench.Suite).AblationArcConsistency,
+	"ordering":  (*bench.Suite).AblationOrdering,
+	"pruning":   (*bench.Suite).AblationPruningFilters,
+	"adaptive":  (*bench.Suite).AblationAdaptiveSchedule,
+}
+
+func ablationNames() []string {
+	names := make([]string, 0, len(ablations))
+	for n := range ablations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiments to run: all, or comma-separated subset of "+strings.Join(experiments, ","))
-		scale   = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
-		seed    = flag.Int64("seed", 20170525, "generation and scheduling seed")
-		timeout = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
-		long    = flag.Duration("long", 50*time.Millisecond, "short/long split threshold (paper: 1s at scale 1.0)")
-		maxInst = flag.Int("max", 60, "max instances per experiment (0 = all)")
-		workers = flag.String("workers", "1,2,4,8,16", "comma-separated worker sweep")
-		csvDir  = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiments to run: all, or comma-separated subset of "+strings.Join(experiments, ","))
+		ablation = flag.String("ablation", "", "run a single named ablation instead of -exp: one of "+strings.Join(ablationNames(), ","))
+		scale    = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
+		seed     = flag.Int64("seed", 20170525, "generation and scheduling seed")
+		timeout  = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
+		long     = flag.Duration("long", 50*time.Millisecond, "short/long split threshold (paper: 1s at scale 1.0)")
+		maxInst  = flag.Int("max", 60, "max instances per experiment (0 = all)")
+		workers  = flag.String("workers", "1,2,4,8,16", "comma-separated worker sweep")
+		csvDir   = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	)
 	flag.Parse()
 
@@ -65,6 +88,18 @@ func main() {
 		Out:           os.Stdout,
 		CSVDir:        *csvDir,
 	}).Defaults()
+
+	if *ablation != "" {
+		run, ok := ablations[strings.TrimSpace(strings.ToLower(*ablation))]
+		if !ok {
+			exitOn(fmt.Errorf("unknown ablation %q (want one of %s)", *ablation, strings.Join(ablationNames(), ", ")))
+		}
+		start := time.Now()
+		fmt.Printf("sgebench: ablation=%s scale=%.3g seed=%d timeout=%v\n", *ablation, *scale, *seed, *timeout)
+		run(s)
+		fmt.Printf("\nsgebench: done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	selected := map[string]bool{}
 	if *exp == "all" {

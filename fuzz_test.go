@@ -186,20 +186,38 @@ func FuzzContainment(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gp, gt := decodeContainmentPair(data)
+		// The last input byte steers the two engines to *different*
+		// points of the schedule space (schedule, AC depth, filter
+		// toggles), so the cross-check also differentially validates the
+		// adaptive scheduler: a plan-dependent count breaks the equality
+		// below even when it breaks it in only one engine.
+		var knobs byte
+		if len(data) > 0 {
+			knobs = data[len(data)-1]
+		}
+		riPruning := PruningOptions{
+			Schedule:   []Schedule{ScheduleAuto, ScheduleFixed}[knobs&1],
+			ACPasses:   int(knobs >> 1 & 1),
+			DisableNLF: knobs>>2&1 == 1,
+		}
+		ladPruning := PruningOptions{
+			Schedule:         []Schedule{ScheduleFixed, ScheduleAuto}[knobs&1],
+			DisableInducedAC: knobs>>3&1 == 1,
+		}
 		var counts [3]int64
 		sems := []Semantics{InducedIso, SubgraphIso, Homomorphism}
 		for i, sem := range sems {
-			ri, err := Count(gp, gt, Options{Algorithm: RIDSSIFC, Semantics: sem})
+			ri, err := Count(gp, gt, Options{Algorithm: RIDSSIFC, Semantics: sem, Pruning: riPruning})
 			if err != nil {
 				t.Fatalf("RI-DS-SI-FC under %v: %v\npattern=%v target=%v", sem, err, gp.Edges(), gt.Edges())
 			}
-			lad, err := Count(gp, gt, Options{Algorithm: LAD, Semantics: sem})
+			lad, err := Count(gp, gt, Options{Algorithm: LAD, Semantics: sem, Pruning: ladPruning})
 			if err != nil {
 				t.Fatalf("LAD under %v: %v\npattern=%v target=%v", sem, err, gp.Edges(), gt.Edges())
 			}
 			if ri != lad {
-				t.Fatalf("engines disagree under %v: RI-DS-SI-FC=%d LAD=%d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
-					sem, ri, lad, gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
+				t.Fatalf("engines disagree under %v (knobs=%#x): RI-DS-SI-FC=%d LAD=%d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
+					sem, knobs, ri, lad, gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
 			}
 			counts[i] = ri
 		}

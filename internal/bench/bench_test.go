@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"parsge/internal/datasets"
+	"parsge/internal/domain"
 	"parsge/internal/graph"
 )
 
@@ -208,8 +210,8 @@ func TestFig12(t *testing.T) {
 func TestAblations(t *testing.T) {
 	var out bytes.Buffer
 	res := tinySuite(&out).Ablations()
-	if len(res) != 6 {
-		t.Fatalf("ablations = %d, want 6", len(res))
+	if len(res) != 7 {
+		t.Fatalf("ablations = %d, want 7", len(res))
 	}
 	for _, a := range res {
 		if len(a.Rows) < 2 {
@@ -290,6 +292,49 @@ func TestAblationPruningFilters(t *testing.T) {
 	}
 }
 
+// TestAblationAdaptiveSchedule is the acceptance check for the adaptive
+// preprocessing scheduler: on both the dense (PPIS32) and the sparse
+// (PDBSv1) collection, under every semantics, Auto must never be slower
+// than the *worst* Fixed configuration of the schedule space it chooses
+// from — the minimal bar for an adaptive policy. The comparison uses
+// mean total time (preprocessing + search, the quantity the schedule
+// trades) with a tolerance plus an absolute floor, since the tiny test
+// instances run in microseconds where scheduler noise dominates.
+func TestAblationAdaptiveSchedule(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).AblationAdaptiveSchedule()
+
+	rows := make(map[string]AblationRow, len(res.Rows))
+	for _, r := range res.Rows {
+		rows[r.Name] = r
+	}
+	for _, coll := range []string{"PPIS32", "PDBSv1"} {
+		for _, sem := range pruningSemantics {
+			auto, ok := rows[ScheduleRowName(coll, sem, "Auto")]
+			if !ok {
+				t.Fatalf("%s/%v: missing Auto row", coll, sem)
+			}
+			worst, worstName := 0.0, ""
+			for _, fc := range scheduleFixedConfigs {
+				r, ok := rows[ScheduleRowName(coll, sem, fc.name)]
+				if !ok {
+					continue // induced-only row outside InducedIso
+				}
+				if r.MeanTotalTime > worst {
+					worst, worstName = r.MeanTotalTime, fc.name
+				}
+			}
+			if worstName == "" {
+				t.Fatalf("%s/%v: no Fixed rows", coll, sem)
+			}
+			if auto.MeanTotalTime > worst*1.5+0.002 {
+				t.Errorf("%s under %v: Auto (%.6fs) slower than the worst Fixed configuration %q (%.6fs)",
+					coll, sem, auto.MeanTotalTime, worstName, worst)
+			}
+		}
+	}
+}
+
 func TestRecordHelpers(t *testing.T) {
 	r := Record{Preproc: time.Second, Match: 2 * time.Second}
 	if r.Total() != 3*time.Second {
@@ -349,5 +394,33 @@ func TestCSVExport(t *testing.T) {
 func TestSanitize(t *testing.T) {
 	if got := sanitize("steal end (§3.2(ii): back = near root)"); got != "steal_end_32ii_back_near_root" {
 		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+// TestCompactNLFMemoryOnLargestTarget: on the largest target the suite
+// generates (across all three collections), the compact NLF signature
+// representation must use less index memory than the exact one — the
+// bound it exists to provide — while the metamorphic battery at the
+// repository root proves counts are unchanged.
+func TestCompactNLFMemoryOnLargestTarget(t *testing.T) {
+	s := tinySuite(nil)
+	var largest *graph.Graph
+	for _, name := range datasets.Names() {
+		for _, gt := range s.collection(name).Targets {
+			if largest == nil || gt.NumEdges() > largest.NumEdges() {
+				largest = gt
+			}
+		}
+	}
+	if largest == nil {
+		t.Fatal("no targets generated")
+	}
+	exact := domain.NewIndexMode(largest, domain.NLFExact)
+	compact := domain.NewIndexMode(largest, domain.NLFCompact)
+	em, cm := exact.NLFMemoryBytes(), compact.NLFMemoryBytes()
+	t.Logf("largest target: %d nodes, %d edges; exact NLF = %d bytes, compact = %d bytes",
+		largest.NumNodes(), largest.NumEdges(), em, cm)
+	if cm >= em {
+		t.Errorf("compact NLF did not reduce index memory: exact %d bytes, compact %d bytes", em, cm)
 	}
 }

@@ -87,7 +87,8 @@ func (s *Suite) csvSpeedupTable(name string, t SpeedupTable) {
 			f64(r.All.Avg), f64(r.All.GMean), f64(r.All.Max),
 			f64(r.Short.Avg), f64(r.Short.GMean), f64(r.Short.Max),
 			f64(r.Long.Avg), f64(r.Long.GMean), f64(r.Long.Max),
-			f64(r.WorkAvg), f64(r.WorkMax), strconv.Itoa(r.Timeouts),
+			f64(r.WorkAvg), f64(r.WorkMax),
+			f64(r.MeanPreproc), f64(r.MeanMatch), strconv.Itoa(r.Timeouts),
 		})
 	}
 	s.csvOut(name, []string{
@@ -95,7 +96,7 @@ func (s *Suite) csvSpeedupTable(name string, t SpeedupTable) {
 		"all_avg", "all_gmean", "all_max",
 		"short_avg", "short_gmean", "short_max",
 		"long_avg", "long_gmean", "long_max",
-		"work_avg", "work_max", "timeouts",
+		"work_avg", "work_max", "preproc_s", "match_s", "timeouts",
 	}, rows)
 }
 
@@ -133,10 +134,10 @@ func (s *Suite) csvFig10(res Fig10Result) {
 	for _, c := range res.Cells {
 		rows = append(rows, []string{
 			c.Collection, c.Algorithm, strconv.Itoa(c.Workers),
-			f64(c.MeanTotal), f64(c.MeanTotalShort), f64(c.MeanTotalLong),
+			f64(c.MeanTotal), f64(c.MeanPreproc), f64(c.MeanTotalShort), f64(c.MeanTotalLong),
 		})
 	}
-	s.csvOut("fig10_fig11", []string{"collection", "algorithm", "workers", "total_s", "total_short_s", "total_long_s"}, rows)
+	s.csvOut("fig10_fig11", []string{"collection", "algorithm", "workers", "total_s", "preproc_s", "total_short_s", "total_long_s"}, rows)
 }
 
 func (s *Suite) csvFig12(res Fig12Result) {

@@ -139,6 +139,11 @@ type SpeedupRow struct {
 	// WorkAvg and WorkMax summarize the hardware-independent work-
 	// division speedup over all instances.
 	WorkAvg, WorkMax float64
+	// MeanPreproc and MeanMatch break the parallel runs' mean time into
+	// preprocessing and search (seconds), so CSV consumers get the
+	// preprocessing cost as its own column instead of folded into the
+	// total the speedups are computed over.
+	MeanPreproc, MeanMatch float64
 	// Timeouts counts instances hitting the time budget at this width.
 	Timeouts int
 }
@@ -179,11 +184,13 @@ func (s *Suite) speedupTable(name string, variant ri.Variant, useTotal bool) Spe
 			seed: s.Seed + int64(w),
 		})
 		row := SpeedupRow{
-			Workers:  w,
-			All:      stats.Speedups(pick(base), pick(recs)),
-			Short:    stats.Speedups(pick(selectRecords(base, shortIdx)), pick(selectRecords(recs, shortIdx))),
-			Long:     stats.Speedups(pick(selectRecords(base, longIdx)), pick(selectRecords(recs, longIdx))),
-			Timeouts: countTimeouts(recs),
+			Workers:     w,
+			All:         stats.Speedups(pick(base), pick(recs)),
+			Short:       stats.Speedups(pick(selectRecords(base, shortIdx)), pick(selectRecords(recs, shortIdx))),
+			Long:        stats.Speedups(pick(selectRecords(base, longIdx)), pick(selectRecords(recs, longIdx))),
+			MeanPreproc: meanSeconds(preprocTimes(recs)),
+			MeanMatch:   meanSeconds(matchTimes(recs)),
+			Timeouts:    countTimeouts(recs),
 		}
 		var ws []float64
 		for _, r := range recs {
@@ -408,6 +415,9 @@ type Fig10Cell struct {
 	Algorithm  string // "parallel RI-DS-SI-FC", "parallel RI-DS", "RI-DS 3.51*"
 	Workers    int
 	MeanTotal  float64
+	// MeanPreproc is the preprocessing share of MeanTotal, exported as
+	// its own CSV column.
+	MeanPreproc float64
 	// Short/long means (Fig 11); NaN-free: zero when the split is empty.
 	MeanTotalShort, MeanTotalLong float64
 }
@@ -457,6 +467,7 @@ func fig10Cell(name, alg string, w int, recs []Record, shortIdx, longIdx []int) 
 		Algorithm:      alg,
 		Workers:        w,
 		MeanTotal:      meanSeconds(totalTimes(recs)),
+		MeanPreproc:    meanSeconds(preprocTimes(recs)),
 		MeanTotalShort: meanSeconds(totalTimes(selectRecords(recs, shortIdx))),
 		MeanTotalLong:  meanSeconds(totalTimes(selectRecords(recs, longIdx))),
 	}

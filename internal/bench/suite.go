@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"parsge/internal/datasets"
+	"parsge/internal/domain"
 	"parsge/internal/graph"
 	"parsge/internal/order"
 	"parsge/internal/parallel"
@@ -183,6 +184,11 @@ type runConfig struct {
 	// filters (ablation of the pruning subsystem).
 	skipNLF       bool
 	skipInducedAC bool
+	// autoSchedule opts into the adaptive filter scheduler. The zero
+	// value pins domain.ScheduleFixed so every other ablation isolates
+	// exactly the knobs it sets; AblationAdaptiveSchedule measures Auto
+	// against the Fixed configurations.
+	autoSchedule bool
 	// vf2 measures the VF2 engine instead of the RI family;
 	// vf2SkipDomains restores its classic domain-free baseline
 	// (ablation of wiring the pruning subsystem into VF2).
@@ -207,6 +213,11 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 	ctx, cancel := context.WithTimeout(parent, s.Timeout)
 	defer cancel()
 
+	sched := domain.ScheduleFixed
+	if cfg.autoSchedule {
+		sched = domain.ScheduleAuto
+	}
+
 	if cfg.vf2 {
 		res := vf2.Enumerate(inst.Pattern, inst.Target, vf2.Options{
 			Ctx:           ctx,
@@ -214,6 +225,8 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 			SkipDomains:   cfg.vf2SkipDomains,
 			SkipNLF:       cfg.skipNLF,
 			SkipInducedAC: cfg.skipInducedAC,
+			ACPasses:      cfg.acPasses,
+			Schedule:      sched,
 		})
 		rec.Matches = res.Matches
 		rec.States = res.States
@@ -231,6 +244,7 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 		SkipInducedAC: cfg.skipInducedAC,
 		Semantics:     cfg.semantics,
 		OrderStrategy: cfg.orderStrategy,
+		Schedule:      sched,
 	})
 	if err != nil {
 		panic(err) // harness-internal configurations are always valid

@@ -25,11 +25,18 @@
 // as in the original RI implementation ("In RI, domains are implemented
 // as bitmasks, which we use to quickly remove singleton domains' contents
 // from all other domains").
+//
+// Which filters run — and how deep arc consistency iterates — is chosen
+// per query by the adaptive schedule (see Schedule, AutoTune in
+// schedule.go): preprocessing cost is only paid where target statistics
+// say it amortizes. NLF signatures have two representations: exact
+// per-key (nlfSig) and memory-bounded bucketed (compact.go).
 package domain
 
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"parsge/internal/bitset"
 	"parsge/internal/graph"
@@ -43,33 +50,59 @@ type Domains struct {
 
 // Index is precomputed target-side state reusable across queries against
 // the same target graph: nodes bucketed by label (in ascending node-id
-// order) and per-node neighborhood-label-frequency signatures for the
-// NLF filter. Building it once per target and sharing it between Compute
-// calls turns the initial domain filter from a scan over all target
-// nodes into a scan over the label's bucket, with each candidate's NLF
-// signature ready instead of recomputed per query. An Index is immutable
-// after NewIndex and safe for concurrent use.
+// order), per-node neighborhood-label-frequency signatures for the NLF
+// filter, and the target statistics the adaptive schedule consults.
+// Building it once per target and sharing it between Compute calls turns
+// the initial domain filter from a scan over all target nodes into a
+// scan over the label's bucket, with each candidate's NLF signature
+// ready instead of recomputed per query. An Index is immutable after
+// NewIndex and safe for concurrent use.
 type Index struct {
 	byLabel map[graph.Label][]int32
 	nt      int
-	// out[v] / in[v] are node v's NLF signatures per direction.
+	// stats are cached for AutoTune (density, label entropy, skew).
+	stats TargetStats
+	// out[v] / in[v] are node v's exact NLF signatures per direction
+	// (nil in compact mode).
 	out, in []nlfSig
+	// cout / cin are the bucketed signatures of compact mode (nil in
+	// exact mode); keyBucket is the perfect key→bucket assignment of the
+	// exactness fallback (nil = hashed buckets). See compact.go.
+	cout, cin []compactSig
+	keyBucket map[uint64]int8
 }
 
 // NewIndex buckets the target's nodes by label and precomputes the
-// per-node NLF signatures.
-func NewIndex(gt *graph.Graph) *Index {
+// per-node NLF signatures, choosing the representation automatically
+// (exact below compactAutoEdges edges, compact above).
+func NewIndex(gt *graph.Graph) *Index { return NewIndexMode(gt, NLFAuto) }
+
+// NewIndexMode is NewIndex with an explicit NLF signature representation
+// (see NLFMode). Compact signatures bound per-node memory at a constant
+// on huge targets at the cost of a (sound) coarser NLF test; with a
+// small label alphabet the compact test is exact (NLFExactFallback).
+func NewIndexMode(gt *graph.Graph, mode NLFMode) *Index {
 	nt := gt.NumNodes()
 	ix := &Index{
 		byLabel: make(map[graph.Label][]int32),
 		nt:      nt,
-		out:     make([]nlfSig, nt),
-		in:      make([]nlfSig, nt),
+		stats:   StatsOf(gt),
 	}
-	var buf []uint64
 	for vt := int32(0); vt < int32(nt); vt++ {
 		l := gt.NodeLabel(vt)
 		ix.byLabel[l] = append(ix.byLabel[l], vt)
+	}
+	if mode == NLFAuto && gt.NumEdges() >= compactAutoEdges {
+		mode = NLFCompact
+	}
+	if mode == NLFCompact {
+		ix.buildCompactNLF(gt)
+		return ix
+	}
+	ix.out = make([]nlfSig, nt)
+	ix.in = make([]nlfSig, nt)
+	var buf []uint64
+	for vt := int32(0); vt < int32(nt); vt++ {
 		buf = appendNLFKeys(buf[:0], gt, gt.OutNeighbors(vt), gt.OutEdgeLabels(vt))
 		ix.out[vt] = buildNLFSig(buf)
 		buf = appendNLFKeys(buf[:0], gt, gt.InNeighbors(vt), gt.InEdgeLabels(vt))
@@ -77,6 +110,9 @@ func NewIndex(gt *graph.Graph) *Index {
 	}
 	return ix
 }
+
+// Stats returns the target statistics cached at index construction.
+func (ix *Index) Stats() TargetStats { return ix.stats }
 
 // Nodes returns the target nodes carrying label l, ascending by id. The
 // slice is shared — callers must not modify it.
@@ -219,6 +255,15 @@ type Options struct {
 
 // Compute builds the domains of pattern gp against target gt.
 func Compute(gp, gt *graph.Graph, opts Options) *Domains {
+	d, _ := ComputeWithStats(gp, gt, opts)
+	return d
+}
+
+// ComputeWithStats is Compute plus a report of what the filter pipeline
+// did: the resolved Plan, per-filter wall times, and staged domain
+// sizes. Callers that schedule adaptively (see AutoTune) surface the
+// report so the chosen plan is measurable rather than implicit.
+func ComputeWithStats(gp, gt *graph.Graph, opts Options) (*Domains, ComputeStats) {
 	sem := opts.Semantics.Norm()
 	np, nt := gp.NumNodes(), gt.NumNodes()
 	d := &Domains{sets: make([]*bitset.Set, np), nt: nt}
@@ -229,19 +274,41 @@ func Compute(gp, gt *graph.Graph, opts Options) *Domains {
 	}
 	hom := !sem.Injective()
 	induced := sem.Induced()
+	compact := ix != nil && ix.CompactNLF()
+	stats := ComputeStats{Plan: Plan{
+		NLF:        !opts.SkipNLF,
+		CompactNLF: !opts.SkipNLF && compact,
+		AC:         !opts.SkipAC,
+		ACPasses:   opts.ACPasses,
+		InducedAC:  induced && !opts.SkipAC && !opts.SkipInducedAC,
+	}}
+	unaryStart := time.Now()
 
 	// Pattern-side unary state, computed once per pattern node: NLF
-	// signatures and self-loop label sets.
+	// signatures (exact, or bucketed to match a compact index) and
+	// self-loop label sets.
 	var psigOut, psigIn []nlfSig
+	var pcOut, pcIn []patternCompact
 	if !opts.SkipNLF {
-		psigOut = make([]nlfSig, np)
-		psigIn = make([]nlfSig, np)
 		var buf []uint64
-		for vp := int32(0); vp < int32(np); vp++ {
-			buf = appendNLFKeys(buf[:0], gp, gp.OutNeighbors(vp), gp.OutEdgeLabels(vp))
-			psigOut[vp] = buildNLFSig(buf)
-			buf = appendNLFKeys(buf[:0], gp, gp.InNeighbors(vp), gp.InEdgeLabels(vp))
-			psigIn[vp] = buildNLFSig(buf)
+		if compact {
+			pcOut = make([]patternCompact, np)
+			pcIn = make([]patternCompact, np)
+			for vp := int32(0); vp < int32(np); vp++ {
+				buf = appendNLFKeys(buf[:0], gp, gp.OutNeighbors(vp), gp.OutEdgeLabels(vp))
+				pcOut[vp] = ix.buildPatternCompact(buf)
+				buf = appendNLFKeys(buf[:0], gp, gp.InNeighbors(vp), gp.InEdgeLabels(vp))
+				pcIn[vp] = ix.buildPatternCompact(buf)
+			}
+		} else {
+			psigOut = make([]nlfSig, np)
+			psigIn = make([]nlfSig, np)
+			for vp := int32(0); vp < int32(np); vp++ {
+				buf = appendNLFKeys(buf[:0], gp, gp.OutNeighbors(vp), gp.OutEdgeLabels(vp))
+				psigOut[vp] = buildNLFSig(buf)
+				buf = appendNLFKeys(buf[:0], gp, gp.InNeighbors(vp), gp.InEdgeLabels(vp))
+				psigIn[vp] = buildNLFSig(buf)
+			}
 		}
 	}
 	selfLoops := patternSelfLoops(gp)
@@ -298,13 +365,26 @@ func Compute(gp, gt *graph.Graph, opts Options) *Domains {
 			if induced && len(selfLoops[vp]) == 0 && gt.HasEdge(vt, vt) {
 				return
 			}
-			if !opts.SkipNLF && (len(psigOut[vp].keys) > 0 || len(psigIn[vp].keys) > 0) {
-				tout, tin := targetSigs(vt)
-				if !tout.dominates(psigOut[vp], hom) || !tin.dominates(psigIn[vp], hom) {
-					return
+			if !opts.SkipNLF {
+				if compact {
+					if !compactDominates(ix.cout[vt], pcOut[vp].sig, hom) ||
+						!compactDominates(ix.cin[vt], pcIn[vp].sig, hom) {
+						return
+					}
+				} else if len(psigOut[vp].keys) > 0 || len(psigIn[vp].keys) > 0 {
+					tout, tin := targetSigs(vt)
+					if !tout.dominates(psigOut[vp], hom) || !tin.dominates(psigIn[vp], hom) {
+						return
+					}
 				}
 			}
 			s.Set(int(vt))
+		}
+		if compact && !opts.SkipNLF && (pcOut[vp].impossible || pcIn[vp].impossible) {
+			// A pattern key outside the target's key alphabet (perfect
+			// bucket assignment): no candidate anywhere can supply it.
+			d.sets[vp] = s
+			continue
 		}
 		if ix != nil {
 			for _, vt := range ix.Nodes(lab) {
@@ -320,10 +400,13 @@ func Compute(gp, gt *graph.Graph, opts Options) *Domains {
 		d.sets[vp] = s
 	}
 
+	stats.UnaryTime = time.Since(unaryStart)
+	stats.AfterUnary = d.TotalSize()
 	if !opts.SkipAC {
-		d.arcConsistency(gp, gt, opts.ACPasses, induced && !opts.SkipInducedAC)
+		d.arcConsistency(gp, gt, opts.ACPasses, induced && !opts.SkipInducedAC, &stats)
 	}
-	return d
+	stats.Final = d.TotalSize()
+	return d, stats
 }
 
 // patternSelfLoops collects, per pattern node, the distinct labels of
@@ -348,9 +431,14 @@ func patternSelfLoops(gp *graph.Graph) [][]graph.Label {
 // (v_t, w_t) ∈ E(G_t), and symmetrically for incoming edges. When
 // induced is set, each sweep additionally propagates the pattern
 // *non*-edge constraints (see inducedPass); both prunings share the
-// pass loop so they reach a joint fixpoint.
-func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, induced bool) {
+// pass loop so they reach a joint fixpoint. st accumulates the wall
+// time of the classic sweeps and the induced passes separately.
+func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, induced bool, st *ComputeStats) {
 	np := gp.NumNodes()
+	start := time.Now()
+	defer func() {
+		st.ACTime = time.Since(start) - st.InducedACTime
+	}()
 	for pass := 0; maxPasses == 0 || pass < maxPasses; pass++ {
 		changed := false
 		for vp := int32(0); vp < int32(np); vp++ {
@@ -391,8 +479,13 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, induced boo
 				changed = true
 			}
 		}
-		if induced && d.inducedPass(gp, gt) {
-			changed = true
+		if induced {
+			ipStart := time.Now()
+			ipChanged := d.inducedPass(gp, gt)
+			st.InducedACTime += time.Since(ipStart)
+			if ipChanged {
+				changed = true
+			}
 		}
 		if !changed {
 			return

@@ -1,10 +1,12 @@
 package domain
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"parsge/internal/datasets"
 	"parsge/internal/graph"
 )
 
@@ -415,6 +417,219 @@ func TestIndexSignaturesMatchOnTheFly(t *testing.T) {
 					t.Fatalf("seed %d %v node %d: indexed %v vs scan %v",
 						seed, sem, vp, with.Of(vp), without.Of(vp))
 				}
+			}
+		}
+	}
+}
+
+// ------------------------------------------------------------------
+// Adaptive schedule and compact NLF tests.
+
+// TestGoldenSchedulePlans pins the adaptive scheduler's decisions — and
+// the staged domain-size trace of the resulting pipeline — on the first
+// instance of a dense (PPIS32) and a sparse (PDBSv1) bench collection
+// under every semantics. A heuristic change shows up here as a
+// reviewable golden diff instead of a silent behavior shift.
+func TestGoldenSchedulePlans(t *testing.T) {
+	cfg := datasets.Config{Scale: 0.012, Seed: 7}
+	golden := map[string][]string{
+		// PPIS32: 32 uniform labels (high entropy) and a dense target —
+		// Auto keeps NLF, caps AC at one pass, and (under induced)
+		// keeps the non-edge propagation.
+		"PPIS32": {
+			"subgraph-iso: plan=nlf+ac:1 after-unary=25 final=25",
+			"induced-iso: plan=nlf+ac:1+inducedAC after-unary=25 final=4",
+			"homomorphism: plan=nlf+ac:1 after-unary=25 final=25",
+		},
+		// PDBSv1: a molecular target with few heavy labels is still
+		// label-rich enough for the capped schedule, but too sparse for
+		// the induced non-edge sweep to pay — Auto gates it off.
+		"PDBSv1": {
+			"subgraph-iso: plan=nlf+ac:1 after-unary=40 final=35",
+			"induced-iso: plan=nlf+ac:1 after-unary=40 final=35",
+			"homomorphism: plan=nlf+ac:1 after-unary=40 final=35",
+		},
+	}
+	for _, name := range []string{"PPIS32", "PDBSv1"} {
+		coll, err := datasets.ByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := coll.Instances()[0]
+		ix := NewIndex(inst.Target)
+		var got []string
+		for _, sem := range []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism} {
+			opts := AutoTune(Options{Index: ix, Semantics: sem}, inst.Pattern, inst.Target)
+			_, st := ComputeWithStats(inst.Pattern, inst.Target, opts)
+			got = append(got, fmt.Sprintf("%v: plan=%v after-unary=%d final=%d",
+				sem, st.Plan, st.AfterUnary, st.Final))
+		}
+		for i, line := range got {
+			if line != golden[name][i] {
+				t.Errorf("%s line %d:\n  got  %s\n  want %s", name, i, line, golden[name][i])
+			}
+		}
+	}
+}
+
+// richInstance builds a random instance over a 5×3 label alphabet —
+// more than compactBuckets distinct NLF keys, so compact signatures
+// exercise the hashed (inexact-but-sound) bucket assignment.
+func richInstance(seed int64) (gp, gt *graph.Graph, embed []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	nt := 10 + rng.Intn(8)
+	bt := &graph.Builder{}
+	for i := 0; i < nt; i++ {
+		bt.AddNode(graph.Label(rng.Intn(5)))
+	}
+	for i := 0; i < nt*4; i++ {
+		u, v := int32(rng.Intn(nt)), int32(rng.Intn(nt))
+		if u != v {
+			bt.AddEdge(u, v, graph.Label(rng.Intn(3)))
+		}
+	}
+	gt = bt.MustBuild()
+	np := 2 + rng.Intn(4)
+	perm := rng.Perm(nt)[:np]
+	embed = make([]int32, np)
+	for i, p := range perm {
+		embed[i] = int32(p)
+	}
+	bp := &graph.Builder{}
+	for _, tv := range embed {
+		bp.AddNode(gt.NodeLabel(tv))
+	}
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			if i != j {
+				if l, ok := gt.EdgeLabel(embed[i], embed[j]); ok && rng.Intn(2) == 0 {
+					bp.AddEdge(int32(i), int32(j), l)
+				}
+			}
+		}
+	}
+	return bp.MustBuild(), gt, embed
+}
+
+// TestCompactNLFSoundSuperset: compact-NLF domains must contain the
+// exact-NLF domains (bucketing only coarsens the test) and must keep
+// every known embedding — the soundness contract of the compact
+// representation, under every semantics, on alphabets both below
+// (perfect assignment) and above (hashed) the bucket count.
+func TestCompactNLFSoundSuperset(t *testing.T) {
+	sems := []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism}
+	for seed := int64(0); seed < 40; seed++ {
+		var gp, gt *graph.Graph
+		var embed []int32
+		if seed%2 == 0 {
+			gp, gt, embed = randomInstance(seed) // 3×2 alphabet: perfect assignment
+		} else {
+			gp, gt, embed = richInstance(seed) // 5×3 alphabet: hashed buckets
+		}
+		exact := NewIndexMode(gt, NLFExact)
+		compact := NewIndexMode(gt, NLFCompact)
+		if exact.CompactNLF() || !compact.CompactNLF() {
+			t.Fatal("index mode not honored")
+		}
+		for _, sem := range sems {
+			de := Compute(gp, gt, Options{Semantics: sem, Index: exact})
+			dc := Compute(gp, gt, Options{Semantics: sem, Index: compact})
+			for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+				if !de.Of(vp).Subset(dc.Of(vp)) {
+					t.Fatalf("seed %d %v node %d: compact domain lost exact candidates", seed, sem, vp)
+				}
+			}
+			if compact.NLFExactFallback() {
+				for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+					if !de.Of(vp).Equal(dc.Of(vp)) {
+						t.Fatalf("seed %d %v node %d: perfect bucket assignment not exact", seed, sem, vp)
+					}
+				}
+			}
+			// The extracted mapping is a valid embedding under non-induced
+			// subgraph isomorphism only (dropped pattern edges leave target
+			// edges between images, which induced matching forbids).
+			if sem == graph.SubgraphIso {
+				for vp, vt := range embed {
+					if !dc.Of(int32(vp)).Test(int(vt)) {
+						t.Fatalf("seed %d %v: compact domains exclude the known embedding", seed, sem)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompactNLFMemory: the compact representation must use less
+// signature memory than the exact one on a dense-enough target, and the
+// gap must grow with the edge count (constant per node vs O(edges)).
+func TestCompactNLFMemory(t *testing.T) {
+	_, gt, _ := richInstance(1)
+	exact := NewIndexMode(gt, NLFExact)
+	compact := NewIndexMode(gt, NLFCompact)
+	if compact.NLFMemoryBytes() >= exact.NLFMemoryBytes() {
+		t.Errorf("compact NLF uses %d bytes, exact %d — no reduction",
+			compact.NLFMemoryBytes(), exact.NLFMemoryBytes())
+	}
+}
+
+// TestAutoTuneRespectsExplicitKnobs: ablation knobs the caller set
+// survive Auto resolution (a skipped filter stays skipped, a positive
+// AC cap is kept), and on a label-rich target Auto caps AC at one pass.
+func TestAutoTuneRespectsExplicitKnobs(t *testing.T) {
+	gp, gt, _ := richInstance(3) // 5 labels: label-rich
+	tuned := AutoTune(Options{Semantics: graph.SubgraphIso}, gp, gt)
+	if tuned.SkipNLF || tuned.ACPasses != 1 {
+		t.Errorf("label-rich target: want NLF + 1-pass AC, got %+v", tuned)
+	}
+	tuned = AutoTune(Options{Semantics: graph.SubgraphIso, SkipNLF: true, ACPasses: 3}, gp, gt)
+	if !tuned.SkipNLF || tuned.ACPasses != 3 {
+		t.Errorf("explicit knobs overridden: %+v", tuned)
+	}
+	// Unlabeled target: zero entropy, so NLF is dropped and AC runs to
+	// fixpoint.
+	b := &graph.Builder{}
+	b.AddNodes(8)
+	for i := int32(0); i < 7; i++ {
+		b.AddEdge(i, i+1, 0)
+	}
+	plain := b.MustBuild()
+	tuned = AutoTune(Options{Semantics: graph.SubgraphIso}, gp, plain)
+	if !tuned.SkipNLF || tuned.ACPasses != 0 {
+		t.Errorf("label-poor target: want no NLF + fixpoint AC, got %+v", tuned)
+	}
+}
+
+// TestIndexSharedConcurrently: one Index (exact and compact) serving
+// many concurrent Compute calls across semantics — the sharing pattern
+// of concurrent Target sessions — must be data-race free (run under
+// -race) and deterministic.
+func TestIndexSharedConcurrently(t *testing.T) {
+	gp, gt, _ := richInstance(5)
+	for _, mode := range []NLFMode{NLFExact, NLFCompact} {
+		ix := NewIndexMode(gt, mode)
+		sems := []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism}
+		want := make([]int, len(sems))
+		for i, sem := range sems {
+			want[i] = Compute(gp, gt, Options{Semantics: sem, Index: ix}).TotalSize()
+		}
+		done := make(chan error, 12)
+		for g := 0; g < 12; g++ {
+			go func(g int) {
+				sem := sems[g%len(sems)]
+				opts := AutoTune(Options{Semantics: sem, Index: ix}, gp, gt)
+				Compute(gp, gt, opts) // Auto plan: races on ix.stats would trip -race
+				got := Compute(gp, gt, Options{Semantics: sem, Index: ix}).TotalSize()
+				if got != want[g%len(sems)] {
+					done <- fmt.Errorf("goroutine %d: size %d, want %d", g, got, want[g%len(sems)])
+					return
+				}
+				done <- nil
+			}(g)
+		}
+		for g := 0; g < 12; g++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
 			}
 		}
 	}

@@ -51,6 +51,14 @@ type Options struct {
 	// filters (ablation and differential testing); see domain.Options.
 	SkipNLF       bool
 	SkipInducedAC bool
+	// ACPasses caps the arc-consistency sweeps of domain preprocessing
+	// (0 = fixpoint); see domain.Options.ACPasses.
+	ACPasses int
+	// Schedule selects the preprocessing filter plan: the zero value,
+	// domain.ScheduleAuto, adapts the filters to the target's statistics
+	// (see domain.AutoTune); domain.ScheduleFixed runs the full fixed
+	// pipeline. The resolved plan is reported in Result.PreprocStats.
+	Schedule domain.Schedule
 	// Semantics selects the matching semantics (zero value: normalized
 	// to non-induced subgraph isomorphism). Under graph.Homomorphism
 	// the AllDifferent propagation is skipped (no injectivity); under
@@ -68,6 +76,9 @@ type Result struct {
 	// algorithm family invests per state.
 	Propagations int64
 	PreprocTime  time.Duration
+	// PreprocStats reports the resolved filter plan and per-filter
+	// timings of domain preprocessing.
+	PreprocStats *domain.ComputeStats
 	MatchTime    time.Duration
 	Aborted      bool
 	// Unsatisfiable is set when initial domains prove zero matches.
@@ -111,12 +122,18 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	opts.Semantics = opts.Semantics.Norm()
 
 	gp = gp.Simplify() // duplicate pattern edges would poison degree pruning
-	doms := domain.Compute(gp, gt, domain.Options{
+	dopts := domain.Options{
 		Index:         opts.Index,
+		ACPasses:      opts.ACPasses,
 		SkipNLF:       opts.SkipNLF,
 		SkipInducedAC: opts.SkipInducedAC,
 		Semantics:     opts.Semantics,
-	})
+	}
+	if opts.Schedule == domain.ScheduleAuto {
+		dopts = domain.AutoTune(dopts, gp, gt)
+	}
+	doms, dstats := domain.ComputeWithStats(gp, gt, dopts)
+	res.PreprocStats = &dstats
 	if doms.AnyEmpty() {
 		res.Unsatisfiable = true
 		res.PreprocTime = time.Since(start)

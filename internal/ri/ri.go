@@ -81,6 +81,13 @@ type Options struct {
 	// (ablation and differential testing); see
 	// domain.Options.SkipInducedAC.
 	SkipInducedAC bool
+	// Schedule selects the preprocessing filter plan for the DS
+	// variants: the zero value, domain.ScheduleAuto, adapts the filters
+	// to the target's statistics (see domain.AutoTune) while
+	// domain.ScheduleFixed runs the full fixed pipeline. Explicit
+	// ACPasses/Skip* knobs are respected under both. The chosen plan is
+	// recorded in Prepared.PreprocStats.
+	Schedule domain.Schedule
 	// Semantics selects the matching semantics; the zero value
 	// (graph.SemanticsUnset) normalizes to the paper's non-induced
 	// subgraph isomorphism (§2.1). InducedIso adds per-direction
@@ -193,6 +200,10 @@ type Prepared struct {
 	Unsat bool
 	// PreprocTime is the wall time Prepare took.
 	PreprocTime time.Duration
+	// PreprocStats reports the filter plan the scheduler resolved and
+	// the per-filter timings of domain preprocessing (nil for VariantRI,
+	// which computes no domains).
+	PreprocStats *domain.ComputeStats
 }
 
 // Prepare runs the preprocessing phase: domain computation (DS variants),
@@ -220,14 +231,20 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 	}
 
 	if opts.Variant.UsesDomains() {
-		p.Doms = domain.Compute(gp, gt, domain.Options{
+		dopts := domain.Options{
 			ACPasses:      opts.ACPasses,
 			SkipAC:        opts.SkipAC,
 			SkipNLF:       opts.SkipNLF,
 			SkipInducedAC: opts.SkipInducedAC,
 			Index:         p.Idx,
 			Semantics:     opts.Semantics,
-		})
+		}
+		if opts.Schedule == domain.ScheduleAuto {
+			dopts = domain.AutoTune(dopts, gp, gt)
+		}
+		var dstats domain.ComputeStats
+		p.Doms, dstats = domain.ComputeWithStats(gp, gt, dopts)
+		p.PreprocStats = &dstats
 		if p.Doms.AnyEmpty() {
 			p.Unsat = true
 		}

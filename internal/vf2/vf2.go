@@ -52,6 +52,14 @@ type Options struct {
 	// (ablation and differential testing); see domain.Options.
 	SkipNLF       bool
 	SkipInducedAC bool
+	// ACPasses caps the arc-consistency sweeps of domain preprocessing
+	// (0 = fixpoint); see domain.Options.ACPasses.
+	ACPasses int
+	// Schedule selects the preprocessing filter plan: the zero value,
+	// domain.ScheduleAuto, adapts the filters to the target's statistics
+	// (see domain.AutoTune); domain.ScheduleFixed runs the full fixed
+	// pipeline. The resolved plan is reported in Result.PreprocStats.
+	Schedule domain.Schedule
 	// Semantics selects the matching semantics (zero value: normalized
 	// to non-induced subgraph isomorphism, identical to internal/ri's
 	// default, so the engines stay interchangeable oracles across all
@@ -65,8 +73,11 @@ type Result struct {
 	States  int64 // candidate pairs examined
 	// PreprocTime covers the domain computation (zero with SkipDomains).
 	PreprocTime time.Duration
-	MatchTime   time.Duration
-	Aborted     bool
+	// PreprocStats reports the resolved filter plan and per-filter
+	// timings of domain preprocessing (nil with SkipDomains).
+	PreprocStats *domain.ComputeStats
+	MatchTime    time.Duration
+	Aborted      bool
 	// Unsatisfiable reports that domain preprocessing proved zero
 	// matches without any search.
 	Unsatisfiable bool
@@ -110,12 +121,19 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 	}
 	res := Result{}
 	if !opts.SkipDomains {
-		s.doms = domain.Compute(gp, gt, domain.Options{
+		dopts := domain.Options{
 			Index:         opts.Index,
+			ACPasses:      opts.ACPasses,
 			SkipNLF:       opts.SkipNLF,
 			SkipInducedAC: opts.SkipInducedAC,
 			Semantics:     opts.Semantics,
-		})
+		}
+		if opts.Schedule == domain.ScheduleAuto {
+			dopts = domain.AutoTune(dopts, gp, gt)
+		}
+		var dstats domain.ComputeStats
+		s.doms, dstats = domain.ComputeWithStats(gp, gt, dopts)
+		res.PreprocStats = &dstats
 		res.PreprocTime = time.Since(start)
 		if gp.NumNodes() > 0 && s.doms.AnyEmpty() {
 			res.Unsatisfiable = true

@@ -56,6 +56,7 @@ import (
 	"runtime"
 	"time"
 
+	"parsge/internal/domain"
 	"parsge/internal/graph"
 	"parsge/internal/graphio"
 	"parsge/internal/ri"
@@ -230,13 +231,61 @@ type Options struct {
 	Seed int64
 }
 
+// Schedule selects how the preprocessing filter pipeline is chosen per
+// query; see the constants below. Every point of the schedule space
+// yields identical match counts (the filters are all sound — the
+// metamorphic test battery holds the whole space to the brute-force
+// oracle); schedules differ only in preprocessing cost versus search
+// savings.
+type Schedule = domain.Schedule
+
+const (
+	// ScheduleAuto (the default) adapts the filter plan to the target's
+	// cached statistics — density, label entropy, degree skew — and the
+	// pattern's shape: NLF plus a single arc-consistency pass on
+	// label-rich targets, fixpoint arc consistency otherwise, and the
+	// induced non-edge propagation only on targets dense enough for it
+	// to bite. The chosen plan is reported in Result.Plan.
+	ScheduleAuto = domain.ScheduleAuto
+	// ScheduleFixed runs the full fixed pipeline of earlier versions
+	// (every applicable filter, fixpoint arc consistency) — the
+	// reference configuration for reproducing paper-style runs.
+	ScheduleFixed = domain.ScheduleFixed
+)
+
+// NLFMode selects the representation of a Target index's NLF
+// signatures; see TargetOptions.NLF.
+type NLFMode = domain.NLFMode
+
+const (
+	// NLFAuto (the default) picks NLFExact below a million target edges
+	// and NLFCompact above.
+	NLFAuto = domain.NLFAuto
+	// NLFExact stores exact per-key signatures: maximum pruning,
+	// O(target edges) memory.
+	NLFExact = domain.NLFExact
+	// NLFCompact stores bucketed signatures: constant memory per target
+	// node, sound but possibly coarser pruning (exact for small label
+	// alphabets).
+	NLFCompact = domain.NLFCompact
+)
+
 // PruningOptions selects which of the semantics-aware domain filters
-// run during query preprocessing. All filters are sound under every
-// semantics they apply to — disabling one never changes match counts,
-// only the searched space — so these knobs exist for ablation
-// measurements and for differential tests that cross-check the filters
-// against unfiltered runs.
+// run during query preprocessing and how the plan is chosen. All
+// filters are sound under every semantics they apply to — no knob here
+// ever changes match counts, only the preprocessing/search cost split —
+// so beyond Schedule these are opt-outs for ablation, debugging and
+// differential testing.
 type PruningOptions struct {
+	// Schedule picks the filter plan: ScheduleAuto (the zero value)
+	// adapts it to the target statistics, ScheduleFixed reproduces the
+	// fixed full pipeline. The explicit knobs below are respected under
+	// both schedules.
+	Schedule Schedule
+	// ACPasses caps the arc-consistency sweeps at n > 0 (1 reproduces
+	// the original RI-DS schedule); 0 lets the schedule decide (Fixed:
+	// iterate to fixpoint).
+	ACPasses int
 	// DisableNLF turns off the neighborhood-label-frequency filter
 	// (candidate neighborhoods must dominate the pattern node's labeled
 	// neighborhood — multiset domination under the injective semantics,
@@ -292,6 +341,62 @@ type Result struct {
 	// DepthStates breaks States down by search depth (RI family only):
 	// the search profile, useful for diagnosing irregular instances.
 	DepthStates []int64
+	// Plan reports the preprocessing filter plan the scheduler resolved
+	// for this query, with per-filter timings and staged domain sizes.
+	// It is nil when the engine ran without domain preprocessing (plain
+	// RI).
+	Plan *PlanInfo
+}
+
+// PlanInfo describes the resolved preprocessing filter plan of one
+// query: which filters fired (under ScheduleAuto this depends on the
+// target's statistics), where preprocessing time went, and how far each
+// stage shrank the candidate domains.
+type PlanInfo struct {
+	// NLF reports the neighborhood-label-frequency filter ran;
+	// CompactNLF that it consulted the bucketed signatures of a compact
+	// index (see TargetOptions.NLF).
+	NLF, CompactNLF bool
+	// AC reports classic arc consistency ran, capped at ACPasses sweeps
+	// (0 = fixpoint); InducedAC that the induced non-edge propagation
+	// ran (InducedIso only).
+	AC        bool
+	ACPasses  int
+	InducedAC bool
+	// UnaryTime covers the initial per-node filters (label, degree,
+	// self-loops, NLF); ACTime the classic sweeps; InducedACTime the
+	// induced non-edge passes.
+	UnaryTime, ACTime, InducedACTime time.Duration
+	// DomainAfterUnary and DomainFinal are total domain sizes (sum of
+	// candidates over pattern nodes) after the unary stage and after
+	// all propagation.
+	DomainAfterUnary, DomainFinal int
+}
+
+// String renders the plan the way logs and golden tables show it, e.g.
+// "nlf+ac:1" or "ac:fixpoint+inducedAC".
+func (p *PlanInfo) String() string {
+	if p == nil {
+		return "none"
+	}
+	pl := domain.Plan{
+		NLF: p.NLF, CompactNLF: p.CompactNLF,
+		AC: p.AC, ACPasses: p.ACPasses, InducedAC: p.InducedAC,
+	}
+	return pl.String()
+}
+
+// planInfo converts a domain preprocessing report to the public type.
+func planInfo(st *domain.ComputeStats) *PlanInfo {
+	if st == nil {
+		return nil
+	}
+	return &PlanInfo{
+		NLF: st.Plan.NLF, CompactNLF: st.Plan.CompactNLF,
+		AC: st.Plan.AC, ACPasses: st.Plan.ACPasses, InducedAC: st.Plan.InducedAC,
+		UnaryTime: st.UnaryTime, ACTime: st.ACTime, InducedACTime: st.InducedACTime,
+		DomainAfterUnary: st.AfterUnary, DomainFinal: st.Final,
+	}
 }
 
 // TotalTime is preprocessing plus match time.

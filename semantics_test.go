@@ -36,6 +36,14 @@ var engineConfigs = []struct {
 	{"RI-DS-SI-FC/noInducedAC", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{DisableInducedAC: true}}},
 	{"LAD/noNLF", Options{Algorithm: LAD, Pruning: PruningOptions{DisableNLF: true}}},
 	{"VF2/noInducedAC", Options{Algorithm: VF2, Pruning: PruningOptions{DisableInducedAC: true}}},
+	// Schedule-space points: the default above is ScheduleAuto, so the
+	// Fixed pipeline and the capped-AC (original RI-DS) schedule are the
+	// configurations that need explicit coverage — an adaptive scheduler
+	// bug that loses matches in just one plan must break one of these.
+	{"RI-DS-SI-FC/fixed", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{Schedule: ScheduleFixed}}},
+	{"RI-DS-SI-FC/ac1", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{Schedule: ScheduleFixed, ACPasses: 1}}},
+	{"LAD/fixed", Options{Algorithm: LAD, Pruning: PruningOptions{Schedule: ScheduleFixed}}},
+	{"VF2/ac1", Options{Algorithm: VF2, Pruning: PruningOptions{ACPasses: 1}}},
 }
 
 // countAllEngines runs every engine configuration under sem and fails the

@@ -24,6 +24,18 @@ type TargetOptions struct {
 	// setting for a Target that will serve a single query on a graph
 	// where the index memory matters.
 	SkipLabelIndex bool
+	// NLF selects the representation of the index's neighborhood-label-
+	// frequency signatures: NLFAuto (the zero value) picks exact
+	// signatures below a million target edges and the bucketed compact
+	// ones above; NLFCompact forces the compact representation, which
+	// bounds signature memory at a constant per target node instead of
+	// O(target edges); NLFExact forces exact signatures regardless of
+	// size (maximum pruning on huge label-rich targets, at full memory
+	// cost). The compact filter is sound (never loses matches) and
+	// exact for small label alphabets; on large alphabets it may prune
+	// slightly less than the exact signatures. Ignored with
+	// SkipLabelIndex.
+	NLF NLFMode
 	// DefaultWorkers replaces Options.Workers for queries that leave it
 	// at zero ("unset"): a service can configure its parallelism once
 	// per target instead of at every call site. Zero keeps the library
@@ -91,7 +103,7 @@ func NewTarget(g *Graph, opts TargetOptions) (*Target, error) {
 		t.meanDegree = 2 * float64(g.NumEdges()) / float64(n)
 	}
 	if !opts.SkipLabelIndex {
-		t.index = domain.NewIndex(g)
+		t.index = domain.NewIndexMode(g, opts.NLF)
 	}
 	return t, nil
 }
@@ -172,6 +184,8 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 				Index:         t.index,
 				SkipNLF:       opts.Pruning.DisableNLF,
 				SkipInducedAC: opts.Pruning.DisableInducedAC,
+				ACPasses:      opts.Pruning.ACPasses,
+				Schedule:      opts.Pruning.Schedule,
 				Semantics:     sem,
 			})
 			return Result{
@@ -181,6 +195,7 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 				MatchTime:     res.MatchTime,
 				TimedOut:      res.Aborted,
 				Unsatisfiable: res.Unsatisfiable,
+				Plan:          planInfo(res.PreprocStats),
 			}, nil
 		}
 		res := lad.Enumerate(pattern, t.g, lad.Options{
@@ -190,6 +205,8 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 			Index:         t.index,
 			SkipNLF:       opts.Pruning.DisableNLF,
 			SkipInducedAC: opts.Pruning.DisableInducedAC,
+			ACPasses:      opts.Pruning.ACPasses,
+			Schedule:      opts.Pruning.Schedule,
 			Semantics:     sem,
 		})
 		return Result{
@@ -199,6 +216,7 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 			MatchTime:     res.MatchTime,
 			TimedOut:      res.Aborted,
 			Unsatisfiable: res.Unsatisfiable,
+			Plan:          planInfo(res.PreprocStats),
 		}, nil
 	}
 	if opts.Algorithm < RI || opts.Algorithm > RIDSSIFC {
@@ -210,6 +228,8 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 		Semantics:     sem,
 		SkipNLF:       opts.Pruning.DisableNLF,
 		SkipInducedAC: opts.Pruning.DisableInducedAC,
+		ACPasses:      opts.Pruning.ACPasses,
+		Schedule:      opts.Pruning.Schedule,
 		TargetIndex:   t.index,
 	})
 	if err != nil {
@@ -229,6 +249,7 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 			TimedOut:      res.Aborted,
 			Unsatisfiable: res.Unsatisfiable,
 			DepthStates:   res.DepthStates,
+			Plan:          planInfo(prep.PreprocStats),
 		}, nil
 	}
 
@@ -252,6 +273,7 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 		Steals:          res.Steals,
 		PerWorkerStates: res.PerWorkerStates,
 		DepthStates:     res.DepthStates,
+		Plan:            planInfo(prep.PreprocStats),
 	}, nil
 }
 
