@@ -9,11 +9,13 @@
 // `go test -bench=.` doubles as a quick reproduction run. For
 // publication-shaped output use cmd/sgebench, which prints the full
 // paper-style tables and accepts larger scales.
-package parsge
+package parsge_test
 
 import (
 	"context"
+
 	"math/rand"
+	"parsge"
 	"testing"
 	"time"
 
@@ -81,7 +83,7 @@ func BenchmarkFig4TaskCoalescing(b *testing.B) {
 	b.ReportMetric(steals4, "steals/g4")
 }
 
-// BenchmarkTable2ParallelRI regenerates Table 2 (speedup of parallel RI
+// BenchmarkTable2ParallelRI regenerates Table 2 (speedup of parallel parsge.RI
 // on PDBSv1 over one worker).
 func BenchmarkTable2ParallelRI(b *testing.B) {
 	var work16 float64
@@ -93,7 +95,7 @@ func BenchmarkTable2ParallelRI(b *testing.B) {
 }
 
 // BenchmarkFig5Timeouts regenerates Fig 5 (timed-out instances on
-// PDBSv1, parallel RI vs the RI 3.6 stand-in).
+// PDBSv1, parallel parsge.RI vs the parsge.RI 3.6 stand-in).
 func BenchmarkFig5Timeouts(b *testing.B) {
 	var t16 float64
 	for i := 0; i < b.N; i++ {
@@ -115,7 +117,7 @@ func BenchmarkFig6LongInstances(b *testing.B) {
 }
 
 // BenchmarkFig7Variants regenerates Fig 7 (search space and total time of
-// RI-DS / RI-DS-SI / RI-DS-SI-FC on short instances).
+// parsge.RI-DS / parsge.RI-DS-SI / parsge.RI-DS-SI-FC on short instances).
 func BenchmarkFig7Variants(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -167,7 +169,7 @@ func BenchmarkFig9TimeBreakdown(b *testing.B) {
 	b.ReportMetric(preprocShare, "preproc-%")
 }
 
-// BenchmarkFig10ParallelRIDS regenerates Fig 10 (total time of RI-DS
+// BenchmarkFig10ParallelRIDS regenerates Fig 10 (total time of parsge.RI-DS
 // variants vs workers).
 func BenchmarkFig10ParallelRIDS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -192,7 +194,7 @@ func BenchmarkFig11ShortLong(b *testing.B) {
 }
 
 // BenchmarkFig12SearchSpaceSplit regenerates Fig 12 (search space of
-// RI-DS vs RI-DS-SI-FC, short/long split).
+// parsge.RI-DS vs parsge.RI-DS-SI-FC, short/long split).
 func BenchmarkFig12SearchSpaceSplit(b *testing.B) {
 	var ratioLong float64
 	for i := 0; i < b.N; i++ {
@@ -216,7 +218,7 @@ func BenchmarkFig12SearchSpaceSplit(b *testing.B) {
 }
 
 // BenchmarkTable3ParallelRIDSSIFC regenerates Table 3 (speedup of
-// parallel RI-DS-SI-FC on GRAEMLIN32 and PPIS32).
+// parallel parsge.RI-DS-SI-FC on GRAEMLIN32 and PPIS32).
 func BenchmarkTable3ParallelRIDSSIFC(b *testing.B) {
 	var work16 float64
 	for i := 0; i < b.N; i++ {
@@ -243,7 +245,7 @@ func BenchmarkAblationStealBack(b *testing.B) {
 }
 
 // BenchmarkAblationCopyEager compares lazy mapping copies (only on
-// steals) against eager per-task copies (the Cilk++ VF2 strategy).
+// steals) against eager per-task copies (the Cilk++ parsge.VF2 strategy).
 func BenchmarkAblationCopyEager(b *testing.B) {
 	var lazy, eager float64
 	for i := 0; i < b.N; i++ {
@@ -284,7 +286,7 @@ func BenchmarkAblationArcConsistency(b *testing.B) {
 // ---------------------------------------------------------- micro benches
 
 // benchInstance is a fixed mid-size instance for engine micro-benchmarks.
-func benchInstance() (*Graph, *Graph) {
+func benchInstance() (*parsge.Graph, *parsge.Graph) {
 	return testutil.RandomInstance(99, testutil.InstanceOptions{
 		TargetNodes:  300,
 		TargetEdges:  3000,
@@ -294,13 +296,13 @@ func benchInstance() (*Graph, *Graph) {
 	})
 }
 
-func benchAlgorithm(b *testing.B, alg Algorithm, workers int) {
+func benchAlgorithm(b *testing.B, alg parsge.Algorithm, workers int) {
 	gp, gt := benchInstance()
 	b.ReportAllocs()
 	b.ResetTimer()
 	var matches int64
 	for i := 0; i < b.N; i++ {
-		res, err := Enumerate(gp, gt, Options{Algorithm: alg, Workers: workers, Seed: int64(i)})
+		res, err := parsge.Enumerate(gp, gt, parsge.Options{Algorithm: alg, Workers: workers, Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,16 +311,16 @@ func benchAlgorithm(b *testing.B, alg Algorithm, workers int) {
 	b.ReportMetric(float64(matches), "matches")
 }
 
-func BenchmarkEnumerateRI(b *testing.B)       { benchAlgorithm(b, RI, 1) }
-func BenchmarkEnumerateRIDS(b *testing.B)     { benchAlgorithm(b, RIDS, 1) }
-func BenchmarkEnumerateRIDSSI(b *testing.B)   { benchAlgorithm(b, RIDSSI, 1) }
-func BenchmarkEnumerateRIDSSIFC(b *testing.B) { benchAlgorithm(b, RIDSSIFC, 1) }
-func BenchmarkEnumerateVF2(b *testing.B)      { benchAlgorithm(b, VF2, 1) }
+func BenchmarkEnumerateRI(b *testing.B)       { benchAlgorithm(b, parsge.RI, 1) }
+func BenchmarkEnumerateRIDS(b *testing.B)     { benchAlgorithm(b, parsge.RIDS, 1) }
+func BenchmarkEnumerateRIDSSI(b *testing.B)   { benchAlgorithm(b, parsge.RIDSSI, 1) }
+func BenchmarkEnumerateRIDSSIFC(b *testing.B) { benchAlgorithm(b, parsge.RIDSSIFC, 1) }
+func BenchmarkEnumerateVF2(b *testing.B)      { benchAlgorithm(b, parsge.VF2, 1) }
 
-func BenchmarkParallelWorkers2(b *testing.B)  { benchAlgorithm(b, RIDSSIFC, 2) }
-func BenchmarkParallelWorkers4(b *testing.B)  { benchAlgorithm(b, RIDSSIFC, 4) }
-func BenchmarkParallelWorkers8(b *testing.B)  { benchAlgorithm(b, RIDSSIFC, 8) }
-func BenchmarkParallelWorkers16(b *testing.B) { benchAlgorithm(b, RIDSSIFC, 16) }
+func BenchmarkParallelWorkers2(b *testing.B)  { benchAlgorithm(b, parsge.RIDSSIFC, 2) }
+func BenchmarkParallelWorkers4(b *testing.B)  { benchAlgorithm(b, parsge.RIDSSIFC, 4) }
+func BenchmarkParallelWorkers8(b *testing.B)  { benchAlgorithm(b, parsge.RIDSSIFC, 8) }
+func BenchmarkParallelWorkers16(b *testing.B) { benchAlgorithm(b, parsge.RIDSSIFC, 16) }
 
 // -------------------------------------------------------- session benches
 //
@@ -330,7 +332,7 @@ func BenchmarkParallelWorkers16(b *testing.B) { benchAlgorithm(b, RIDSSIFC, 16) 
 
 // batchWorkload builds one mid-size labeled target and 12 patterns
 // extracted from it, the "many queries, one target" service shape.
-func batchWorkload() (*Graph, []*Graph) {
+func batchWorkload() (*parsge.Graph, []*parsge.Graph) {
 	_, gt := testutil.RandomInstance(7, testutil.InstanceOptions{
 		TargetNodes:  400,
 		TargetEdges:  4000,
@@ -339,7 +341,7 @@ func batchWorkload() (*Graph, []*Graph) {
 		Extract:      true,
 	})
 	rng := rand.New(rand.NewSource(123))
-	patterns := make([]*Graph, 12)
+	patterns := make([]*parsge.Graph, 12)
 	for i := range patterns {
 		patterns[i] = testutil.ExtractPattern(rng, gt, 5+i%3)
 	}
@@ -348,7 +350,7 @@ func batchWorkload() (*Graph, []*Graph) {
 
 func BenchmarkBatchEnumerate(b *testing.B) {
 	gt, patterns := batchWorkload()
-	tgt, err := NewTarget(gt, TargetOptions{})
+	tgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -356,7 +358,7 @@ func BenchmarkBatchEnumerate(b *testing.B) {
 	b.ResetTimer()
 	var matches int64
 	for i := 0; i < b.N; i++ {
-		results, err := tgt.EnumerateBatch(context.Background(), patterns, Options{Algorithm: RIDSSIFC})
+		results, err := tgt.EnumerateBatch(context.Background(), patterns, parsge.Options{Algorithm: parsge.RIDSSIFC})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -376,7 +378,7 @@ func BenchmarkOneShotEnumerateLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		matches = 0
 		for _, gp := range patterns {
-			res, err := Enumerate(gp, gt, Options{Algorithm: RIDSSIFC})
+			res, err := parsge.Enumerate(gp, gt, parsge.Options{Algorithm: parsge.RIDSSIFC})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,280 @@
+package main
+
+// Loadgen mode: replay a mixed query workload against a running sgeserve
+// instance. Patterns are extracted from the same target file the server
+// loaded, serialized through a shared label table so label strings agree,
+// and issued by N concurrent clients cycling through the three matching
+// semantics with a sprinkle of mapping and streaming requests — the
+// closest thing to production traffic the bench harness can synthesize.
+//
+//	sgeserve  -target data/PPIS32-targets.gff &
+//	sgebench  -loadgen http://localhost:8642 -target data/PPIS32-targets.gff \
+//	          -clients 8 -duration 10s
+//
+// The run reports throughput, latency percentiles, cache hit rate and
+// the server-side plan histogram, and fails (exit 1) when no request
+// succeeded, when counts were inconsistent between requests for the same
+// query identity, or when the server reports an empty plan histogram —
+// the assertions the CI smoke job stands on.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"parsge"
+	"parsge/internal/graphio"
+	"parsge/internal/service"
+	"parsge/internal/testutil"
+)
+
+type loadgenConfig struct {
+	URL        string
+	TargetFile string
+	Clients    int
+	Duration   time.Duration
+	Patterns   int
+	Seed       int64
+}
+
+type loadgenResult struct {
+	requests, errors, cacheHits, streams int64
+	latencies                            []float64 // ms, successful requests
+	countMismatch                        string
+}
+
+func runLoadgen(cfg loadgenConfig) error {
+	if cfg.TargetFile == "" {
+		return fmt.Errorf("-loadgen needs -loadgen-target (the file the server serves, to extract patterns from)")
+	}
+	f, err := os.Open(cfg.TargetFile)
+	if err != nil {
+		return err
+	}
+	table := graphio.NewLabelTable()
+	graphs, err := parsge.ReadGraphs(f, table)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(graphs) == 0 {
+		return fmt.Errorf("%s: no graph sections", cfg.TargetFile)
+	}
+	target := graphs[0].Graph
+
+	// Extract the pattern pool and serialize each once. Sizes 3–6 keep
+	// single queries fast enough that a 10 s run sees hundreds of them.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	texts := make([]string, 0, cfg.Patterns)
+	for len(texts) < cfg.Patterns {
+		gp := testutil.ExtractPattern(rng, target, 3+rng.Intn(4))
+		if gp.NumNodes() == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := graphio.Write(&buf, fmt.Sprintf("lg-%d", len(texts)), gp, table); err != nil {
+			return err
+		}
+		texts = append(texts, buf.String())
+	}
+	semantics := []string{"iso", "induced", "hom"}
+
+	// Wait for the server to come up (the CI smoke job starts it
+	// concurrently).
+	client := &http.Client{Timeout: 60 * time.Second}
+	if err := waitHealthy(client, cfg.URL, 10*time.Second); err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	res := &loadgenResult{}
+	counts := make(map[string]int64) // query identity -> first observed count
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			for i := 0; time.Now().Before(deadline); i++ {
+				pi := crng.Intn(len(texts))
+				sem := semantics[(c+i)%len(semantics)]
+				stream := crng.Intn(16) == 0
+				withMappings := !stream && crng.Intn(8) == 0
+				start := time.Now()
+				matches, hit, err := issueQuery(client, cfg.URL, texts[pi], sem, withMappings, stream)
+				lat := float64(time.Since(start)) / float64(time.Millisecond)
+				mu.Lock()
+				res.requests++
+				if err != nil {
+					res.errors++
+				} else {
+					res.latencies = append(res.latencies, lat)
+					if hit {
+						res.cacheHits++
+					}
+					if stream {
+						res.streams++
+					}
+					if matches >= 0 { // truncated replies carry no exact count
+						id := fmt.Sprintf("%d/%s", pi, sem)
+						if prev, ok := counts[id]; ok && prev != matches {
+							if res.countMismatch == "" {
+								res.countMismatch = fmt.Sprintf("query %s: count %d then %d", id, prev, matches)
+							}
+						} else {
+							counts[id] = matches
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	stats, statsErr := fetchStats(client, cfg.URL)
+	report(cfg, res, stats)
+
+	switch {
+	case res.countMismatch != "":
+		return fmt.Errorf("inconsistent counts: %s", res.countMismatch)
+	case len(res.latencies) == 0:
+		return fmt.Errorf("no successful requests against %s", cfg.URL)
+	case statsErr != nil:
+		return fmt.Errorf("stats: %v", statsErr)
+	case len(stats.Session.Plans.Buckets) == 0:
+		return fmt.Errorf("server reports an empty plan histogram")
+	}
+	return nil
+}
+
+func waitHealthy(client *http.Client, url string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v: %v", url, patience, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// issueQuery posts one query and returns the match count and whether it
+// was a cache hit. Streams are drained line by line to their terminal
+// record.
+func issueQuery(client *http.Client, url, pattern, sem string, mappings, stream bool) (int64, bool, error) {
+	body, _ := json.Marshal(map[string]any{
+		"pattern":    pattern,
+		"semantics":  sem,
+		"mappings":   mappings,
+		"stream":     stream,
+		"timeout_ms": 30000,
+	})
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("status %s", resp.Status)
+	}
+	if stream {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<16), 1<<24)
+		var streamed int64
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var rec struct {
+				Mapping   []int32 `json:"mapping"`
+				Done      bool    `json:"done"`
+				Matches   int64   `json:"matches"`
+				Truncated bool    `json:"truncated"`
+				Error     string  `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				return 0, false, err
+			}
+			if rec.Done {
+				if rec.Error != "" {
+					return 0, false, fmt.Errorf("stream error: %s", rec.Error)
+				}
+				if rec.Truncated {
+					// A truncated stream has a lower-bound count; do not
+					// feed it to the consistency check.
+					return -1, false, nil
+				}
+				if rec.Matches != streamed {
+					return 0, false, fmt.Errorf("stream delivered %d mappings, terminal says %d", streamed, rec.Matches)
+				}
+				return rec.Matches, false, sc.Err()
+			}
+			streamed++
+		}
+		return 0, false, fmt.Errorf("stream ended without terminal record: %v", sc.Err())
+	}
+	var rec struct {
+		Matches   int64 `json:"matches"`
+		Truncated bool  `json:"truncated"`
+		CacheHit  bool  `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return 0, false, err
+	}
+	if rec.Truncated {
+		return -1, rec.CacheHit, nil
+	}
+	return rec.Matches, rec.CacheHit, nil
+}
+
+func fetchStats(client *http.Client, url string) (service.Stats, error) {
+	var st service.Stats
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats status %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func report(cfg loadgenConfig, res *loadgenResult, stats service.Stats) {
+	ok := len(res.latencies)
+	qps := float64(ok) / cfg.Duration.Seconds()
+	fmt.Printf("loadgen: %d requests (%d ok, %d errors, %d streamed) in %v from %d clients\n",
+		res.requests, ok, res.errors, res.streams, cfg.Duration, cfg.Clients)
+	fmt.Printf("loadgen: throughput %.1f q/s, cache hits %d (%.1f%%)\n",
+		qps, res.cacheHits, 100*float64(res.cacheHits)/max(1, float64(ok)))
+	if ok > 0 {
+		sort.Float64s(res.latencies)
+		pct := func(p float64) float64 { return res.latencies[min(ok-1, int(p*float64(ok)))] }
+		fmt.Printf("loadgen: latency ms p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			pct(0.50), pct(0.95), pct(0.99), res.latencies[ok-1])
+	}
+	fmt.Printf("loadgen: server: %d queries, %d singleflight-shared, %d shed, %d queue timeouts, %d/%d seq/par runs\n",
+		stats.Queries, stats.Shared, stats.Shed, stats.QueueTimeouts, stats.Sequential, stats.Parallel)
+	fmt.Printf("loadgen: plan histogram (%d executed, %d no-plan):\n", stats.Session.Plans.Planned, stats.Session.Plans.NoPlan)
+	for _, b := range stats.Session.Plans.Buckets {
+		fmt.Printf("loadgen:   %-32s %6d queries  unary %8v  ac %8v  inducedAC %8v\n",
+			b.Plan, b.Count, b.UnaryTime.Round(time.Microsecond), b.ACTime.Round(time.Microsecond), b.InducedACTime.Round(time.Microsecond))
+	}
+}

@@ -31,7 +31,7 @@ import (
 var experiments = []string{
 	"table1", "fig3", "fig4", "table2", "fig5", "fig6",
 	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
-	"ablations",
+	"ablations", "service",
 }
 
 // ablations maps the -ablation names to their suite methods, so a
@@ -59,15 +59,33 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiments to run: all, or comma-separated subset of "+strings.Join(experiments, ","))
 		ablation = flag.String("ablation", "", "run a single named ablation instead of -exp: one of "+strings.Join(ablationNames(), ","))
-		scale    = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
-		seed     = flag.Int64("seed", 20170525, "generation and scheduling seed")
-		timeout  = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
-		long     = flag.Duration("long", 50*time.Millisecond, "short/long split threshold (paper: 1s at scale 1.0)")
-		maxInst  = flag.Int("max", 60, "max instances per experiment (0 = all)")
-		workers  = flag.String("workers", "1,2,4,8,16", "comma-separated worker sweep")
-		csvDir   = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+
+		loadgen         = flag.String("loadgen", "", "replay a mixed query workload against a running sgeserve at this base URL instead of -exp")
+		loadgenTarget   = flag.String("loadgen-target", "", "target graph file the server serves (patterns are extracted from it)")
+		loadgenClients  = flag.Int("clients", 8, "concurrent loadgen clients")
+		loadgenDuration = flag.Duration("duration", 10*time.Second, "loadgen run length")
+		loadgenPatterns = flag.Int("patterns", 12, "distinct patterns in the loadgen pool")
+		scale           = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
+		seed            = flag.Int64("seed", 20170525, "generation and scheduling seed")
+		timeout         = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
+		long            = flag.Duration("long", 50*time.Millisecond, "short/long split threshold (paper: 1s at scale 1.0)")
+		maxInst         = flag.Int("max", 60, "max instances per experiment (0 = all)")
+		workers         = flag.String("workers", "1,2,4,8,16", "comma-separated worker sweep")
+		csvDir          = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	)
 	flag.Parse()
+
+	if *loadgen != "" {
+		exitOn(runLoadgen(loadgenConfig{
+			URL:        strings.TrimRight(*loadgen, "/"),
+			TargetFile: *loadgenTarget,
+			Clients:    *loadgenClients,
+			Duration:   *loadgenDuration,
+			Patterns:   *loadgenPatterns,
+			Seed:       *seed,
+		}))
+		return
+	}
 
 	ws, err := parseWorkers(*workers)
 	exitOn(err)
@@ -163,6 +181,9 @@ func main() {
 	}
 	if selected["ablations"] {
 		s.Ablations()
+	}
+	if selected["service"] {
+		s.ServiceThroughput()
 	}
 
 	fmt.Printf("\nsgebench: done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -223,6 +223,13 @@ type Options struct {
 	// what the original RI-DS description performs; the fixpoint is
 	// never weaker. The ablation bench compares the two.
 	ACPasses int
+	// ACAdaptive marks ACPasses as a revisable scheduler prediction
+	// rather than a caller demand: after the capped sweeps the pipeline
+	// measures the remaining domains and escalates to fixpoint when
+	// their mean size is still at least acEscalateMeanDomain candidates
+	// per pattern node (the second-stage AutoTune rule). Set by AutoTune
+	// alongside its one-pass cap; ignored when ACPasses is 0.
+	ACAdaptive bool
 	// SkipAC disables arc consistency entirely (the induced non-edge
 	// propagation included), leaving only the unary filters. Used by
 	// ablation benchmarks.
@@ -280,6 +287,7 @@ func ComputeWithStats(gp, gt *graph.Graph, opts Options) (*Domains, ComputeStats
 		CompactNLF: !opts.SkipNLF && compact,
 		AC:         !opts.SkipAC,
 		ACPasses:   opts.ACPasses,
+		ACAdaptive: !opts.SkipAC && opts.ACAdaptive && opts.ACPasses > 0,
 		InducedAC:  induced && !opts.SkipAC && !opts.SkipInducedAC,
 	}}
 	unaryStart := time.Now()
@@ -403,7 +411,7 @@ func ComputeWithStats(gp, gt *graph.Graph, opts Options) (*Domains, ComputeStats
 	stats.UnaryTime = time.Since(unaryStart)
 	stats.AfterUnary = d.TotalSize()
 	if !opts.SkipAC {
-		d.arcConsistency(gp, gt, opts.ACPasses, induced && !opts.SkipInducedAC, &stats)
+		d.arcConsistency(gp, gt, opts.ACPasses, stats.Plan.ACAdaptive, induced && !opts.SkipInducedAC, &stats)
 	}
 	stats.Final = d.TotalSize()
 	return d, stats
@@ -433,7 +441,14 @@ func patternSelfLoops(gp *graph.Graph) [][]graph.Label {
 // *non*-edge constraints (see inducedPass); both prunings share the
 // pass loop so they reach a joint fixpoint. st accumulates the wall
 // time of the classic sweeps and the induced passes separately.
-func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, induced bool, st *ComputeStats) {
+//
+// With adaptive set, maxPasses is a revisable prediction: after the
+// first sweep the remaining mean domain size is measured, and when it is
+// still at least acEscalateMeanDomain candidates per pattern node the
+// cap is lifted and the sweeps continue to fixpoint (the second-stage
+// AutoTune rule). The outcome is written back to st.Plan.ACPasses so the
+// reported plan shows the decision actually taken.
+func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, induced bool, st *ComputeStats) {
 	np := gp.NumNodes()
 	start := time.Now()
 	defer func() {
@@ -485,6 +500,18 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, induced boo
 			st.InducedACTime += time.Since(ipStart)
 			if ipChanged {
 				changed = true
+			}
+		}
+		if pass == 0 {
+			st.AfterPass1 = d.TotalSize()
+			if adaptive && changed && np > 0 &&
+				float64(st.AfterPass1) >= acEscalateMeanDomain*float64(np) {
+				// The one-pass prediction was wrong for this query:
+				// the sweep is still pruning and the domains it left
+				// behind are large, so further sweeps have real work.
+				// Lift the cap and iterate to fixpoint.
+				maxPasses = 0
+				st.Plan.ACPasses = 0
 			}
 		}
 		if !changed {

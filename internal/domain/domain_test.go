@@ -437,17 +437,17 @@ func TestGoldenSchedulePlans(t *testing.T) {
 		// Auto keeps NLF, caps AC at one pass, and (under induced)
 		// keeps the non-edge propagation.
 		"PPIS32": {
-			"subgraph-iso: plan=nlf+ac:1 after-unary=25 final=25",
-			"induced-iso: plan=nlf+ac:1+inducedAC after-unary=25 final=4",
-			"homomorphism: plan=nlf+ac:1 after-unary=25 final=25",
+			"subgraph-iso: plan=nlf+ac:adaptive:1 after-unary=25 final=25",
+			"induced-iso: plan=nlf+ac:adaptive:1+inducedAC after-unary=25 final=4",
+			"homomorphism: plan=nlf+ac:adaptive:1 after-unary=25 final=25",
 		},
 		// PDBSv1: a molecular target with few heavy labels is still
 		// label-rich enough for the capped schedule, but too sparse for
 		// the induced non-edge sweep to pay — Auto gates it off.
 		"PDBSv1": {
-			"subgraph-iso: plan=nlf+ac:1 after-unary=40 final=35",
-			"induced-iso: plan=nlf+ac:1 after-unary=40 final=35",
-			"homomorphism: plan=nlf+ac:1 after-unary=40 final=35",
+			"subgraph-iso: plan=nlf+ac:adaptive:1 after-unary=40 final=35",
+			"induced-iso: plan=nlf+ac:adaptive:1 after-unary=40 final=35",
+			"homomorphism: plan=nlf+ac:adaptive:1 after-unary=40 final=35",
 		},
 	}
 	for _, name := range []string{"PPIS32", "PDBSv1"} {
@@ -632,5 +632,89 @@ func TestIndexSharedConcurrently(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+	}
+}
+
+// TestAdaptiveACEscalation: the second-stage rule in action. The target
+// is label-rich (two balanced labels), so AutoTune caps AC at one
+// adaptive pass — but the instance is built so that the first sweep
+// leaves the domains large (mean well above acEscalateMeanDomain) while
+// still pruning something: a set of "trap" A-nodes each with a private
+// B-successor that the unary degree filter excludes from the middle
+// domain. NLF cannot see the trap (the B-successor exists), only arc
+// consistency can, so pass 1 changes the domains, the measured mean
+// stays large, and the cap must be lifted to fixpoint — with the
+// escalated result equal to a plain fixpoint run.
+func TestAdaptiveACEscalation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const core, traps = 60, 12
+	b := &graph.Builder{}
+	for i := 0; i < core; i++ {
+		b.AddNode(graph.Label(i % 2)) // even = A(0), odd = B(1)
+	}
+	for i := 0; i < traps; i++ {
+		b.AddNode(0) // trap: label A
+	}
+	for i := 0; i < traps; i++ {
+		b.AddNode(1) // sink: label B, will have out-degree 0
+	}
+	// Dense bipartite-ish core: edges only between different labels.
+	for v := 0; v < core; v++ {
+		for k := 0; k < 12; k++ {
+			w := rng.Intn(core)
+			if w%2 != v%2 {
+				b.AddEdge(int32(v), int32(w), graph.NoLabel)
+			}
+		}
+	}
+	// Each trap's only out-edge goes to its private B sink; the sink has
+	// no out-edges, so it is excluded from the middle domain by the
+	// unary degree filter.
+	for i := 0; i < traps; i++ {
+		b.AddEdge(int32(core+i), int32(core+traps+i), graph.NoLabel)
+	}
+	gt := b.MustBuild()
+
+	// Pattern: directed path A -> B -> A.
+	pb := &graph.Builder{}
+	pb.AddNode(0)
+	pb.AddNode(1)
+	pb.AddNode(0)
+	pb.AddEdge(0, 1, graph.NoLabel)
+	pb.AddEdge(1, 2, graph.NoLabel)
+	gp := pb.MustBuild()
+
+	opts := AutoTune(Options{Semantics: graph.SubgraphIso}, gp, gt)
+	if !opts.ACAdaptive || opts.ACPasses != 1 {
+		t.Fatalf("AutoTune did not choose the adaptive one-pass cap: %+v", opts)
+	}
+	d, st := ComputeWithStats(gp, gt, opts)
+	if !st.Plan.ACAdaptive {
+		t.Fatalf("plan does not report the adaptive cap: %v", st.Plan)
+	}
+	if st.Plan.ACPasses != 0 {
+		t.Fatalf("large post-pass domains did not escalate to fixpoint: %v (after-pass1 %d over %d nodes)",
+			st.Plan, st.AfterPass1, gp.NumNodes())
+	}
+	if st.AfterPass1 == 0 || st.AfterPass1 > st.AfterUnary || st.Final > st.AfterPass1 {
+		t.Fatalf("staged sizes inconsistent: unary=%d pass1=%d final=%d", st.AfterUnary, st.AfterPass1, st.Final)
+	}
+	if got := st.Plan.String(); got != "nlf+ac:adaptive:fixpoint" {
+		t.Fatalf("plan string = %q", got)
+	}
+	// The escalated run must land on the plain fixpoint domains.
+	df, fst := ComputeWithStats(gp, gt, Options{Semantics: graph.SubgraphIso})
+	if fst.Plan.ACAdaptive || fst.Plan.ACPasses != 0 {
+		t.Fatalf("reference run unexpectedly adaptive: %v", fst.Plan)
+	}
+	for vp := int32(0); vp < int32(gp.NumNodes()); vp++ {
+		if !d.Of(vp).Equal(df.Of(vp)) {
+			t.Fatalf("node %d: escalated domains differ from the fixpoint", vp)
+		}
+	}
+	// An explicit one-pass cap is a caller demand, never adaptive.
+	_, est := ComputeWithStats(gp, gt, Options{Semantics: graph.SubgraphIso, ACPasses: 1})
+	if est.Plan.ACAdaptive || est.Plan.ACPasses != 1 {
+		t.Fatalf("explicit ACPasses=1 was made adaptive: %v", est.Plan)
 	}
 }

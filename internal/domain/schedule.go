@@ -60,6 +60,12 @@ type Plan struct {
 	// (0 = fixpoint).
 	AC       bool
 	ACPasses int
+	// ACAdaptive reports the second-stage online rule ran: arc
+	// consistency probed one sweep and then decided — from the measured
+	// domain sizes, not a prediction — whether to continue to fixpoint.
+	// ACPasses then records the outcome: 1 when the probe stopped, 0
+	// when domains stayed large and the sweeps escalated to fixpoint.
+	ACAdaptive bool
 	// InducedAC reports the induced non-edge propagation ran (only ever
 	// true under graph.InducedIso).
 	InducedAC bool
@@ -83,9 +89,14 @@ func (p Plan) String() string {
 		}
 	}
 	if p.AC {
-		if p.ACPasses == 0 {
+		switch {
+		case p.ACAdaptive && p.ACPasses == 0:
+			add("ac:adaptive:fixpoint")
+		case p.ACAdaptive:
+			add(fmt.Sprintf("ac:adaptive:%d", p.ACPasses))
+		case p.ACPasses == 0:
 			add("ac:fixpoint")
-		} else {
+		default:
 			add(fmt.Sprintf("ac:%d", p.ACPasses))
 		}
 	}
@@ -109,8 +120,10 @@ type ComputeStats struct {
 	// the joint fixpoint but timed separately).
 	UnaryTime, ACTime, InducedACTime time.Duration
 	// AfterUnary and Final are total domain sizes (sum over pattern
-	// nodes) after the unary stage and after all propagation.
-	AfterUnary, Final int
+	// nodes) after the unary stage and after all propagation. AfterPass1
+	// is the size after the first arc-consistency sweep — the signal the
+	// adaptive second-stage rule reads (0 when AC did not run).
+	AfterUnary, AfterPass1, Final int
 }
 
 // TargetStats are the target-side statistics the adaptive schedule
@@ -184,6 +197,14 @@ const (
 	// marks a target where the sweep can pay.
 	inducedDenseDensity    = 0.08
 	inducedDenseMeanDegree = 12.0
+	// acEscalateMeanDomain: the second-stage online rule. When the
+	// adaptive schedule capped arc consistency at one pass (label-rich
+	// target) but the mean domain size after that pass is still at least
+	// this many candidates per pattern node, the prediction "one pass
+	// suffices" was wrong for this query — further sweeps have plenty
+	// left to prune and the search would otherwise pay for it — so the
+	// sweeps continue to fixpoint.
+	acEscalateMeanDomain = 8.0
 )
 
 // AutoTune resolves the adaptive schedule: it inspects the target's
@@ -200,7 +221,12 @@ const (
 //     label-rich targets Auto runs NLF + a single AC pass; on label-poor
 //     targets it drops NLF (the signatures would be near-constant) and
 //     runs AC to fixpoint. A wildly skewed degree distribution keeps the
-//     fixpoint even when labels are rich.
+//     fixpoint even when labels are rich. The one-pass cap is adaptive
+//     (Options.ACAdaptive): the sweep measures the domains it leaves
+//     behind and escalates to fixpoint when they stay large — the
+//     second-stage rule that corrects the static prediction online with
+//     ComputeStats.AfterPass1 instead of trusting target statistics
+//     alone.
 //   - A pattern without edges makes both NLF and AC no-ops; they are
 //     skipped outright.
 //   - The induced non-edge propagation is gated on target density (and
@@ -220,7 +246,13 @@ func AutoTune(opts Options, gp, gt *graph.Graph) Options {
 		labelRich := st.LabelEntropy >= labelRichEntropy
 		opts.SkipNLF = patternEdges == 0 || !labelRich
 		if labelRich && opts.ACPasses == 0 && !opts.SkipAC && st.DegreeSkew < wildSkew {
+			// The cap is the scheduler's own prediction, not a caller
+			// knob, so it may be revised online: ACAdaptive lets the
+			// sweep escalate to fixpoint when the measured post-pass
+			// domains say one pass was not enough. An explicit caller
+			// ACPasses is never made adaptive.
 			opts.ACPasses = 1
+			opts.ACAdaptive = true
 		}
 	}
 	if patternEdges == 0 {

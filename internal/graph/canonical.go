@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"encoding/binary"
+	"slices"
+)
+
+// This file implements canonical forms: a relabeling-invariant encoding
+// of a graph, the foundation of the service layer's result cache. Two
+// graphs have equal canonical encodings if and only if they are
+// isomorphic (same labeled structure under some node relabeling), so an
+// encoding — or a hash of it — identifies a pattern regardless of how
+// the client happened to number its nodes.
+//
+// The algorithm is the classic individualization–refinement scheme in
+// miniature: iterated color refinement (1-dimensional Weisfeiler–Leman,
+// on node labels and per-direction edge-label multisets) partitions the
+// nodes into an ordered sequence of cells; whenever a cell is not a
+// singleton, each of its members is individualized in turn and the
+// lexicographically minimal serialized adjacency over all resulting
+// complete orderings is kept. The worst case is exponential — as for
+// every known canonical-labeling algorithm — but the intended inputs
+// are pattern graphs (a handful of nodes), where refinement almost
+// always discretizes after one or two individualizations.
+
+// CanonicalForm returns a relabeling-invariant encoding of g and the
+// permutation that produced it (node v of g becomes node perm[v] of the
+// canonical numbering, as in Relabel). Isomorphic graphs — and only
+// isomorphic graphs — share an encoding; the bytes are an opaque value
+// for comparison and hashing, not a serialization format.
+//
+// Cost is near-linear on label-diverse graphs and exponential in the
+// worst case (highly symmetric unlabeled graphs); intended for pattern
+// graphs, not million-node targets. Callers canonicalizing untrusted
+// input use CanonicalFormBudget, which refuses pathological inputs
+// instead of burning a core on them.
+func CanonicalForm(g *Graph) (encoding []byte, perm []int32) {
+	enc, perm, _ := CanonicalFormBudget(g, 0)
+	return enc, perm
+}
+
+// CanonicalFormBudget is CanonicalForm with a cost bound: budget caps
+// the number of complete orderings the individualization search may
+// serialize (0 = unlimited). On label-diverse patterns refinement
+// discretizes after a branch or two, so even a tiny budget never
+// triggers; a highly symmetric unlabeled pattern (an n-clique explores
+// n! orderings — measured minutes from ~10 nodes up) exhausts it
+// quickly and returns ok == false with no encoding. Callers serving
+// untrusted patterns treat that as "not cacheable" rather than an
+// error: correctness never depends on canonicalization succeeding.
+func CanonicalFormBudget(g *Graph, budget int) (encoding []byte, perm []int32, ok bool) {
+	n := g.NumNodes()
+	if n == 0 {
+		return []byte{}, []int32{}, true
+	}
+	colors := refine(g, initialColors(g))
+	best := &canonSearch{g: g, n: n, budget: budget}
+	best.search(colors)
+	if best.overBudget {
+		return nil, nil, false
+	}
+	return best.bestEnc, best.bestPerm, true
+}
+
+// CanonicalHash returns a 64-bit FNV-1a hash of g's canonical encoding:
+// equal for isomorphic graphs, and distinct for non-isomorphic ones up
+// to hash collisions — callers for whom a collision would be a
+// correctness bug (the service cache) compare the full encodings.
+func CanonicalHash(g *Graph) uint64 {
+	enc, _ := CanonicalForm(g)
+	return HashBytes(enc)
+}
+
+// HashBytes is the 64-bit FNV-1a hash used for canonical encodings and
+// the service layer's cache-key fingerprints.
+func HashBytes(b []byte) uint64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// initialColors keys each node by its node label plus its sorted
+// self-loop label multiset (self-loops are node-local structure, so
+// folding them in here keeps the refinement signatures smaller).
+func initialColors(g *Graph) []int {
+	n := g.NumNodes()
+	keys := make([]string, n)
+	for v := int32(0); v < int32(n); v++ {
+		var loops []Label
+		adj := g.OutNeighbors(v)
+		labs := g.OutEdgeLabels(v)
+		for i, w := range adj {
+			if w == v {
+				loops = append(loops, labs[i])
+			}
+		}
+		slices.Sort(loops)
+		b := binary.AppendVarint(nil, int64(g.NodeLabel(v)))
+		for _, l := range loops {
+			b = binary.AppendVarint(b, int64(l))
+		}
+		keys[v] = string(b)
+	}
+	return colorize(keys)
+}
+
+// refine iterates 1-WL color refinement to a fixpoint: each round a
+// node's new color is its old color plus the sorted multisets of
+// (edge label, neighbor color) pairs over out- and in-edges. Signatures
+// are built only from relabeling-invariant data (labels and colors), so
+// the resulting color ids are relabeling-invariant too.
+func refine(g *Graph, colors []int) []int {
+	n := g.NumNodes()
+	distinct := countDistinct(colors)
+	keys := make([]string, n)
+	for {
+		for v := int32(0); v < int32(n); v++ {
+			b := binary.AppendVarint(nil, int64(colors[v]))
+			b = appendNeighborSig(b, g.OutNeighbors(v), g.OutEdgeLabels(v), v, colors)
+			b = append(b, 0xff) // direction separator
+			b = appendNeighborSig(b, g.InNeighbors(v), g.InEdgeLabels(v), v, colors)
+			keys[v] = string(b)
+		}
+		colors = colorize(keys)
+		nd := countDistinct(colors)
+		if nd == distinct || nd == n {
+			return colors
+		}
+		distinct = nd
+	}
+}
+
+// appendNeighborSig appends the sorted (edge label, neighbor color)
+// multiset of one adjacency row, self-loops excluded (they are part of
+// the initial colors already).
+func appendNeighborSig(dst []byte, adj []int32, labs []Label, self int32, colors []int) []byte {
+	pairs := make([][2]int64, 0, len(adj))
+	for i, w := range adj {
+		if w == self {
+			continue
+		}
+		pairs = append(pairs, [2]int64{int64(labs[i]), int64(colors[w])})
+	}
+	slices.SortFunc(pairs, func(a, b [2]int64) int {
+		if a[0] != b[0] {
+			return cmpInt64(a[0], b[0])
+		}
+		return cmpInt64(a[1], b[1])
+	})
+	for _, p := range pairs {
+		dst = binary.AppendVarint(dst, p[0])
+		dst = binary.AppendVarint(dst, p[1])
+	}
+	return dst
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// colorize maps per-node string keys to dense color ids ordered by the
+// key's rank among the distinct keys. Ranking by key value — never by
+// node id — is what keeps the colors relabeling-invariant.
+func colorize(keys []string) []int {
+	distinct := append([]string(nil), keys...)
+	slices.Sort(distinct)
+	distinct = slices.Compact(distinct)
+	rank := make(map[string]int, len(distinct))
+	for i, k := range distinct {
+		rank[k] = i
+	}
+	out := make([]int, len(keys))
+	for v, k := range keys {
+		out[v] = rank[k]
+	}
+	return out
+}
+
+func countDistinct(colors []int) int {
+	seen := make(map[int]bool, len(colors))
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// canonSearch explores the orderings compatible with a refined coloring
+// and keeps the minimal serialized adjacency.
+type canonSearch struct {
+	g        *Graph
+	n        int
+	bestEnc  []byte
+	bestPerm []int32
+
+	budget     int // max offers; 0 = unlimited
+	offers     int
+	overBudget bool
+}
+
+// search individualizes each member of the first non-singleton cell in
+// turn and recurses; with a discrete coloring the ordering is forced
+// and the candidate encoding is compared against the best so far.
+func (c *canonSearch) search(colors []int) {
+	if c.overBudget {
+		return
+	}
+	cell := firstNonSingletonCell(colors)
+	if cell == nil {
+		c.offers++
+		if c.budget > 0 && c.offers > c.budget {
+			c.overBudget = true
+			return
+		}
+		c.offer(colors)
+		return
+	}
+	for _, v := range cell {
+		if c.overBudget {
+			return
+		}
+		ind := make([]int, c.n)
+		// Individualize v: give it a fresh color slotted just before the
+		// rest of its cell (doubling makes room between ranks), then
+		// re-refine.
+		for w, col := range colors {
+			ind[w] = 2 * col
+		}
+		ind[v] = 2*colors[v] - 1
+		c.search(refine(c.g, normalizeColors(ind)))
+	}
+}
+
+// firstNonSingletonCell returns the nodes of the smallest-color cell
+// with more than one member, or nil if the coloring is discrete.
+func firstNonSingletonCell(colors []int) []int32 {
+	byColor := make(map[int][]int32)
+	minCol := -1
+	for v, col := range colors {
+		byColor[col] = append(byColor[col], int32(v))
+		if len(byColor[col]) > 1 && (minCol == -1 || col < minCol) {
+			minCol = col
+		}
+	}
+	if minCol == -1 {
+		return nil
+	}
+	return byColor[minCol]
+}
+
+// normalizeColors re-densifies color ids preserving order.
+func normalizeColors(colors []int) []int {
+	distinct := append([]int(nil), colors...)
+	slices.Sort(distinct)
+	distinct = slices.Compact(distinct)
+	rank := make(map[int]int, len(distinct))
+	for i, c := range distinct {
+		rank[c] = i
+	}
+	out := make([]int, len(colors))
+	for v, c := range colors {
+		out[v] = rank[c]
+	}
+	return out
+}
+
+// offer serializes the graph under a discrete coloring (color =
+// canonical position) and keeps the lexicographically smallest encoding
+// seen across the individualization branches.
+func (c *canonSearch) offer(colors []int) {
+	perm := make([]int32, c.n) // node v → canonical position colors[v]
+	for v, col := range colors {
+		perm[v] = int32(col)
+	}
+	enc := encodeUnder(c.g, perm)
+	if c.bestEnc == nil || slices.Compare(enc, c.bestEnc) < 0 {
+		c.bestEnc = enc
+		c.bestPerm = perm
+	}
+}
+
+// encodeUnder serializes node labels and sorted relabeled edges under
+// the permutation.
+func encodeUnder(g *Graph, perm []int32) []byte {
+	n := g.NumNodes()
+	inv := make([]int32, n) // canonical position → node
+	for v, p := range perm {
+		inv[p] = int32(v)
+	}
+	buf := binary.AppendUvarint(nil, uint64(n))
+	for p := 0; p < n; p++ {
+		buf = binary.AppendVarint(buf, int64(g.NodeLabel(inv[p])))
+	}
+	type edge struct{ u, v, l int64 }
+	edges := make([]edge, 0, g.NumEdges())
+	for v := int32(0); v < int32(n); v++ {
+		adj := g.OutNeighbors(v)
+		labs := g.OutEdgeLabels(v)
+		for i, w := range adj {
+			edges = append(edges, edge{int64(perm[v]), int64(perm[w]), int64(labs[i])})
+		}
+	}
+	slices.SortFunc(edges, func(a, b edge) int {
+		if a.u != b.u {
+			return cmpInt64(a.u, b.u)
+		}
+		if a.v != b.v {
+			return cmpInt64(a.v, b.v)
+		}
+		return cmpInt64(a.l, b.l)
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	for _, e := range edges {
+		buf = binary.AppendVarint(buf, e.u)
+		buf = binary.AppendVarint(buf, e.v)
+		buf = binary.AppendVarint(buf, e.l)
+	}
+	return buf
+}

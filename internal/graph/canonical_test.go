@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+)
+
+// randomLabeledGraph builds a random labeled digraph (with occasional
+// self-loops and parallel edges) directly — testutil would import-cycle.
+func randomLabeledGraph(rng *rand.Rand, n, m, nodeLabels, edgeLabels int) *Graph {
+	b := NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode(Label(rng.Intn(nodeLabels)))
+	}
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		b.AddEdge(u, v, Label(rng.Intn(edgeLabels)))
+	}
+	return b.MustBuild()
+}
+
+func randomPerm(rng *rand.Rand, n int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}
+
+// TestCanonicalFormRelabelingInvariant: the encoding must be identical
+// for every relabeling of the same graph — the property the service
+// cache stands on.
+func TestCanonicalFormRelabelingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		g := randomLabeledGraph(rng, n, rng.Intn(3*n), 1+rng.Intn(3), 1+rng.Intn(2))
+		enc, _ := CanonicalForm(g)
+		h := CanonicalHash(g)
+		for k := 0; k < 4; k++ {
+			pg, err := g.Relabel(randomPerm(rng, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2, _ := CanonicalForm(pg)
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("trial %d: relabeled encoding differs\n g=%v", trial, g)
+			}
+			if CanonicalHash(pg) != h {
+				t.Fatalf("trial %d: relabeled hash differs", trial)
+			}
+		}
+	}
+}
+
+// TestCanonicalFormPermValid: the returned permutation must actually
+// relabel g onto a graph whose identity encoding equals the canonical
+// encoding — i.e. the encoding really is "g under perm".
+func TestCanonicalFormPermValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(7)
+		g := randomLabeledGraph(rng, n, rng.Intn(3*n), 1+rng.Intn(3), 1+rng.Intn(2))
+		enc, perm := CanonicalForm(g)
+		canon, err := g.Relabel(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ident := make([]int32, n)
+		for i := range ident {
+			ident[i] = int32(i)
+		}
+		if got := encodeUnder(canon, ident); !bytes.Equal(got, enc) {
+			t.Fatalf("trial %d: perm does not reproduce the canonical encoding", trial)
+		}
+	}
+}
+
+// TestCanonicalFormSeparatesNonIsomorphic: structurally different small
+// graphs must get different encodings (P3 vs triangle, label swaps,
+// direction flips, edge-label changes).
+func TestCanonicalFormSeparatesNonIsomorphic(t *testing.T) {
+	build := func(labels []Label, edges [][3]int32) *Graph {
+		b := NewBuilder(len(labels), len(edges))
+		for _, l := range labels {
+			b.AddNode(l)
+		}
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1], Label(e[2]))
+		}
+		return b.MustBuild()
+	}
+	graphs := []*Graph{
+		// P3 (undirected) vs triangle.
+		build([]Label{0, 0, 0}, [][3]int32{{0, 1, 0}, {1, 0, 0}, {1, 2, 0}, {2, 1, 0}}),
+		build([]Label{0, 0, 0}, [][3]int32{{0, 1, 0}, {1, 0, 0}, {1, 2, 0}, {2, 1, 0}, {0, 2, 0}, {2, 0, 0}}),
+		// Directed 3-cycle vs directed path.
+		build([]Label{0, 0, 0}, [][3]int32{{0, 1, 0}, {1, 2, 0}, {2, 0, 0}}),
+		build([]Label{0, 0, 0}, [][3]int32{{0, 1, 0}, {1, 2, 0}}),
+		// Label variations on one edge.
+		build([]Label{1, 2}, [][3]int32{{0, 1, 0}}),
+		build([]Label{1, 2}, [][3]int32{{1, 0, 0}}),
+		build([]Label{1, 2}, [][3]int32{{0, 1, 1}}),
+		build([]Label{1, 1}, [][3]int32{{0, 1, 0}}),
+		// Self-loop vs none.
+		build([]Label{1, 2}, [][3]int32{{0, 1, 0}, {0, 0, 0}}),
+	}
+	seen := make(map[string]int)
+	for i, g := range graphs {
+		enc, _ := CanonicalForm(g)
+		if j, dup := seen[string(enc)]; dup {
+			t.Fatalf("graphs %d and %d share an encoding but are not isomorphic", j, i)
+		}
+		seen[string(enc)] = i
+	}
+}
+
+// TestCanonicalFormSymmetricGraphs: highly symmetric graphs exercise the
+// individualization branching; all relabelings must still agree.
+func TestCanonicalFormSymmetricGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Unlabeled undirected C6 and K4.
+	c6 := NewBuilder(6, 12)
+	c6.AddNodes(6)
+	for i := int32(0); i < 6; i++ {
+		c6.AddEdgeBoth(i, (i+1)%6, NoLabel)
+	}
+	k4 := NewBuilder(4, 12)
+	k4.AddNodes(4)
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.AddEdgeBoth(i, j, NoLabel)
+		}
+	}
+	for _, g := range []*Graph{c6.MustBuild(), k4.MustBuild()} {
+		enc, _ := CanonicalForm(g)
+		for k := 0; k < 8; k++ {
+			pg, err := g.Relabel(randomPerm(rng, g.NumNodes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2, _ := CanonicalForm(pg)
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("%v: symmetric graph relabeling changed the encoding", g)
+			}
+		}
+	}
+}
+
+// TestCanonicalFormEmpty: the zero graph canonicalizes without panicking.
+func TestCanonicalFormEmpty(t *testing.T) {
+	g := (&Builder{}).MustBuild()
+	enc, perm := CanonicalForm(g)
+	if len(perm) != 0 || enc == nil {
+		t.Fatalf("empty graph: enc=%v perm=%v", enc, perm)
+	}
+}
+
+// TestCanonicalFormBudget: a hostile symmetric pattern must exhaust the
+// budget quickly (ok=false) instead of burning factorial time, while
+// ordinary labeled patterns never notice the budget; and the budgeted
+// encoding, when it succeeds, equals the unbudgeted one.
+func TestCanonicalFormBudget(t *testing.T) {
+	// Unlabeled K9: 9! ≈ 363k orderings, measured in whole seconds
+	// unbudgeted — the budget must cut it off in milliseconds.
+	k := NewBuilder(9, 72)
+	k.AddNodes(9)
+	for i := int32(0); i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			k.AddEdgeBoth(i, j, NoLabel)
+		}
+	}
+	start := time.Now()
+	if _, _, ok := CanonicalFormBudget(k.MustBuild(), 4096); ok {
+		t.Fatal("K9 canonicalized within a 4096-ordering budget (budget not enforced?)")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("budget cutoff took %v — not bounding the search", d)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		g := randomLabeledGraph(rng, n, rng.Intn(3*n), 1+rng.Intn(3), 1+rng.Intn(2))
+		enc, perm := CanonicalForm(g)
+		benc, bperm, ok := CanonicalFormBudget(g, 4096)
+		if !ok {
+			t.Fatalf("trial %d: ordinary pattern exceeded the budget", trial)
+		}
+		if !bytes.Equal(enc, benc) || !slices.Equal(perm, bperm) {
+			t.Fatalf("trial %d: budgeted result differs from unbudgeted", trial)
+		}
+	}
+}

@@ -353,7 +353,9 @@ func (s *solver) emit() {
 			s.nodeMap[s.ord.Seq[i]] = vt
 		}
 		if !s.opts.Visit(s.nodeMap) {
+			// Visit stop = abort (truncated result); limit stop is not.
 			s.stopped = true
+			s.aborted = true
 			return
 		}
 	}

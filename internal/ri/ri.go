@@ -621,7 +621,12 @@ func (s *searcher) emit() {
 			s.nodeMap[s.p.Ord.Seq[i]] = vt
 		}
 		if !s.visit(s.nodeMap) {
+			// A Visit stop ends the run before exhaustion: report it as
+			// an abort (Matches is a lower bound), exactly like the
+			// parallel engine's visitStop. A Limit stop below is not an
+			// abort — the caller got everything it asked for.
 			s.stopped = true
+			s.aborted = true
 			return
 		}
 	}

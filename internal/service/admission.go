@@ -1,0 +1,145 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors. Both are load signals, not query failures: the
+// client may retry (ideally with backoff), and sgeserve maps them to
+// HTTP 503 / 504 so load balancers can react.
+var (
+	// ErrOverloaded reports the admission queue was full when the query
+	// arrived: the service sheds it immediately rather than letting the
+	// queue grow without bound.
+	ErrOverloaded = errors.New("service: overloaded, query shed")
+	// ErrQueueTimeout reports the query waited in the admission queue
+	// longer than the configured bound without a slot freeing up.
+	ErrQueueTimeout = errors.New("service: timed out waiting for admission")
+)
+
+// admission partitions a fixed worker budget across concurrent queries.
+// A small query holds one token and runs the sequential engine; a large
+// one holds several and gets the work-stealing parallel pool — so the
+// machine is never oversubscribed: the sum of held tokens never exceeds
+// the budget, whatever mix of query sizes is in flight.
+//
+// Waiting is FIFO with two overload valves: a queue-length bound (shed
+// immediately once exceeded — ErrOverloaded) and a per-query wait bound
+// (ErrQueueTimeout). FIFO means a large query at the head blocks smaller
+// ones behind it until its tokens fit; that head-of-line blocking is
+// deliberate — skipping ahead would starve large queries under a steady
+// trickle of small ones.
+type admission struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	queue    *list.List // of *waiter, FIFO
+	maxQueue int
+
+	granted, shed, timedOut int64
+	totalWait               time.Duration
+}
+
+type waiter struct {
+	need    int64
+	ready   chan struct{} // closed on grant, with w.granted set
+	granted bool          // guarded by admission.mu
+}
+
+func newAdmission(capacity int64, maxQueue int) *admission {
+	return &admission{capacity: capacity, maxQueue: maxQueue, queue: list.New()}
+}
+
+// acquire blocks until need tokens are granted, the context fires, the
+// queue timeout elapses, or the queue is full on arrival. It returns the
+// time spent waiting. need is clamped to the capacity by the caller.
+func (a *admission) acquire(ctx context.Context, need int64, timeout time.Duration) (time.Duration, error) {
+	a.mu.Lock()
+	if a.queue.Len() == 0 && a.inUse+need <= a.capacity {
+		a.inUse += need
+		a.granted++
+		a.mu.Unlock()
+		return 0, nil
+	}
+	if a.queue.Len() >= a.maxQueue {
+		a.shed++
+		a.mu.Unlock()
+		return 0, ErrOverloaded
+	}
+	w := &waiter{need: need, ready: make(chan struct{})}
+	el := a.queue.PushBack(w)
+	a.mu.Unlock()
+
+	start := time.Now()
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case <-w.ready:
+		waited := time.Since(start)
+		a.mu.Lock()
+		a.totalWait += waited
+		a.mu.Unlock()
+		return waited, nil
+	case <-ctx.Done():
+		a.abandon(el, w)
+		return time.Since(start), ctx.Err()
+	case <-timeoutC:
+		a.abandon(el, w)
+		a.mu.Lock()
+		a.timedOut++
+		a.mu.Unlock()
+		return time.Since(start), ErrQueueTimeout
+	}
+}
+
+// abandon removes an un-granted waiter from the queue. If the grant
+// raced the abandonment (ready closed between the select firing and the
+// lock being taken), the tokens are handed straight back.
+func (a *admission) abandon(el *list.Element, w *waiter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		a.inUse -= w.need
+		a.grantLocked()
+		return
+	}
+	a.queue.Remove(el)
+}
+
+// release returns tokens and wakes queued waiters in FIFO order.
+func (a *admission) release(need int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inUse -= need
+	a.grantLocked()
+}
+
+// grantLocked admits queue heads while their token demand fits.
+func (a *admission) grantLocked() {
+	for a.queue.Len() > 0 {
+		w := a.queue.Front().Value.(*waiter)
+		if a.inUse+w.need > a.capacity {
+			return
+		}
+		a.queue.Remove(a.queue.Front())
+		a.inUse += w.need
+		a.granted++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// load returns a point-in-time view of the admission state.
+func (a *admission) load() (inUse int64, queued int, granted, shed, timedOut int64, totalWait time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse, a.queue.Len(), a.granted, a.shed, a.timedOut, a.totalWait
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBasic: grants up to capacity, blocks beyond, FIFO wakeup.
+func TestAdmissionBasic(t *testing.T) {
+	a := newAdmission(4, 8)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := a.acquire(ctx, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := a.acquire(ctx, 1, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			got <- i
+		}(i)
+		// Deterministic queue order: wait until waiter i is enqueued.
+		for {
+			if _, queued, _, _, _, _ := a.load(); queued == i+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.release(1)
+	first := <-got
+	if first != 0 {
+		t.Fatalf("FIFO violated: waiter %d woke first", first)
+	}
+	a.release(1)
+	<-got
+	wg.Wait()
+	if inUse, queued, _, _, _, _ := a.load(); inUse != 4 || queued != 0 {
+		t.Fatalf("inUse=%d queued=%d after grants", inUse, queued)
+	}
+}
+
+// TestAdmissionHeadOfLine: a large waiter at the queue head holds back a
+// later small one even when the small one would fit — the deliberate
+// anti-starvation property.
+func TestAdmissionHeadOfLine(t *testing.T) {
+	a := newAdmission(4, 8)
+	ctx := context.Background()
+	if _, err := a.acquire(ctx, 3, 0); err != nil { // 3 of 4 in use
+		t.Fatal(err)
+	}
+	largeDone := make(chan struct{})
+	go func() {
+		if _, err := a.acquire(ctx, 4, 0); err != nil { // must wait for all 4
+			t.Error(err)
+		}
+		close(largeDone)
+	}()
+	for {
+		if _, queued, _, _, _, _ := a.load(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	smallDone := make(chan struct{})
+	go func() {
+		if _, err := a.acquire(ctx, 1, 0); err != nil { // would fit, but queues behind large
+			t.Error(err)
+		}
+		close(smallDone)
+	}()
+	select {
+	case <-smallDone:
+		t.Fatal("small waiter jumped the queue past the large head")
+	case <-time.After(30 * time.Millisecond):
+	}
+	a.release(3) // large (4) fits now; then small (1) would exceed? 4+1>4: small still waits
+	<-largeDone
+	select {
+	case <-smallDone:
+		t.Fatal("small granted while large holds everything")
+	case <-time.After(30 * time.Millisecond):
+	}
+	a.release(4)
+	<-smallDone
+	a.release(1)
+	if inUse, queued, _, _, _, _ := a.load(); inUse != 0 || queued != 0 {
+		t.Fatalf("inUse=%d queued=%d after drain", inUse, queued)
+	}
+}
+
+// TestAdmissionAbandon: a waiter whose context fires leaves the queue
+// without consuming tokens, and later waiters still get served.
+func TestAdmissionAbandon(t *testing.T) {
+	a := newAdmission(1, 8)
+	bg := context.Background()
+	if _, err := a.acquire(bg, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, 1, 0)
+		errc <- err
+	}()
+	for {
+		if _, queued, _, _, _, _ := a.load(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("abandoned waiter got %v", err)
+	}
+	if _, queued, _, _, _, _ := a.load(); queued != 0 {
+		t.Fatal("abandoned waiter left in queue")
+	}
+	// The token is still held by the first acquire; a release must reach
+	// a fresh waiter, not the abandoned one.
+	okc := make(chan struct{})
+	go func() {
+		if _, err := a.acquire(bg, 1, 0); err != nil {
+			t.Error(err)
+		}
+		close(okc)
+	}()
+	a.release(1)
+	select {
+	case <-okc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fresh waiter starved after an abandonment")
+	}
+}
+
+// TestAdmissionShedAndTimeout: queue-full sheds immediately; a bounded
+// wait times out and is counted.
+func TestAdmissionShedAndTimeout(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if _, err := a.acquire(ctx, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, 1, 40*time.Millisecond)
+		errc <- err
+	}()
+	for {
+		if _, queued, _, _, _, _ := a.load(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.acquire(ctx, 1, 0); err != ErrOverloaded {
+		t.Fatalf("queue-full acquire: %v, want ErrOverloaded", err)
+	}
+	if err := <-errc; err != ErrQueueTimeout {
+		t.Fatalf("bounded wait: %v, want ErrQueueTimeout", err)
+	}
+	if _, queued, _, shed, timedOut, _ := a.load(); queued != 0 || shed != 1 || timedOut != 1 {
+		t.Fatalf("queued=%d shed=%d timedOut=%d", queued, shed, timedOut)
+	}
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+
+	"parsge"
+)
+
+// cacheKey builds the full identity of a query result: the canonical
+// pattern encoding (relabeling-invariant — isomorphic patterns from
+// different clients share an entry) × the resolved matching semantics ×
+// a fingerprint of every option that can change the result *content*.
+//
+// Execution knobs — Workers, TaskGroupSize, DisableStealing, Seed,
+// Timeout, Visit — are deliberately excluded: they change how a result
+// is computed, never what it is (a timed-out run is not cached at all,
+// so Timeout cannot leak partial results into the cache). Everything
+// else is included, conservatively: Limit truncates the result set;
+// Semantics selects it; Algorithm and the pruning knobs are sound (all
+// engines and all filter plans agree on counts) but change the reported
+// Plan/States, and aliasing them would make /stats lie about what ran.
+func cacheKey(canon []byte, sem parsge.Semantics, opts parsge.Options) string {
+	b := make([]byte, 0, len(canon)+24)
+	b = append(b, canon...)
+	b = append(b, 0xfe) // separator: canon is length-prefixed varints, this byte cannot extend it
+	b = binary.AppendVarint(b, int64(sem))
+	b = binary.AppendVarint(b, opts.Limit)
+	b = binary.AppendVarint(b, int64(opts.Algorithm))
+	b = binary.AppendVarint(b, int64(opts.Pruning.Schedule))
+	b = binary.AppendVarint(b, int64(opts.Pruning.ACPasses))
+	var flags int64
+	if opts.Pruning.DisableNLF {
+		flags |= 1
+	}
+	if opts.Pruning.DisableInducedAC {
+		flags |= 2
+	}
+	b = binary.AppendVarint(b, flags)
+	return string(b)
+}
+
+// entry is one cached result. Mappings, when present, are stored in the
+// *canonical* pattern numbering (mappings[i][canonPos] = target node),
+// so any client pattern isomorphic to the cached one can have them
+// translated back through its own canonical permutation.
+type entry struct {
+	key      string
+	res      parsge.Result // the complete run that populated the entry (never TimedOut)
+	mappings [][]int32     // canonical numbering; nil with !hasMappings
+	// hasMappings distinguishes "cached zero mappings" (a complete
+	// empty result set) from a count-only entry.
+	hasMappings bool
+	cost        int64
+}
+
+// entryCost weighs an entry by the match memory it pins: one unit for
+// the counts themselves plus one per stored mapping. This is the
+// "match-count memory" the LRU budget bounds — a count-only entry for a
+// billion-match query costs 1, a 10k-mapping entry costs 10001.
+func entryCost(e *entry) int64 {
+	return 1 + int64(len(e.mappings))
+}
+
+// translate converts one cached canonical mapping to the numbering of a
+// client pattern with canonical permutation perm (node v of the client
+// pattern is canonical node perm[v]).
+func translate(cm []int32, perm []int32) []int32 {
+	out := make([]int32, len(perm))
+	for v, p := range perm {
+		out[v] = cm[p]
+	}
+	return out
+}
+
+// cache is the LRU result cache: entries keyed by cacheKey, total cost
+// bounded by maxCost, least-recently-used evicted first. A maxCost of 0
+// disables caching entirely (every get misses, every put is dropped).
+type cache struct {
+	mu      sync.Mutex
+	maxCost int64
+	cost    int64
+	byKey   map[string]*list.Element // of *entry
+	lru     *list.List               // front = most recent
+
+	hits, misses, evictions int64
+}
+
+func newCache(maxCost int64) *cache {
+	return &cache{maxCost: maxCost, byKey: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the entry for key if present and sufficient: a count-only
+// entry cannot serve a request that needs mappings (it reports a miss,
+// and the subsequent put upgrades the entry).
+func (c *cache) get(key string, needMappings bool) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if ok {
+		e := el.Value.(*entry)
+		if !needMappings || e.hasMappings {
+			c.lru.MoveToFront(el)
+			c.hits++
+			return e, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts (or upgrades) an entry and evicts from the cold end until
+// the budget holds again. Entries are immutable once inserted — readers
+// hold them outside the lock — so an upgrade replaces the element.
+func (c *cache) put(e *entry) {
+	e.cost = entryCost(e)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxCost <= 0 || e.cost > c.maxCost {
+		return
+	}
+	if old, ok := c.byKey[e.key]; ok {
+		oe := old.Value.(*entry)
+		if oe.hasMappings && !e.hasMappings {
+			// Never downgrade a mapping entry to a count-only one.
+			c.lru.MoveToFront(old)
+			return
+		}
+		c.cost -= oe.cost
+		c.lru.Remove(old)
+	}
+	c.byKey[e.key] = c.lru.PushFront(e)
+	c.cost += e.cost
+	for c.cost > c.maxCost {
+		back := c.lru.Back()
+		be := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.byKey, be.key)
+		c.cost -= be.cost
+		c.evictions++
+	}
+}
+
+// stats returns a point-in-time view of the cache counters.
+func (c *cache) stats() (entries int, cost, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey), c.cost, c.hits, c.misses, c.evictions
+}

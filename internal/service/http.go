@@ -1,0 +1,302 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parsge"
+	"parsge/internal/graphio"
+)
+
+// Server exposes a Service over HTTP with a small JSON API:
+//
+//	POST /query   — submit a pattern; count, enumerate, or stream matches
+//	GET  /healthz — liveness; 503 once draining
+//	GET  /stats   — the Stats snapshot, plan histogram included
+//
+// The query body is JSON: {"pattern": "<graph section in the GFF text
+// format>", "semantics": "iso"|"induced"|"hom", "algorithm": "auto"|...,
+// "limit": n, "timeout_ms": n, "mappings": bool, "stream": bool}.
+// Non-stream replies are one JSON object; stream replies are NDJSON —
+// one {"mapping": [...]} line per match, then a terminal
+// {"done": true, ...} line. A client that disconnects mid-stream tears
+// the enumeration down through the request context.
+//
+// Pattern labels are interned into the server's label table (shared with
+// the target graph so equal label strings compare equal); the table is
+// guarded here because graphio tables are not safe for concurrent
+// interning.
+type Server struct {
+	svc     *Service
+	table   *graphio.LabelTable
+	tableMu sync.Mutex
+	mux     *http.ServeMux
+
+	// MaxPatternNodes rejects absurd patterns at parse time (pattern
+	// searches are exponential in pattern size). Default 64. Hostile
+	// *symmetric* patterns within this bound are defused separately:
+	// canonicalization runs under a cost budget and a pattern exceeding
+	// it is simply served uncached (see Service.validate).
+	MaxPatternNodes int
+
+	draining atomic.Bool
+}
+
+// NewServer wraps svc. table must be the label table the target graph
+// was read with (a fresh table is only correct for label-free use).
+func NewServer(svc *Service, table *graphio.LabelTable) *Server {
+	if table == nil {
+		table = graphio.NewLabelTable()
+	}
+	h := &Server{svc: svc, table: table, MaxPatternNodes: 64}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("POST /query", h.handleQuery)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	return h
+}
+
+func (h *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// StartDrain flips the server to draining: /healthz turns 503 so load
+// balancers stop routing here, and new queries are refused while
+// in-flight ones finish (the http.Server.Shutdown the caller runs next
+// waits for those).
+func (h *Server) StartDrain() { h.draining.Store(true) }
+
+type queryRequest struct {
+	Pattern   string `json:"pattern"`
+	Semantics string `json:"semantics,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Limit     int64  `json:"limit,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Mappings  bool   `json:"mappings,omitempty"`
+	Stream    bool   `json:"stream,omitempty"`
+}
+
+type queryResponse struct {
+	Matches       int64     `json:"matches"`
+	States        int64     `json:"states"`
+	Truncated     bool      `json:"truncated,omitempty"`
+	Unsatisfiable bool      `json:"unsatisfiable,omitempty"`
+	CacheHit      bool      `json:"cache_hit"`
+	Shared        bool      `json:"shared,omitempty"`
+	Large         bool      `json:"large,omitempty"`
+	QueueWaitMS   float64   `json:"queue_wait_ms"`
+	PreprocMS     float64   `json:"preproc_ms"`
+	MatchMS       float64   `json:"match_ms"`
+	Plan          string    `json:"plan,omitempty"`
+	Mappings      [][]int32 `json:"mappings,omitempty"`
+}
+
+// streamLine is one NDJSON line of a streaming reply.
+type streamLine struct {
+	Mapping   []int32 `json:"mapping,omitempty"`
+	Done      bool    `json:"done,omitempty"`
+	Matches   int64   `json:"matches,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func parseSemantics(s string) (parsge.Semantics, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "":
+		return parsge.SemanticsUnset, nil
+	case "iso", "subgraph-iso":
+		return parsge.SubgraphIso, nil
+	case "induced", "induced-iso":
+		return parsge.InducedIso, nil
+	case "hom", "homomorphism":
+		return parsge.Homomorphism, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q", s)
+	}
+}
+
+func parseAlgorithm(s string) (parsge.Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return parsge.Auto, nil
+	case "ri":
+		return parsge.RI, nil
+	case "rids", "ri-ds":
+		return parsge.RIDS, nil
+	case "ridssi", "ri-ds-si":
+		return parsge.RIDSSI, nil
+	case "ridssifc", "ri-ds-si-fc":
+		return parsge.RIDSSIFC, nil
+	case "vf2":
+		return parsge.VF2, nil
+	case "lad":
+		return parsge.LAD, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+// parsePattern reads the first graph section from the request text,
+// interning labels into the shared table under the table lock.
+func (h *Server) parsePattern(text string) (*parsge.Graph, error) {
+	h.tableMu.Lock()
+	defer h.tableMu.Unlock()
+	graphs, err := parsge.ReadGraphs(strings.NewReader(text), h.table)
+	if err != nil {
+		return nil, err
+	}
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("no graph section in pattern")
+	}
+	return graphs[0].Graph, nil
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// errorCode maps service errors to HTTP statuses: overload signals get
+// retryable 5xx codes, everything else is the client's fault.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	var req queryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	pattern, err := h.parsePattern(req.Pattern)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad pattern: %w", err))
+		return
+	}
+	if pattern.NumNodes() > h.MaxPatternNodes {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("pattern has %d nodes, limit %d", pattern.NumNodes(), h.MaxPatternNodes))
+		return
+	}
+	sem, err := parseSemantics(req.Semantics)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q := Query{Pattern: pattern, Options: parsge.Options{
+		Semantics: sem,
+		Algorithm: alg,
+		Limit:     req.Limit,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+	}}
+
+	if req.Stream {
+		h.streamQuery(w, r, q)
+		return
+	}
+	var reply Reply
+	if req.Mappings {
+		reply, err = h.svc.Enumerate(r.Context(), q)
+	} else {
+		reply, err = h.svc.Count(r.Context(), q)
+	}
+	if err != nil {
+		httpError(w, errorCode(err), err)
+		return
+	}
+	resp := queryResponse{
+		Matches:       reply.Result.Matches,
+		States:        reply.Result.States,
+		Truncated:     reply.Result.TimedOut,
+		Unsatisfiable: reply.Result.Unsatisfiable,
+		CacheHit:      reply.CacheHit,
+		Shared:        reply.Shared,
+		Large:         reply.Large,
+		QueueWaitMS:   float64(reply.QueueWait) / float64(time.Millisecond),
+		PreprocMS:     float64(reply.Result.PreprocTime) / float64(time.Millisecond),
+		MatchMS:       float64(reply.Result.MatchTime) / float64(time.Millisecond),
+		Plan:          reply.Result.Plan.String(),
+		Mappings:      reply.Mappings,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// streamQuery writes matches as NDJSON as they arrive. The request
+// context tears the enumeration down when the client disconnects: the
+// service stream unblocks on ctx, releases its admission tokens, and the
+// handler returns — the regression tests count goroutines to hold this.
+func (h *Server) streamQuery(w http.ResponseWriter, r *http.Request, q Query) {
+	matches, end, err := h.svc.Stream(r.Context(), q)
+	if err != nil {
+		httpError(w, errorCode(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for m := range matches {
+		if err := enc.Encode(streamLine{Mapping: m.Mapping}); err != nil {
+			// Client gone: the ResponseWriter is dead, but the request
+			// context will cancel and the service winds the stream down;
+			// keep draining so we deliver the end event exactly once.
+			break
+		}
+		// Adaptive flush: when more matches are already queued, batch
+		// them into one write; when the producer is trickling (a hard
+		// instance finding matches slowly), every match reaches the
+		// client immediately instead of sitting in the response buffer.
+		if flusher != nil && len(matches) == 0 {
+			flusher.Flush()
+		}
+	}
+	for range matches {
+		// Drain after a write error so the producer never blocks on us
+		// longer than its context allows.
+	}
+	e := <-end
+	line := streamLine{Done: true, Matches: e.Result.Matches, Truncated: e.Result.TimedOut}
+	if e.Err != nil {
+		line.Error = e.Err.Error()
+	}
+	enc.Encode(line)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (h *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (h *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h.svc.Stats())
+}

@@ -345,7 +345,9 @@ func (s *state) try(u, v int32) {
 func (s *state) emit() {
 	s.matches++
 	if s.opts.Visit != nil && !s.opts.Visit(s.core) {
+		// Visit stop = abort (truncated result); limit stop is not.
 		s.stopped = true
+		s.aborted = true
 		return
 	}
 	if s.opts.Limit > 0 && s.matches >= s.opts.Limit {

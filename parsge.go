@@ -359,10 +359,14 @@ type PlanInfo struct {
 	NLF, CompactNLF bool
 	// AC reports classic arc consistency ran, capped at ACPasses sweeps
 	// (0 = fixpoint); InducedAC that the induced non-edge propagation
-	// ran (InducedIso only).
-	AC        bool
-	ACPasses  int
-	InducedAC bool
+	// ran (InducedIso only). ACAdaptive reports the scheduler's one-pass
+	// cap was a revisable prediction measured after the first sweep:
+	// ACPasses then records the outcome (1 = the probe stopped, 0 = the
+	// domains stayed large and the sweeps escalated to fixpoint).
+	AC         bool
+	ACPasses   int
+	ACAdaptive bool
+	InducedAC  bool
 	// UnaryTime covers the initial per-node filters (label, degree,
 	// self-loops, NLF); ACTime the classic sweeps; InducedACTime the
 	// induced non-edge passes.
@@ -381,7 +385,7 @@ func (p *PlanInfo) String() string {
 	}
 	pl := domain.Plan{
 		NLF: p.NLF, CompactNLF: p.CompactNLF,
-		AC: p.AC, ACPasses: p.ACPasses, InducedAC: p.InducedAC,
+		AC: p.AC, ACPasses: p.ACPasses, ACAdaptive: p.ACAdaptive, InducedAC: p.InducedAC,
 	}
 	return pl.String()
 }
@@ -393,7 +397,7 @@ func planInfo(st *domain.ComputeStats) *PlanInfo {
 	}
 	return &PlanInfo{
 		NLF: st.Plan.NLF, CompactNLF: st.Plan.CompactNLF,
-		AC: st.Plan.AC, ACPasses: st.Plan.ACPasses, InducedAC: st.Plan.InducedAC,
+		AC: st.Plan.AC, ACPasses: st.Plan.ACPasses, ACAdaptive: st.Plan.ACAdaptive, InducedAC: st.Plan.InducedAC,
 		UnaryTime: st.UnaryTime, ACTime: st.ACTime, InducedACTime: st.InducedACTime,
 		DomainAfterUnary: st.AfterUnary, DomainFinal: st.Final,
 	}

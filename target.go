@@ -82,6 +82,8 @@ type Target struct {
 	autoAlgorithm    Algorithm // chooseAlgorithm(Auto, g), resolved once
 	defaultWorkers   int
 	defaultSemantics Semantics
+
+	stats sessionStats // aggregate query statistics, see Stats
 }
 
 // NewTarget precomputes the reusable target-side state for g.
@@ -123,6 +125,25 @@ func (t *Target) resolveAlgorithm(a Algorithm) Algorithm {
 	return a
 }
 
+// ResolveSemantics reports the effective matching semantics a query with
+// these options runs under on this Target: the legacy Induced flag is
+// folded first (an explicit choice, contradictions are errors), then the
+// session's DefaultSemantics stands in for a query that chose nothing,
+// and finally the library default (SubgraphIso) applies. The service
+// layer keys its result cache by this resolved value, so an unset-
+// semantics query and an explicit query of the same effective semantics
+// share one cache entry.
+func (t *Target) ResolveSemantics(opts Options) (Semantics, error) {
+	sem, err := resolveSemantics(opts)
+	if err != nil {
+		return 0, err
+	}
+	if sem == SemanticsUnset {
+		sem = t.defaultSemantics
+	}
+	return sem.Norm(), nil
+}
+
 // queryContext derives the per-query context: nil means Background, and
 // a positive timeout wraps it in context.WithTimeout. The returned stop
 // function must always be called.
@@ -148,8 +169,19 @@ func (t *Target) Enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 }
 
 // enumerate runs one query under an already-derived context (Timeout has
-// been folded into ctx by the caller).
+// been folded into ctx by the caller) and folds the outcome into the
+// session statistics. Every query path — one-shot, batch item, stream —
+// funnels through here, which is what makes Stats() complete.
 func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (Result, error) {
+	res, err := t.enumerateQuery(ctx, pattern, opts)
+	if err == nil {
+		t.stats.record(&res)
+	}
+	return res, err
+}
+
+// enumerateQuery dispatches one query to the engine the options select.
+func (t *Target) enumerateQuery(ctx context.Context, pattern *Graph, opts Options) (Result, error) {
 	if pattern == nil {
 		return Result{}, fmt.Errorf("parsge: nil pattern graph")
 	}
@@ -163,18 +195,10 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 	if opts.Workers == 0 {
 		opts.Workers = t.defaultWorkers
 	}
-	// Fold the legacy Induced flag first (an explicit choice), then let
-	// the session default stand in for a query that chose nothing, and
-	// finally normalize to the library default. An explicit Semantics —
-	// SubgraphIso included — is never overridden.
-	sem, err := resolveSemantics(opts)
+	sem, err := t.ResolveSemantics(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	if sem == SemanticsUnset {
-		sem = t.defaultSemantics
-	}
-	sem = sem.Norm()
 	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
 		if opts.Algorithm == VF2 {
 			res := vf2.Enumerate(pattern, t.g, vf2.Options{
@@ -442,12 +466,26 @@ func (t *Target) EnumerateBatchItems(ctx context.Context, items []BatchItem, opt
 	return results, errors.Join(errs...)
 }
 
-// EnumerateStream runs a query in a background goroutine and delivers
-// matches over a channel, for pipelines that consume embeddings as they
-// are found rather than buffer them (FindAll) or process them inline
-// (Visit). The matches channel is closed when the enumeration finishes;
-// the final error is then delivered on the second channel (always
-// exactly one value). opts.Visit must be nil.
+// StreamEnd is the terminal event of EnumerateStreamResult: the final
+// Result of the enumeration (Result.TimedOut reports a truncated
+// stream — context cancellation or Timeout) and the query error. A
+// stream capped by Options.Limit is reported as complete, not
+// truncated: the caller received everything it asked for.
+type StreamEnd struct {
+	Result Result
+	Err    error
+}
+
+// EnumerateStreamResult runs a query in a background goroutine and
+// delivers matches over a channel, for pipelines that consume embeddings
+// as they are found rather than buffer them (FindAll) or process them
+// inline (Visit). The matches channel is closed when the enumeration
+// finishes; the terminal StreamEnd — final Result plus error — is
+// delivered on the second channel strictly after the close (always
+// exactly one value), so a consumer that received the end event never
+// blocks draining the match channel. A consumer that needs to know
+// whether a stream it drained was complete checks Result.TimedOut — a
+// truncated stream is not an error. opts.Visit must be nil.
 //
 // Contract: cancelling ctx tears the producer down even when the
 // consumer has stopped draining the channel — the producer blocks in a
@@ -456,16 +494,16 @@ func (t *Target) EnumerateBatchItems(ctx context.Context, items []BatchItem, opt
 // abandonment leak of the pre-session API). A consumer that drains to
 // completion needs no cancel; one that may stop early should
 // defer cancel() and simply return.
-func (t *Target) EnumerateStream(ctx context.Context, pattern *Graph, opts Options) (<-chan Match, <-chan error) {
+func (t *Target) EnumerateStreamResult(ctx context.Context, pattern *Graph, opts Options) (<-chan Match, <-chan StreamEnd) {
 	matches := make(chan Match, 64)
-	done := make(chan error, 1)
+	end := make(chan StreamEnd, 1)
 	if opts.Visit != nil {
 		close(matches)
-		done <- fmt.Errorf("parsge: EnumerateStream requires a nil Visit")
-		return matches, done
+		end <- StreamEnd{Err: fmt.Errorf("parsge: EnumerateStreamResult requires a nil Visit")}
+		return matches, end
 	}
 	qctx, stop := queryContext(ctx, opts.Timeout)
-	opts.Timeout = 0
+	opts.Timeout = 0 // folded into qctx; must not be re-applied downstream
 	cancelled := qctx.Done()
 	opts.Visit = func(m []int32) bool {
 		cp := append([]int32(nil), m...)
@@ -478,9 +516,25 @@ func (t *Target) EnumerateStream(ctx context.Context, pattern *Graph, opts Optio
 	}
 	go func() {
 		defer stop()
-		defer close(matches)
-		_, err := t.enumerate(qctx, pattern, opts)
-		done <- err
+		res, err := t.enumerate(qctx, pattern, opts)
+		// Close strictly before delivering the terminal event. The old
+		// order (terminal first, close via defer) let a consumer observe
+		// the end of the stream while the match channel was still open —
+		// a race a draining consumer could trip over.
+		close(matches)
+		end <- StreamEnd{Result: res, Err: err}
 	}()
+	return matches, end
+}
+
+// EnumerateStream is EnumerateStreamResult reduced to the error: the
+// matches channel closes when the enumeration finishes, then the final
+// error is delivered (always exactly one value). Callers that need the
+// final Result — e.g. to distinguish a complete stream from a truncated
+// one — use EnumerateStreamResult.
+func (t *Target) EnumerateStream(ctx context.Context, pattern *Graph, opts Options) (<-chan Match, <-chan error) {
+	matches, end := t.EnumerateStreamResult(ctx, pattern, opts)
+	done := make(chan error, 1)
+	go func() { done <- (<-end).Err }()
 	return matches, done
 }

@@ -410,3 +410,132 @@ func TestAutoWorkerCount(t *testing.T) {
 		t.Fatalf("empty target sized pool to %d, want 1", got)
 	}
 }
+
+// TestSessionStats: every query path — one-shot, batch item, stream —
+// must fold into Target.Stats(), and plan-reporting queries must land in
+// the histogram bucket their Result.Plan renders as.
+func TestSessionStats(t *testing.T) {
+	gp, gt := squarePattern(), gridTarget()
+	tgt, err := NewTarget(gt, TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := tgt.Enumerate(ctx, gp, Options{Algorithm: RIDSSIFC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.EnumerateBatch(ctx, []*Graph{gp, gp}, Options{Algorithm: RIDSSIFC}); err != nil {
+		t.Fatal(err)
+	}
+	matches, done := tgt.EnumerateStream(ctx, gp, Options{Algorithm: RI})
+	for range matches {
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	st := tgt.Stats()
+	if st.Queries != 4 {
+		t.Fatalf("Queries = %d, want 4 (one-shot + 2 batch items + stream)", st.Queries)
+	}
+	if st.Matches != 4*res.Matches {
+		t.Fatalf("Matches = %d, want %d", st.Matches, 4*res.Matches)
+	}
+	// Three RIDSSIFC runs report a plan, the plain-RI stream does not.
+	if st.Plans.Planned != 3 || st.Plans.NoPlan != 1 {
+		t.Fatalf("histogram planned/noplan = %d/%d, want 3/1", st.Plans.Planned, st.Plans.NoPlan)
+	}
+	b := st.Plans.Bucket(res.Plan.String())
+	if b.Count != 3 {
+		t.Fatalf("bucket %q count = %d, want 3 (histogram: %+v)", res.Plan.String(), b.Count, st.Plans)
+	}
+	if b.DomainAfterUnary != 3*int64(res.Plan.DomainAfterUnary) || b.DomainFinal != 3*int64(res.Plan.DomainFinal) {
+		t.Fatalf("bucket domain sums inconsistent: %+v vs plan %+v", b, res.Plan)
+	}
+	if st.PreprocTime <= 0 || st.MatchTime < 0 {
+		t.Fatalf("timing aggregates not recorded: %+v", st)
+	}
+}
+
+// TestStreamEndTruncation: EnumerateStreamResult's terminal event must
+// report a complete stream as such, and a cancelled stream as truncated
+// (Result.TimedOut) — delivered strictly after the matches channel
+// closed, so "end received" implies "drain terminates".
+func TestStreamEndTruncation(t *testing.T) {
+	gp, gt := squarePattern(), gridTarget()
+	tgt, err := NewTarget(gt, TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete stream.
+	matches, end := tgt.EnumerateStreamResult(context.Background(), gp, Options{})
+	var got int64
+	for range matches {
+		got++
+	}
+	e := <-end
+	if e.Err != nil || e.Result.TimedOut {
+		t.Fatalf("complete stream reported err=%v truncated=%v", e.Err, e.Result.TimedOut)
+	}
+	if e.Result.Matches != got {
+		t.Fatalf("terminal Result.Matches = %d, streamed %d", e.Result.Matches, got)
+	}
+
+	// Cancelled stream: a world with far more matches than the channel
+	// buffer, so the producer is genuinely mid-flight when we walk away
+	// (the square-in-grid stream above fits in the buffer and would
+	// complete before the cancel could truncate it).
+	cb := NewBuilder(12, 12*11)
+	cb.AddNodes(12)
+	for i := int32(0); i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			cb.AddEdgeBoth(i, j, NoLabel)
+		}
+	}
+	pb := NewBuilder(3, 2)
+	pb.AddNodes(3)
+	pb.AddEdge(0, 1, NoLabel)
+	pb.AddEdge(1, 2, NoLabel)
+	big, err := NewTarget(cb.MustBuild(), TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	matches, end = big.EnumerateStreamResult(ctx, pb.MustBuild(), Options{Semantics: Homomorphism})
+	<-matches
+	cancel()
+	select {
+	case e = <-end:
+	case <-time.After(10 * time.Second):
+		t.Fatal("terminal event never arrived after cancellation")
+	}
+	if e.Err != nil {
+		t.Fatalf("cancelled stream errored: %v", e.Err)
+	}
+	if !e.Result.TimedOut {
+		t.Fatal("cancelled stream not reported as truncated")
+	}
+	// The matches channel is closed by the time the end event exists.
+	for range matches {
+	}
+}
+
+// TestCanonicalPatternExposed: the public wrappers agree with each other
+// and are relabeling-invariant (the deep property tests live in
+// internal/graph and internal/service).
+func TestCanonicalPatternExposed(t *testing.T) {
+	gp := squarePattern()
+	enc, perm := CanonicalPattern(gp)
+	if len(perm) != gp.NumNodes() || len(enc) == 0 {
+		t.Fatalf("CanonicalPattern: enc %d bytes, perm %d entries", len(enc), len(perm))
+	}
+	rng := rand.New(rand.NewSource(8))
+	for k := 0; k < 4; k++ {
+		twin := testutil.PermuteGraph(rng, gp)
+		enc2, _ := CanonicalPattern(twin)
+		if string(enc2) != string(enc) || CanonicalHash(twin) != CanonicalHash(gp) {
+			t.Fatal("relabeled pattern changed the canonical form")
+		}
+	}
+}
