@@ -43,12 +43,16 @@ type loadgenConfig struct {
 	Duration   time.Duration
 	Patterns   int
 	Seed       int64
+	// CensusFrac is the fraction of requests issued as POST /census
+	// (k cycling 3..4) instead of pattern queries, mixing the service's
+	// heaviest always-large workload into the stream.
+	CensusFrac float64
 }
 
 type loadgenResult struct {
-	requests, errors, cacheHits, streams int64
-	latencies                            []float64 // ms, successful requests
-	countMismatch                        string
+	requests, errors, cacheHits, streams, censuses int64
+	latencies                                      []float64 // ms, successful requests
+	countMismatch                                  string
 }
 
 func runLoadgen(cfg loadgenConfig) error {
@@ -105,6 +109,35 @@ func runLoadgen(cfg loadgenConfig) error {
 			defer wg.Done()
 			crng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			for i := 0; time.Now().Before(deadline); i++ {
+				if cfg.CensusFrac > 0 && crng.Float64() < cfg.CensusFrac {
+					k := 3 + (c+i)%2
+					start := time.Now()
+					subgraphs, hit, err := issueCensus(client, cfg.URL, k)
+					lat := float64(time.Since(start)) / float64(time.Millisecond)
+					mu.Lock()
+					res.requests++
+					if err != nil {
+						res.errors++
+					} else {
+						res.latencies = append(res.latencies, lat)
+						res.censuses++
+						if hit {
+							res.cacheHits++
+						}
+						if subgraphs >= 0 { // truncated censuses carry lower bounds
+							id := fmt.Sprintf("census/k=%d", k)
+							if prev, ok := counts[id]; ok && prev != subgraphs {
+								if res.countMismatch == "" {
+									res.countMismatch = fmt.Sprintf("%s: %d subgraphs then %d", id, prev, subgraphs)
+								}
+							} else {
+								counts[id] = subgraphs
+							}
+						}
+					}
+					mu.Unlock()
+					continue
+				}
 				pi := crng.Intn(len(texts))
 				sem := semantics[(c+i)%len(semantics)]
 				stream := crng.Intn(16) == 0
@@ -244,6 +277,37 @@ func issueQuery(client *http.Client, url, pattern, sem string, mappings, stream 
 	return rec.Matches, rec.CacheHit, nil
 }
 
+// issueCensus posts one census request and returns the subgraph total
+// (-1 when truncated) and whether it was a cache hit. top=1 keeps the
+// reply small — totals are reported regardless of classes shown.
+func issueCensus(client *http.Client, url string, k int) (int64, bool, error) {
+	body, _ := json.Marshal(map[string]any{
+		"k":          k,
+		"top":        1,
+		"timeout_ms": 30000,
+	})
+	resp, err := client.Post(url+"/census", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("census status %s", resp.Status)
+	}
+	var rec struct {
+		Subgraphs int64 `json:"subgraphs"`
+		Truncated bool  `json:"truncated"`
+		CacheHit  bool  `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return 0, false, err
+	}
+	if rec.Truncated {
+		return -1, rec.CacheHit, nil
+	}
+	return rec.Subgraphs, rec.CacheHit, nil
+}
+
 func fetchStats(client *http.Client, url string) (service.Stats, error) {
 	var st service.Stats
 	resp, err := client.Get(url + "/stats")
@@ -260,8 +324,8 @@ func fetchStats(client *http.Client, url string) (service.Stats, error) {
 func report(cfg loadgenConfig, res *loadgenResult, stats service.Stats) {
 	ok := len(res.latencies)
 	qps := float64(ok) / cfg.Duration.Seconds()
-	fmt.Printf("loadgen: %d requests (%d ok, %d errors, %d streamed) in %v from %d clients\n",
-		res.requests, ok, res.errors, res.streams, cfg.Duration, cfg.Clients)
+	fmt.Printf("loadgen: %d requests (%d ok, %d errors, %d streamed, %d censuses) in %v from %d clients\n",
+		res.requests, ok, res.errors, res.streams, res.censuses, cfg.Duration, cfg.Clients)
 	fmt.Printf("loadgen: throughput %.1f q/s, cache hits %d (%.1f%%)\n",
 		qps, res.cacheHits, 100*float64(res.cacheHits)/max(1, float64(ok)))
 	if ok > 0 {
@@ -272,6 +336,10 @@ func report(cfg loadgenConfig, res *loadgenResult, stats service.Stats) {
 	}
 	fmt.Printf("loadgen: server: %d queries, %d singleflight-shared, %d shed, %d queue timeouts, %d/%d seq/par runs\n",
 		stats.Queries, stats.Shared, stats.Shed, stats.QueueTimeouts, stats.Sequential, stats.Parallel)
+	if stats.Census > 0 {
+		fmt.Printf("loadgen: server: %d censuses (%d/%d census-cache hits/misses)\n",
+			stats.Census, stats.CensusCacheHits, stats.CensusCacheMisses)
+	}
 	fmt.Printf("loadgen: plan histogram (%d executed, %d no-plan):\n", stats.Session.Plans.Planned, stats.Session.Plans.NoPlan)
 	for _, b := range stats.Session.Plans.Buckets {
 		fmt.Printf("loadgen:   %-32s %6d queries  unary %8v  ac %8v  inducedAC %8v\n",

@@ -31,7 +31,7 @@ import (
 var experiments = []string{
 	"table1", "fig3", "fig4", "table2", "fig5", "fig6",
 	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
-	"ablations", "service",
+	"ablations", "service", "census",
 }
 
 // ablations maps the -ablation names to their suite methods, so a
@@ -65,6 +65,7 @@ func main() {
 		loadgenClients  = flag.Int("clients", 8, "concurrent loadgen clients")
 		loadgenDuration = flag.Duration("duration", 10*time.Second, "loadgen run length")
 		loadgenPatterns = flag.Int("patterns", 12, "distinct patterns in the loadgen pool")
+		censusFrac      = flag.Float64("census-frac", 0, "fraction of loadgen requests issued as /census (0..1)")
 		scale           = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
 		seed            = flag.Int64("seed", 20170525, "generation and scheduling seed")
 		timeout         = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
@@ -83,6 +84,7 @@ func main() {
 			Duration:   *loadgenDuration,
 			Patterns:   *loadgenPatterns,
 			Seed:       *seed,
+			CensusFrac: *censusFrac,
 		}))
 		return
 	}
@@ -184,6 +186,9 @@ func main() {
 	}
 	if selected["service"] {
 		s.ServiceThroughput()
+	}
+	if selected["census"] {
+		s.CensusThroughput()
 	}
 
 	fmt.Printf("\nsgebench: done in %v\n", time.Since(start).Round(time.Millisecond))

@@ -7,6 +7,11 @@
 //	sgesolve -pattern p.gff -target t.gff [-algo RI-DS-SI-FC] [-workers 8]
 //	         [-semantics iso|induced|hom] [-group 4] [-timeout 180s]
 //	         [-limit 0] [-print]
+//	sgesolve -census 4 -target t.gff [-workers 8] [-timeout 180s] [-print]
+//
+// The second form runs a motif census instead of a pattern query: every
+// connected k-subgraph of the target is counted per isomorphism class
+// (no -pattern needed); -print emits each class representative as GFF.
 //
 // When a file contains several graph sections, the first is used; the
 // -pattern-index / -target-index flags select others. Pattern and target
@@ -21,6 +26,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"time"
 
 	"parsge"
 )
@@ -40,17 +46,22 @@ func main() {
 		induced      = flag.Bool("induced", false, "shorthand for -semantics induced")
 		semantics    = flag.String("semantics", "iso", "matching semantics: iso (non-induced subgraph isomorphism), induced, or hom (homomorphism)")
 		profile      = flag.Bool("profile", false, "print the per-depth search profile")
+		censusK      = flag.Int("census", 0, "run a motif census at this subgraph size instead of a pattern query (no -pattern needed)")
 	)
 	flag.Parse()
-	if *patternPath == "" || *targetPath == "" {
+	if *targetPath == "" || (*censusK == 0 && *patternPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	table := parsge.NewLabelTable()
-	gp, err := loadGraph(*patternPath, *patternIndex, table)
-	exitOn(err)
 	gt, err := loadGraph(*targetPath, *targetIndex, table)
+	exitOn(err)
+	if *censusK != 0 {
+		runCensus(gt, table, *censusK, *workers, *timeout, *printMaps)
+		return
+	}
+	gp, err := loadGraph(*patternPath, *patternIndex, table)
 	exitOn(err)
 
 	alg, err := parseAlgo(*algo)
@@ -116,6 +127,40 @@ func main() {
 	}
 	if res.TimedOut {
 		fmt.Println("note: TIMED OUT — match count is a lower bound")
+		os.Exit(3)
+	}
+}
+
+// runCensus is the -census mode: count every connected k-subgraph of
+// the target per isomorphism class and print the class table.
+func runCensus(gt *parsge.Graph, table *parsge.LabelTable, k, workers int, timeout time.Duration, printReps bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	tgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
+	exitOn(err)
+	res, err := tgt.Census(ctx, parsge.CensusOptions{K: k, Workers: workers, Timeout: timeout})
+	exitOn(err)
+
+	fmt.Printf("target: n=%d m=%d   census: k=%d   workers: %d\n",
+		gt.NumNodes(), gt.NumEdges(), k, workers)
+	fmt.Printf("subgraphs: %d in %d classes\n", res.Subgraphs, len(res.Classes))
+	fmt.Printf("memo:      %d hits / %d misses\n", res.MemoHits, res.MemoMisses)
+	fmt.Printf("elapsed:   %v\n", res.Duration)
+	if workers > 1 {
+		fmt.Printf("steals:    %d\n", res.Steals)
+	}
+	fmt.Printf("%-18s %12s %6s %6s\n", "class", "count", "nodes", "edges")
+	for _, c := range res.Classes {
+		fmt.Printf("%016x   %12d %6d %6d\n", c.Hash, c.Count, c.Pattern.NumNodes(), c.Pattern.NumEdges())
+	}
+	if printReps {
+		for i, c := range res.Classes {
+			fmt.Println()
+			exitOn(parsge.WriteGraph(os.Stdout, fmt.Sprintf("motif-%d", i), c.Pattern, table))
+		}
+	}
+	if res.TimedOut {
+		fmt.Println("note: TIMED OUT — counts are lower bounds")
 		os.Exit(3)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -449,5 +450,37 @@ func TestServiceThroughputExperiment(t *testing.T) {
 		if c.HitMS <= 0 || c.ColdMS <= 0 {
 			t.Fatalf("degenerate timing cell: %+v", c)
 		}
+	}
+}
+
+// TestCensusThroughputExperiment is the census acceptance test: the
+// parallel ESU walk reproduces the sequential counts exactly and
+// divides the work at least 2x at k=4 on the PPIS32 targets. Wall-clock
+// speedup is only meaningful with enough cores under the workers, so it
+// is gated on GOMAXPROCS.
+func TestCensusThroughputExperiment(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).CensusThroughput()
+	if len(res.Cells) == 0 {
+		t.Fatal("census experiment produced no cells")
+	}
+	for _, c := range res.Cells {
+		if !c.Consistent {
+			t.Fatalf("parallel census diverged from sequential on n=%d m=%d", c.Nodes, c.Edges)
+		}
+		if c.Subgraphs == 0 {
+			t.Fatalf("empty census on a dense PPIS32 target (n=%d)", c.Nodes)
+		}
+		if c.WorkSpeedup < 2 {
+			t.Fatalf("work-division speedup %.2fx on n=%d with %d workers, want >= 2x",
+				c.WorkSpeedup, c.Nodes, res.Workers)
+		}
+	}
+	if runtime.GOMAXPROCS(0) >= 4 && res.MeanWallSpeedup < 1.5 {
+		t.Fatalf("mean wall speedup %.2fx on a %d-proc host, want >= 1.5x",
+			res.MeanWallSpeedup, runtime.GOMAXPROCS(0))
+	}
+	if !strings.Contains(out.String(), "work speedup") {
+		t.Error("census table not printed")
 	}
 }

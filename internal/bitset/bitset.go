@@ -82,6 +82,35 @@ func (s *Set) ClearAll() {
 	}
 }
 
+// SetRange sets every bit in [lo, hi), a word at a time. The census
+// walker uses it to seed its "seen" set with the whole prefix [0, root]
+// so the ESU id-order constraint (only extend past the root) falls out
+// of the same AndNot that excludes visited neighborhoods. Bounds are
+// clamped to [0, Len()); an empty or inverted range is a no-op.
+func (s *Set) SetRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo/wordBits, (hi-1)/wordBits
+	lmask := ^uint64(0) << uint(lo%wordBits)
+	hmask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	if lw == hw {
+		s.words[lw] |= lmask & hmask
+		return
+	}
+	s.words[lw] |= lmask
+	for i := lw + 1; i < hw; i++ {
+		s.words[i] = ^uint64(0)
+	}
+	s.words[hw] |= hmask
+}
+
 // trim clears the unaddressable tail bits of the last word so that Count,
 // Empty and Equal see a canonical representation.
 func (s *Set) trim() {

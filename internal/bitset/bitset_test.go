@@ -313,3 +313,132 @@ func BenchmarkNextIteration(b *testing.B) {
 		}
 	}
 }
+
+// TestSetRange pins the word-boundary cases: within one word, spanning
+// words, aligned and unaligned endpoints, and clamping.
+func TestSetRange(t *testing.T) {
+	cases := []struct {
+		n, lo, hi int
+		want      []int
+	}{
+		{10, 2, 5, []int{2, 3, 4}},
+		{64, 0, 64, nil}, // filled below
+		{130, 60, 70, []int{60, 61, 62, 63, 64, 65, 66, 67, 68, 69}},
+		{130, 63, 64, []int{63}},
+		{130, 64, 65, []int{64}},
+		{130, 128, 130, []int{128, 129}},
+		{10, 5, 5, nil},           // empty range
+		{10, 7, 3, nil},           // inverted range
+		{10, -5, 2, []int{0, 1}},  // clamped low
+		{10, 8, 100, []int{8, 9}}, // clamped high
+	}
+	full := make([]int, 64)
+	for i := range full {
+		full[i] = i
+	}
+	cases[1].want = full
+	for _, tc := range cases {
+		s := New(tc.n)
+		s.SetRange(tc.lo, tc.hi)
+		got := s.Members(nil)
+		if len(got) != len(tc.want) {
+			t.Fatalf("SetRange(%d,%d) on n=%d: got %v, want %v", tc.lo, tc.hi, tc.n, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("SetRange(%d,%d) on n=%d: got %v, want %v", tc.lo, tc.hi, tc.n, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestQuickSetRangeMatchesLoop: SetRange must equal the bit-at-a-time
+// loop for arbitrary ranges, without touching bits outside [lo, hi).
+func TestQuickSetRangeMatchesLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		fast, slow := New(n), New(n)
+		// Pre-populate identically so SetRange proves it only adds bits.
+		for i := 0; i < n/4; i++ {
+			b := rng.Intn(n)
+			fast.Set(b)
+			slow.Set(b)
+		}
+		lo, hi := rng.Intn(n+1), rng.Intn(n+1)
+		fast.SetRange(lo, hi)
+		for i := lo; i < hi && i < n; i++ {
+			if i >= 0 {
+				slow.Set(i)
+			}
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCensusWalkerOps exercises the exact op sequence the census
+// walker's hot path runs — Copy, AndNot, Or on a prefix-seeded mask —
+// against a naive set model.
+func TestQuickCensusWalkerOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		adj, seen := New(n), New(n)
+		model := make(map[int]bool)
+		root := rng.Intn(n)
+		seen.SetRange(0, root+1)
+		for i := 0; i < n/3; i++ {
+			adj.Set(rng.Intn(n))
+		}
+		// ext = adj \ seen, then seen |= adj: the walker's root setup.
+		ext := New(n)
+		ext.Copy(adj)
+		ext.AndNot(seen)
+		seen.Or(adj)
+		for i := 0; i < n; i++ {
+			model[i] = adj.Test(i) && i > root
+		}
+		for i := 0; i < n; i++ {
+			if ext.Test(i) != model[i] {
+				return false
+			}
+			if seen.Test(i) != (i <= root || adj.Test(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPopIterate mirrors the walker's ext-loop idiom: iterate with
+// Next while clearing the current bit — every member must be visited
+// exactly once and the set must end empty.
+func TestPopIterate(t *testing.T) {
+	s := New(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, b := range want {
+		s.Set(b)
+	}
+	var got []int
+	for u := s.First(); u >= 0; u = s.Next(u + 1) {
+		s.Clear(u)
+		got = append(got, u)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pop-iterate visited %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pop-iterate visited %v, want %v", got, want)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("set not empty after pop-iterate")
+	}
+}

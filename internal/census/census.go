@@ -1,0 +1,574 @@
+// Package census implements the motif-census subsystem: enumeration of
+// every connected k-vertex subgraph of a target (k = 2..6) with counts
+// per induced-subgraph isomorphism class — the network-motif analysis
+// workload, inverting the library's usual "find matches of one pattern"
+// question into "which patterns occur, and how often".
+//
+// The enumeration is ESU (Wernicke's FANMOD algorithm): for each root
+// vertex v, grow subgraphs from extension sets restricted to ids > v
+// and to the exclusive neighborhood of the current subgraph, which
+// yields every connected k-vertex set exactly once. The hot-path sets —
+// extension and visited-neighborhood per recursion depth — are
+// internal/bitset masks; the "only ids past the root" rule costs
+// nothing extra because the root's whole id prefix is pre-set into the
+// visited mask (bitset.SetRange) that every extension is AndNot-ed
+// against.
+//
+// Parallelism splits the top-level extension trees — one task per root
+// vertex — across the internal/steal work-stealing pool: roots are
+// dealt round-robin and idle workers steal queued roots from busy ones,
+// which is exactly the irregular-tree balancing story of the source
+// paper applied to ESU forests. Each worker accumulates counts into a
+// private map; the maps are reduced after the pool terminates, so the
+// enumeration itself is synchronization-free.
+//
+// Classifying an emitted subgraph runs through a two-level memo so each
+// isomorphism class is canonized once: the induced subgraph serialized
+// in discovery order (a cheap, relabeling-*variant* key) indexes a
+// sharded concurrent map; a miss canonizes via
+// graph.CanonicalFormBudget and dedups through a registry keyed by the
+// canonical encoding, so distinct discovery orders of one class share a
+// single classInfo and a single representative graph.
+package census
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"parsge/internal/bitset"
+	"parsge/internal/graph"
+	"parsge/internal/steal"
+)
+
+// MinK and MaxK bound the subgraph size: 2 is the smallest connected
+// subgraph with structure (an edge), 6 the point where the number of
+// classes and the cost of exhaustive enumeration stop being a serving
+// workload (the FANMOD tool draws the same line).
+const (
+	MinK = 2
+	MaxK = 6
+)
+
+// canonBudget caps the individualization search per class. A k ≤ 6
+// subgraph explores at most k! = 720 complete orderings even fully
+// symmetric, so the budget never triggers; it is defense in depth
+// should MaxK ever grow.
+const canonBudget = 1 << 12
+
+// denseAdjLimit is the node count up to which per-node adjacency
+// bitsets are precomputed (O(n²) bits total — 32 MiB at the limit).
+// Above it the walker falls back to sorted neighbor lists, trading the
+// word-parallel set algebra for O(degree) loops.
+const denseAdjLimit = 1 << 14
+
+// Options configures Run.
+type Options struct {
+	// K is the subgraph size, in [MinK, MaxK].
+	K int
+	// Workers sizes the steal pool; ≤ 1 runs sequentially.
+	Workers int
+	// Seed seeds the pool's scheduling decisions (results are identical
+	// for all seeds).
+	Seed int64
+}
+
+// Class is one induced-subgraph isomorphism class of the census.
+type Class struct {
+	// Count is the number of connected k-vertex sets whose induced
+	// subgraph belongs to this class.
+	Count int64
+	// Rep is the class representative in canonical numbering.
+	Rep *graph.Graph
+	// Encoding is the canonical encoding identifying the class
+	// (graph.CanonicalForm bytes); Hash is graph.HashBytes of it.
+	Encoding []byte
+	Hash     uint64
+}
+
+// Result reports one census run.
+type Result struct {
+	K int
+	// Subgraphs is the total number of connected k-vertex subgraphs
+	// (sum of all class counts).
+	Subgraphs int64
+	// Classes is sorted by descending Count (ties by encoding).
+	Classes []Class
+	// MemoHits and MemoMisses count discovery-order memo lookups; each
+	// miss paid one canonization.
+	MemoHits, MemoMisses int64
+	// Steals counts stolen roots (parallel runs only).
+	Steals int64
+	// PerWorkerSubgraphs breaks Subgraphs down by worker (parallel runs
+	// only) — the work-division profile of the root split.
+	PerWorkerSubgraphs []int64
+	// Aborted reports the run was cut short by context cancellation;
+	// counts are then lower bounds.
+	Aborted bool
+}
+
+// Run enumerates the census of g. Cancelling ctx aborts promptly with
+// Result.Aborted set.
+func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("census: nil graph")
+	}
+	if opts.K < MinK || opts.K > MaxK {
+		return Result{}, fmt.Errorf("census: K must be in [%d, %d], got %d", MinK, MaxK, opts.K)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := g.NumNodes()
+	res := Result{K: opts.K}
+	if n < opts.K {
+		return res, nil
+	}
+	adj := buildAdjacency(g)
+	m := newMemo()
+
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		w := newWalker(g, adj, opts.K, m, func() bool { return ctx.Err() != nil })
+		for v := int32(0); v < int32(n) && !w.aborted; v++ {
+			w.root(v)
+		}
+		gather(&res, m, []*walker{w}, false)
+		res.Aborted = w.aborted
+		return res, nil
+	}
+
+	r := &runner{g: g, adj: adj, k: opts.K, memo: m, walkers: make([]*walker, workers)}
+	rt, err := steal.New(steal.Config{Workers: workers, Stealing: true, Seed: opts.Seed}, r)
+	if err != nil {
+		return Result{}, err
+	}
+	for v := 0; v < n; v++ {
+		rt.Seed(v%workers, int32(v))
+	}
+	st := rt.Run(ctx)
+	gather(&res, m, r.walkers, true)
+	res.Steals = st.TotalSteals()
+	if ctx.Err() != nil {
+		res.Aborted = true
+	}
+	return res, nil
+}
+
+// runner schedules root vertices as tasks of the steal pool. Execute
+// runs on the owning worker's goroutine, so the lazily-built per-worker
+// walkers (indexed by Worker.ID) are never shared.
+type runner struct {
+	g       *graph.Graph
+	adj     *adjacency
+	k       int
+	memo    *memo
+	walkers []*walker
+}
+
+func (r *runner) Execute(w *steal.Worker[int32], v int32) {
+	wk := r.walkers[w.ID]
+	if wk == nil {
+		wk = newWalker(r.g, r.adj, r.k, r.memo, w.Cancelled)
+		r.walkers[w.ID] = wk
+	}
+	wk.root(v)
+}
+
+func (r *runner) PackSteal(_ *steal.Worker[int32], v int32) int32 { return v }
+
+// gather reduces the per-walker count maps into the Result.
+func gather(res *Result, m *memo, walkers []*walker, perWorker bool) {
+	total := make(map[*classInfo]int64)
+	if perWorker {
+		res.PerWorkerSubgraphs = make([]int64, len(walkers))
+	}
+	for i, w := range walkers {
+		if w == nil {
+			continue
+		}
+		if perWorker {
+			res.PerWorkerSubgraphs[i] = w.subgraphs
+		}
+		res.Subgraphs += w.subgraphs
+		for ci, c := range w.counts {
+			total[ci] += c
+		}
+		if w.aborted {
+			res.Aborted = true
+		}
+	}
+	res.Classes = make([]Class, 0, len(total))
+	for ci, c := range total {
+		res.Classes = append(res.Classes, Class{Count: c, Rep: ci.rep, Encoding: ci.enc, Hash: ci.hash})
+	}
+	sort.Slice(res.Classes, func(i, j int) bool {
+		a, b := res.Classes[i], res.Classes[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return bytes.Compare(a.Encoding, b.Encoding) < 0
+	})
+	res.MemoHits = m.hits.Load()
+	res.MemoMisses = m.misses.Load()
+}
+
+// adjacency is the undirected-sense neighbor structure ESU walks:
+// out ∪ in neighbors, self-loops and parallel edges collapsed (they do
+// not affect connectivity; the induced subgraphs keep them). lists is
+// always present; dense adds per-node bitsets when n ≤ denseAdjLimit.
+type adjacency struct {
+	n     int
+	lists [][]int32
+	dense []*bitset.Set // nil above denseAdjLimit
+}
+
+func buildAdjacency(g *graph.Graph) *adjacency {
+	n := g.NumNodes()
+	a := &adjacency{n: n, lists: make([][]int32, n)}
+	for v := int32(0); v < int32(n); v++ {
+		l := make([]int32, 0, g.Degree(v))
+		l = append(l, g.OutNeighbors(v)...)
+		l = append(l, g.InNeighbors(v)...)
+		slices.Sort(l)
+		l = slices.Compact(l)
+		if i, ok := slices.BinarySearch(l, v); ok {
+			l = slices.Delete(l, i, i+1)
+		}
+		a.lists[v] = l
+	}
+	if n <= denseAdjLimit {
+		a.dense = make([]*bitset.Set, n)
+		for v := 0; v < n; v++ {
+			s := bitset.New(n)
+			for _, u := range a.lists[v] {
+				s.Set(int(u))
+			}
+			a.dense[v] = s
+		}
+	}
+	return a
+}
+
+// walker is one worker's ESU state: the vertex stack plus per-depth
+// extension and visited-neighborhood bitsets, all allocated once.
+type walker struct {
+	g   *graph.Graph
+	adj *adjacency
+	k   int
+
+	sub  []int32       // vertex stack, discovery order; length k
+	ext  []*bitset.Set // ext[d]: extension candidates with d+1 vertices placed
+	seen []*bitset.Set // seen[d]: {0..root} ∪ subgraph ∪ its neighborhood
+	pos  []int32       // target node → position in sub, -1 outside
+
+	memo    *memo
+	counts  map[*classInfo]int64
+	key     []byte        // discovery-order serialization scratch
+	buckets []labelBucket // k×k per-ordered-pair edge-label collectors
+
+	subgraphs int64
+	steps     int
+	cancelled func() bool
+	aborted   bool
+}
+
+type labelBucket []graph.Label
+
+func newWalker(g *graph.Graph, adj *adjacency, k int, m *memo, cancelled func() bool) *walker {
+	n := g.NumNodes()
+	w := &walker{
+		g:         g,
+		adj:       adj,
+		k:         k,
+		sub:       make([]int32, k),
+		ext:       make([]*bitset.Set, k),
+		seen:      make([]*bitset.Set, k),
+		pos:       make([]int32, n),
+		memo:      m,
+		counts:    make(map[*classInfo]int64),
+		buckets:   make([]labelBucket, k*k),
+		cancelled: cancelled,
+	}
+	for d := 0; d < k; d++ {
+		w.ext[d] = bitset.New(n)
+		w.seen[d] = bitset.New(n)
+	}
+	for i := range w.pos {
+		w.pos[i] = -1
+	}
+	return w
+}
+
+// poll checks for cancellation every 1024 expansion steps — the same
+// low-frequency polling discipline the search engines use, cheap enough
+// for the hot path yet prompt enough for sub-100ms teardown.
+func (w *walker) poll() bool {
+	w.steps++
+	if w.steps&1023 == 0 && w.cancelled() {
+		w.aborted = true
+	}
+	return w.aborted
+}
+
+// root enumerates every connected k-subgraph whose minimum vertex id is
+// v. Seeding seen[0] with the whole prefix [0, v] makes the ESU ">root"
+// rule implicit: every extension set is AndNot-ed against seen, so ids
+// at or below the root can never re-enter.
+func (w *walker) root(v int32) {
+	if w.aborted {
+		return
+	}
+	s0, e0 := w.seen[0], w.ext[0]
+	s0.ClearAll()
+	s0.SetRange(0, int(v)+1)
+	if d := w.adj.dense; d != nil {
+		e0.Copy(d[v])
+		e0.AndNot(s0)
+		s0.Or(d[v])
+	} else {
+		e0.ClearAll()
+		for _, u := range w.adj.lists[v] {
+			if u > v {
+				e0.Set(int(u))
+			}
+			s0.Set(int(u))
+		}
+	}
+	w.sub[0] = v
+	w.extend(0)
+}
+
+// extend grows the subgraph from depth d (sub[0..d] placed, ext[d] and
+// seen[d] valid). The last level short-circuits: with one vertex
+// missing, every extension candidate completes a subgraph, so it emits
+// straight off the bitset instead of recursing.
+func (w *walker) extend(d int) {
+	if d+2 == w.k {
+		w.ext[d].ForEach(func(u int) bool {
+			w.sub[d+1] = int32(u)
+			w.emit()
+			return !w.aborted
+		})
+		return
+	}
+	e := w.ext[d]
+	for u := e.First(); u >= 0; u = e.Next(u + 1) {
+		if w.poll() {
+			return
+		}
+		// Pop u: later siblings must not see it (ESU's exactly-once
+		// guarantee), and the child extension below starts from the
+		// remaining candidates.
+		e.Clear(u)
+		w.sub[d+1] = int32(u)
+		ne, ns := w.ext[d+1], w.seen[d+1]
+		if dense := w.adj.dense; dense != nil {
+			// Child candidates: u's exclusive neighborhood (N(u) minus
+			// everything already visited or ≤ root) plus the remaining
+			// siblings — three word-parallel ops.
+			ne.Copy(dense[u])
+			ne.AndNot(w.seen[d])
+			ne.Or(e)
+			ns.Copy(w.seen[d])
+			ns.Or(dense[u])
+		} else {
+			ne.Copy(e)
+			ns.Copy(w.seen[d])
+			for _, x := range w.adj.lists[u] {
+				if !ns.Test(int(x)) {
+					ns.Set(int(x))
+					ne.Set(int(x))
+				}
+			}
+		}
+		w.extend(d + 1)
+		if w.aborted {
+			return
+		}
+	}
+}
+
+// emit classifies the completed subgraph in sub[0..k-1] and counts it.
+func (w *walker) emit() {
+	if w.poll() {
+		return
+	}
+	w.subgraphs++
+	w.counts[w.classify()]++
+}
+
+// classify resolves the isomorphism class of the current subgraph via
+// the memo: the discovery-order key is built once, and only a memo miss
+// pays for materializing the induced subgraph and canonizing it.
+func (w *walker) classify() *classInfo {
+	for i := 0; i < w.k; i++ {
+		w.pos[w.sub[i]] = int32(i)
+	}
+	key := w.buildKey()
+	ci := w.memo.lookup(key)
+	if ci == nil {
+		ci = w.memo.insert(key, w.buildSubgraph())
+	}
+	for i := 0; i < w.k; i++ {
+		w.pos[w.sub[i]] = -1
+	}
+	return ci
+}
+
+// buildKey serializes the induced subgraph in discovery order: the k
+// node labels, then for each ordered position pair (i,j) — self-loops
+// included — the sorted multiset of edge labels from sub[i] to sub[j].
+// Equal keys mean identical labeled adjacency under the identity map on
+// positions, so the key safely proxies the class; it is *not*
+// relabeling-invariant, which is exactly why it is cheap. Requires pos
+// to be set for the current sub.
+func (w *walker) buildKey() []byte {
+	k := w.k
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	key := w.key[:0]
+	for i := 0; i < k; i++ {
+		key = binary.AppendVarint(key, int64(w.g.NodeLabel(w.sub[i])))
+	}
+	for i := 0; i < k; i++ {
+		v := w.sub[i]
+		adjRow := w.g.OutNeighbors(v)
+		labs := w.g.OutEdgeLabels(v)
+		for t, u := range adjRow {
+			if j := w.pos[u]; j >= 0 {
+				w.buckets[i*k+int(j)] = append(w.buckets[i*k+int(j)], labs[t])
+			}
+		}
+	}
+	for i := range w.buckets {
+		b := w.buckets[i]
+		slices.Sort(b)
+		key = binary.AppendUvarint(key, uint64(len(b)))
+		for _, l := range b {
+			key = binary.AppendVarint(key, int64(l))
+		}
+	}
+	w.key = key
+	return key
+}
+
+// buildSubgraph materializes the induced subgraph on sub[0..k-1] in
+// discovery order, keeping directions, labels, self-loops and parallel
+// edges. Requires pos to be set.
+func (w *walker) buildSubgraph() *graph.Graph {
+	k := w.k
+	b := graph.NewBuilder(k, k)
+	for i := 0; i < k; i++ {
+		b.AddNode(w.g.NodeLabel(w.sub[i]))
+	}
+	for i := 0; i < k; i++ {
+		v := w.sub[i]
+		adjRow := w.g.OutNeighbors(v)
+		labs := w.g.OutEdgeLabels(v)
+		for t, u := range adjRow {
+			if j := w.pos[u]; j >= 0 {
+				b.AddEdge(int32(i), j, labs[t])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// classInfo is the unique record of one isomorphism class.
+type classInfo struct {
+	enc  []byte
+	hash uint64
+	rep  *graph.Graph
+}
+
+// memoShards spreads the discovery-order map over independent locks;
+// 32 is far beyond any worker count this library configures.
+const memoShards = 32
+
+// memo is the two-level concurrent classifier: a sharded map from
+// discovery-order key to classInfo (the hot path — an RLock and a map
+// probe), backed by a registry keyed by canonical encoding that makes
+// classInfo unique per class no matter how many discovery orders reach
+// it.
+type memo struct {
+	shards [memoShards]memoShard
+
+	classMu sync.Mutex
+	classes map[string]*classInfo
+
+	hits, misses atomic.Int64
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]*classInfo
+}
+
+func newMemo() *memo {
+	m := &memo{classes: make(map[string]*classInfo)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*classInfo)
+	}
+	return m
+}
+
+func (m *memo) shard(key []byte) *memoShard {
+	return &m.shards[graph.HashBytes(key)%memoShards]
+}
+
+func (m *memo) lookup(key []byte) *classInfo {
+	sh := m.shard(key)
+	sh.mu.RLock()
+	ci := sh.m[string(key)] // string(key) in a map index does not allocate
+	sh.mu.RUnlock()
+	if ci != nil {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return ci
+}
+
+// insert canonizes sub, dedups the class through the encoding registry,
+// and publishes the discovery-order key. Two workers racing on the same
+// key both canonize (a benign duplicate canonization, not a correctness
+// issue) and converge on one classInfo through the registry.
+func (m *memo) insert(key []byte, sub *graph.Graph) *classInfo {
+	enc, perm, ok := graph.CanonicalFormBudget(sub, canonBudget)
+	if !ok {
+		// Unreachable for k ≤ 6 (≤ 720 orderings); keep correctness
+		// independent of the budget anyway.
+		enc, perm = graph.CanonicalForm(sub)
+	}
+	m.classMu.Lock()
+	ci := m.classes[string(enc)]
+	if ci == nil {
+		rep, err := sub.Relabel(perm)
+		if err != nil {
+			rep = sub // perm is a permutation by construction
+		}
+		ci = &classInfo{enc: enc, hash: graph.HashBytes(enc), rep: rep}
+		m.classes[string(enc)] = ci
+	}
+	m.classMu.Unlock()
+
+	sh := m.shard(key)
+	sh.mu.Lock()
+	if prior := sh.m[string(key)]; prior != nil {
+		ci = prior
+	} else {
+		sh.m[string(key)] = ci
+	}
+	sh.mu.Unlock()
+	return ci
+}

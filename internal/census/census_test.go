@@ -1,0 +1,303 @@
+package census
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"parsge/internal/graph"
+	"parsge/internal/testutil"
+)
+
+// classMap flattens a Result to encoding → count for oracle comparison.
+func classMap(res Result) map[string]int64 {
+	m := make(map[string]int64, len(res.Classes))
+	for _, c := range res.Classes {
+		m[string(c.Encoding)] = c.Count
+	}
+	return m
+}
+
+func checkAgainstOracle(t *testing.T, g *graph.Graph, k int, res Result, label string) {
+	t.Helper()
+	total, classes := testutil.BruteCensus(g, k)
+	if res.Aborted {
+		t.Fatalf("%s: k=%d aborted without cancellation", label, k)
+	}
+	if res.Subgraphs != total {
+		t.Fatalf("%s: k=%d subgraphs=%d, oracle %d", label, k, res.Subgraphs, total)
+	}
+	got := classMap(res)
+	if len(got) != len(classes) {
+		t.Fatalf("%s: k=%d classes=%d, oracle %d", label, k, len(got), len(classes))
+	}
+	for enc, want := range classes {
+		if got[enc] != want {
+			t.Fatalf("%s: k=%d class count %d, oracle %d", label, k, got[enc], want)
+		}
+	}
+}
+
+// TestCensusSmallFixtures pins golden counts on graphs whose censuses
+// are computable by hand: a triangle, a path, a star and a directed
+// cycle.
+func TestCensusSmallFixtures(t *testing.T) {
+	triangle := func() *graph.Graph {
+		b := graph.NewBuilder(3, 6)
+		for i := 0; i < 3; i++ {
+			b.AddNode(0)
+		}
+		b.AddEdgeBoth(0, 1, 0)
+		b.AddEdgeBoth(1, 2, 0)
+		b.AddEdgeBoth(0, 2, 0)
+		return b.MustBuild()
+	}()
+	path4 := func() *graph.Graph { // P4: 0-1-2-3
+		b := graph.NewBuilder(4, 6)
+		for i := 0; i < 4; i++ {
+			b.AddNode(0)
+		}
+		b.AddEdgeBoth(0, 1, 0)
+		b.AddEdgeBoth(1, 2, 0)
+		b.AddEdgeBoth(2, 3, 0)
+		return b.MustBuild()
+	}()
+	star5 := func() *graph.Graph { // K1,4: center 0
+		b := graph.NewBuilder(5, 8)
+		for i := 0; i < 5; i++ {
+			b.AddNode(0)
+		}
+		for i := int32(1); i < 5; i++ {
+			b.AddEdgeBoth(0, i, 0)
+		}
+		return b.MustBuild()
+	}()
+	cycle5 := func() *graph.Graph { // directed 5-cycle
+		b := graph.NewBuilder(5, 5)
+		for i := 0; i < 5; i++ {
+			b.AddNode(0)
+		}
+		for i := int32(0); i < 5; i++ {
+			b.AddEdge(i, (i+1)%5, 0)
+		}
+		return b.MustBuild()
+	}()
+
+	cases := []struct {
+		name      string
+		g         *graph.Graph
+		k         int
+		subgraphs int64
+		classes   int
+	}{
+		{"triangle k=2", triangle, 2, 3, 1},
+		{"triangle k=3", triangle, 3, 1, 1},
+		{"path4 k=2", path4, 2, 3, 1},
+		{"path4 k=3", path4, 3, 2, 1}, // two sub-paths
+		{"path4 k=4", path4, 4, 1, 1}, // the path itself
+		{"star5 k=3", star5, 3, 6, 1}, // C(4,2) cherries
+		{"star5 k=5", star5, 5, 1, 1}, // the star itself
+		{"star5 k=4", star5, 4, 4, 1}, // C(4,3) claws
+		{"cycle5 k=3", cycle5, 3, 5, 1},
+		{"cycle5 k=5", cycle5, 5, 1, 1},
+	}
+	for _, tc := range cases {
+		res, err := Run(context.Background(), tc.g, Options{K: tc.k})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Subgraphs != tc.subgraphs || len(res.Classes) != tc.classes {
+			t.Errorf("%s: got %d subgraphs in %d classes, want %d in %d",
+				tc.name, res.Subgraphs, len(res.Classes), tc.subgraphs, tc.classes)
+		}
+		checkAgainstOracle(t, tc.g, tc.k, res, tc.name)
+	}
+}
+
+// TestCensusMixedMotifs: a graph with both a triangle and a path motif
+// must report two k=3 classes with the right counts, and the
+// representatives must canonize back to their own encodings.
+func TestCensusMixedMotifs(t *testing.T) {
+	// Triangle 0-1-2 plus a tail 2-3-4: k=3 census has 1 triangle and
+	// 3 paths (1-2-3, 2-3-4, 0-2-3).
+	b := graph.NewBuilder(5, 10)
+	for i := 0; i < 5; i++ {
+		b.AddNode(0)
+	}
+	b.AddEdgeBoth(0, 1, 0)
+	b.AddEdgeBoth(1, 2, 0)
+	b.AddEdgeBoth(0, 2, 0)
+	b.AddEdgeBoth(2, 3, 0)
+	b.AddEdgeBoth(3, 4, 0)
+	g := b.MustBuild()
+
+	res, err := Run(context.Background(), g, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraphs != 4 || len(res.Classes) != 2 {
+		t.Fatalf("got %d subgraphs in %d classes, want 4 in 2", res.Subgraphs, len(res.Classes))
+	}
+	// Classes are sorted by descending count: paths (3) before the
+	// triangle (1).
+	if res.Classes[0].Count != 3 || res.Classes[1].Count != 1 {
+		t.Fatalf("class counts %d, %d; want 3, 1", res.Classes[0].Count, res.Classes[1].Count)
+	}
+	for _, c := range res.Classes {
+		enc, _ := graph.CanonicalForm(c.Rep)
+		if string(enc) != string(c.Encoding) {
+			t.Fatal("representative does not canonize to its class encoding")
+		}
+		if h := graph.HashBytes(c.Encoding); h != c.Hash {
+			t.Fatalf("class hash %d != HashBytes(encoding) %d", c.Hash, h)
+		}
+	}
+	if res.Classes[1].Rep.NumEdges() != 6 { // the undirected triangle: 6 arcs
+		t.Fatalf("triangle representative has %d arcs, want 6", res.Classes[1].Rep.NumEdges())
+	}
+}
+
+// TestCensusRandomOracle cross-checks sequential and parallel runs
+// against the brute-force oracle on random directed graphs, nasty
+// instances (self-loops, parallel edges) included.
+func TestCensusRandomOracle(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		opts := testutil.InstanceOptions{TargetNodes: 11, TargetEdges: 26, NodeLabels: 2, EdgeLabels: 2, Nasty: seed%3 == 0}
+		_, g := testutil.RandomInstance(seed, opts)
+		for _, k := range []int{3, 4} {
+			seq, err := Run(context.Background(), g, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstOracle(t, g, k, seq, "seq")
+			par, err := Run(context.Background(), g, Options{K: k, Workers: 4, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstOracle(t, g, k, par, "par")
+			if len(par.PerWorkerSubgraphs) != 4 {
+				t.Fatalf("PerWorkerSubgraphs has %d entries, want 4", len(par.PerWorkerSubgraphs))
+			}
+			var sum int64
+			for _, c := range par.PerWorkerSubgraphs {
+				sum += c
+			}
+			if sum != par.Subgraphs {
+				t.Fatalf("per-worker sum %d != total %d", sum, par.Subgraphs)
+			}
+		}
+	}
+}
+
+// TestCensusSparseFallback forces the neighbor-list fallback (the code
+// path graphs above denseAdjLimit take) and cross-checks it against the
+// dense bitset path on the same graphs.
+func TestCensusSparseFallback(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, g := testutil.RandomInstance(seed, testutil.InstanceOptions{TargetNodes: 12, TargetEdges: 30, NodeLabels: 3})
+		adj := buildAdjacency(g)
+		sparse := &adjacency{n: adj.n, lists: adj.lists} // dense stripped
+		for _, k := range []int{3, 4} {
+			m1, m2 := newMemo(), newMemo()
+			wd := newWalker(g, adj, k, m1, func() bool { return false })
+			ws := newWalker(g, sparse, k, m2, func() bool { return false })
+			for v := int32(0); v < int32(g.NumNodes()); v++ {
+				wd.root(v)
+				ws.root(v)
+			}
+			if wd.subgraphs != ws.subgraphs {
+				t.Fatalf("seed %d k=%d: dense %d subgraphs, sparse %d", seed, k, wd.subgraphs, ws.subgraphs)
+			}
+			dres, sres := Result{K: k}, Result{K: k}
+			gather(&dres, m1, []*walker{wd}, false)
+			gather(&sres, m2, []*walker{ws}, false)
+			dm, sm := classMap(dres), classMap(sres)
+			if len(dm) != len(sm) {
+				t.Fatalf("seed %d k=%d: dense %d classes, sparse %d", seed, k, len(dm), len(sm))
+			}
+			for enc, c := range dm {
+				if sm[enc] != c {
+					t.Fatalf("seed %d k=%d: class count mismatch dense %d sparse %d", seed, k, c, sm[enc])
+				}
+			}
+		}
+	}
+}
+
+// TestCensusMemoReuse: on a label-free graph every k-subgraph of one
+// shape shares a discovery-order key, so the memo must hit far more
+// often than it misses — that is the whole point of the memo.
+func TestCensusMemoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := graph.NewBuilder(30, 120)
+	for i := 0; i < 30; i++ {
+		b.AddNode(0)
+	}
+	for e := 0; e < 120; e++ {
+		u, v := int32(rng.Intn(30)), int32(rng.Intn(30))
+		if u != v {
+			b.AddEdgeBoth(u, v, 0)
+		}
+	}
+	g := b.MustBuild()
+	res, err := Run(context.Background(), g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraphs == 0 {
+		t.Fatal("no subgraphs found")
+	}
+	if res.MemoHits+res.MemoMisses != res.Subgraphs {
+		t.Fatalf("memo lookups %d != subgraphs %d", res.MemoHits+res.MemoMisses, res.Subgraphs)
+	}
+	if res.MemoHits < res.MemoMisses {
+		t.Fatalf("memo hits %d < misses %d on a label-free graph", res.MemoHits, res.MemoMisses)
+	}
+}
+
+// TestCensusCancellation: a cancelled context must abort the run
+// promptly with Aborted set, sequentially and in parallel.
+func TestCensusCancellation(t *testing.T) {
+	_, g := testutil.RandomInstance(7, testutil.InstanceOptions{TargetNodes: 60, TargetEdges: 600, NodeLabels: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := Run(ctx, g, Options{K: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Aborted {
+			t.Fatalf("workers=%d: cancelled census not reported Aborted", workers)
+		}
+	}
+}
+
+// TestCensusValidation: bad K and nil graphs are rejected.
+func TestCensusValidation(t *testing.T) {
+	g := graph.NewBuilder(3, 0)
+	g.AddNodes(3)
+	built := g.MustBuild()
+	for _, k := range []int{-1, 0, 1, 7} {
+		if _, err := Run(context.Background(), built, Options{K: k}); err == nil {
+			t.Errorf("K=%d accepted", k)
+		}
+	}
+	if _, err := Run(context.Background(), nil, Options{K: 3}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+// TestCensusTinyTarget: a target smaller than K yields an empty census,
+// not an error.
+func TestCensusTinyTarget(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddEdgeBoth(0, 1, 0)
+	res, err := Run(context.Background(), b.MustBuild(), Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraphs != 0 || len(res.Classes) != 0 {
+		t.Fatalf("census of 2-node target at k=4: %d subgraphs", res.Subgraphs)
+	}
+}

@@ -66,9 +66,27 @@ func CanonicalFormBudget(g *Graph, budget int) (encoding []byte, perm []int32, o
 // equal for isomorphic graphs, and distinct for non-isomorphic ones up
 // to hash collisions — callers for whom a collision would be a
 // correctness bug (the service cache) compare the full encodings.
+//
+// A caller that already holds the encoding (the census memo, the
+// service cache-key path) should hash those bytes with HashBytes
+// directly instead of paying the individualization search a second
+// time here.
 func CanonicalHash(g *Graph) uint64 {
 	enc, _ := CanonicalForm(g)
 	return HashBytes(enc)
+}
+
+// CanonicalHashBudget is CanonicalHash under the CanonicalFormBudget
+// cost bound: ok == false means the individualization search exceeded
+// budget and no hash was derived. The census memo uses it to identify
+// induced-subgraph isomorphism classes without risking a factorial
+// blowup on a hostile input.
+func CanonicalHashBudget(g *Graph, budget int) (hash uint64, ok bool) {
+	enc, _, ok := CanonicalFormBudget(g, budget)
+	if !ok {
+		return 0, false
+	}
+	return HashBytes(enc), true
 }
 
 // HashBytes is the 64-bit FNV-1a hash used for canonical encodings and

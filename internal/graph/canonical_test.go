@@ -197,3 +197,37 @@ func TestCanonicalFormBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestCanonicalHashBudget: the budgeted hash must equal
+// HashBytes(CanonicalForm) when it succeeds, refuse hostile symmetric
+// inputs (ok=false) instead of hanging, and never require re-deriving
+// the encoding a caller already holds.
+func TestCanonicalHashBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(7)
+		g := randomLabeledGraph(rng, n, rng.Intn(3*n), 1+rng.Intn(3), 1+rng.Intn(2))
+		enc, _ := CanonicalForm(g)
+		h, ok := CanonicalHashBudget(g, 4096)
+		if !ok {
+			t.Fatalf("trial %d: ordinary pattern exceeded the budget", trial)
+		}
+		if h != HashBytes(enc) {
+			t.Fatalf("trial %d: CanonicalHashBudget %d != HashBytes(encoding) %d", trial, h, HashBytes(enc))
+		}
+		if h != CanonicalHash(g) {
+			t.Fatalf("trial %d: CanonicalHashBudget %d != CanonicalHash %d", trial, h, CanonicalHash(g))
+		}
+	}
+
+	k := NewBuilder(9, 72)
+	k.AddNodes(9)
+	for i := int32(0); i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			k.AddEdgeBoth(i, j, NoLabel)
+		}
+	}
+	if _, ok := CanonicalHashBudget(k.MustBuild(), 4096); ok {
+		t.Fatal("K9 hashed within a 4096-ordering budget (budget not enforced?)")
+	}
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"parsge"
+)
+
+// This file is the census request path of the Service: the same three
+// production concerns the query path has — caching, admission control,
+// observability — applied to the motif-census workload.
+//
+//   - Admission: a census is always "large". It enumerates every
+//     connected k-subgraph of the whole target, fanning out over every
+//     vertex, so it takes the full parallel-pool token grant
+//     (ParallelWorkers) like the biggest pattern queries do; small
+//     queries keep flowing around it under the weighted-FIFO discipline.
+//   - Caching: the target is immutable for the life of the Service, so
+//     a complete census at one K never goes stale — a tiny per-K map
+//     (at most MaxCensusK−MinCensusK+1 entries) replaces the LRU, and
+//     per-K singleflight collapses concurrent identical requests onto
+//     one run.
+//   - Observability: runs are recorded by Target.Census into the plan
+//     histogram under "census:k=<K>", and the service counts census
+//     requests next to its query counters.
+
+// CensusRequest is one client census request.
+type CensusRequest struct {
+	// K is the subgraph size, in [parsge.MinCensusK, parsge.MaxCensusK].
+	K int
+	// Timeout bounds the run (0 falls back to Config.DefaultTimeout).
+	Timeout time.Duration
+}
+
+// CensusReply reports one served census.
+type CensusReply struct {
+	// Result is the census outcome. For a cache hit it is the result of
+	// the run that populated the entry (its Duration describes that
+	// run, not this request).
+	Result parsge.CensusResult
+	// CacheHit reports the reply was served from the census cache;
+	// Shared that it was computed once by a concurrent identical
+	// request and shared.
+	CacheHit, Shared bool
+	// QueueWait is the time spent in the admission queue.
+	QueueWait time.Duration
+}
+
+// censusFlight is one in-flight census identical requests rendezvous on.
+type censusFlight struct {
+	done chan struct{}
+	res  *parsge.CensusResult // nil when the leader's run was truncated
+	err  error
+}
+
+// Census serves a motif-census request: cache, then singleflight, then
+// an admission-controlled run on the parallel pool.
+func (s *Service) Census(ctx context.Context, req CensusRequest) (CensusReply, error) {
+	if err := s.begin(); err != nil {
+		return CensusReply{}, err
+	}
+	defer s.wg.Done()
+	if req.K < parsge.MinCensusK || req.K > parsge.MaxCensusK {
+		return CensusReply{}, errors.New("service: census K out of range")
+	}
+	s.statMu.Lock()
+	s.queries++
+	s.census++
+	s.statMu.Unlock()
+
+	// The same retry discipline as the query path: each turn either hits
+	// the cache, joins an in-flight identical census, or leads one; a
+	// waiter whose leader was truncated retries, and after a few turns
+	// stops deduplicating so a perpetually-timing-out leader cannot
+	// livelock its followers.
+	for attempt := 0; ; attempt++ {
+		if res := s.censusGet(req.K); res != nil {
+			return CensusReply{Result: *res, CacheHit: true}, nil
+		}
+		if ctx.Err() != nil {
+			return CensusReply{}, ctx.Err()
+		}
+
+		s.censusMu.Lock()
+		if f := s.censusFlights[req.K]; f != nil && attempt < 3 {
+			s.censusMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return CensusReply{}, ctx.Err()
+			}
+			if f.err != nil && !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+				// Deterministic for an identical request (validation,
+				// overload backpressure): share it instead of stampeding.
+				return CensusReply{}, f.err
+			}
+			if f.err == nil && f.res != nil {
+				s.statMu.Lock()
+				s.shared++
+				s.statMu.Unlock()
+				return CensusReply{Result: *f.res, Shared: true}, nil
+			}
+			// Leader truncated or its own context died — leader-specific
+			// outcomes, not verdicts on the census. Retry.
+			continue
+		}
+		var f *censusFlight
+		if attempt < 3 {
+			if s.censusFlights == nil {
+				s.censusFlights = make(map[int]*censusFlight)
+			}
+			f = &censusFlight{done: make(chan struct{})}
+			s.censusFlights[req.K] = f
+		}
+		s.censusMu.Unlock()
+
+		reply, res, err := s.runCensusLeader(ctx, req)
+		if f != nil {
+			s.censusMu.Lock()
+			delete(s.censusFlights, req.K)
+			s.censusMu.Unlock()
+			f.res, f.err = res, err
+			close(f.done)
+		}
+		if err != nil {
+			return CensusReply{}, err
+		}
+		return reply, nil
+	}
+}
+
+// runCensusLeader acquires the full parallel-pool grant and runs the
+// census for real; a complete (un-truncated) result is cached for the
+// life of the service.
+func (s *Service) runCensusLeader(ctx context.Context, req CensusRequest) (CensusReply, *parsge.CensusResult, error) {
+	need := int64(s.cfg.ParallelWorkers)
+	waited, err := s.adm.acquire(ctx, need, s.cfg.QueueTimeout)
+	if err != nil {
+		return CensusReply{}, nil, err
+	}
+	defer s.adm.release(need)
+	s.statMu.Lock()
+	s.parallel++
+	s.statMu.Unlock()
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	res, err := s.tgt.Census(ctx, parsge.CensusOptions{
+		K:       req.K,
+		Workers: s.cfg.ParallelWorkers,
+		Timeout: timeout,
+	})
+	if err != nil {
+		return CensusReply{}, nil, err
+	}
+	reply := CensusReply{Result: res, QueueWait: waited}
+	if res.TimedOut {
+		// Truncated: counts are lower bounds — correct for this caller,
+		// not a result identical requests may reuse.
+		return reply, nil, nil
+	}
+	s.censusPut(req.K, &res)
+	return reply, &res, nil
+}
+
+// censusGet returns the cached complete census for k, or nil.
+func (s *Service) censusGet(k int) *parsge.CensusResult {
+	s.censusMu.Lock()
+	defer s.censusMu.Unlock()
+	res := s.censusCache[k]
+	if res != nil {
+		s.censusHits++
+	} else {
+		s.censusMisses++
+	}
+	return res
+}
+
+// censusPut caches a complete census. The target is immutable, so
+// entries never expire; at most MaxCensusK−MinCensusK+1 can exist.
+func (s *Service) censusPut(k int, res *parsge.CensusResult) {
+	s.censusMu.Lock()
+	defer s.censusMu.Unlock()
+	if s.censusCache == nil {
+		s.censusCache = make(map[int]*parsge.CensusResult)
+	}
+	s.censusCache[k] = res
+}

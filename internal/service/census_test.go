@@ -1,0 +1,293 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parsge"
+	"parsge/internal/testutil"
+)
+
+// censusOracle compares a service census result against the brute-force
+// oracle on the soak world's target.
+func censusOracle(t *testing.T, w *soakWorld, res parsge.CensusResult, k int) {
+	t.Helper()
+	total, classes := testutil.BruteCensus(w.gt, k)
+	if res.TimedOut {
+		t.Fatalf("k=%d: census truncated without cancellation", k)
+	}
+	if res.Subgraphs != total {
+		t.Fatalf("k=%d: %d subgraphs, oracle %d", k, res.Subgraphs, total)
+	}
+	if len(res.Classes) != len(classes) {
+		t.Fatalf("k=%d: %d classes, oracle %d", k, len(res.Classes), len(classes))
+	}
+	for _, c := range res.Classes {
+		if classes[string(c.Encoding)] != c.Count {
+			t.Fatalf("k=%d: class count %d, oracle %d", k, c.Count, classes[string(c.Encoding)])
+		}
+	}
+}
+
+// TestServiceCensus: the census path end to end — oracle-correct
+// counts, the per-K cache, and the admission counters.
+func TestServiceCensus(t *testing.T) {
+	w := buildSoakWorld(t, 91)
+	svc, err := New(Config{Target: w.tgt, Workers: 4, ParallelWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	reply, err := svc.Census(ctx, CensusRequest{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.CacheHit || reply.Shared {
+		t.Fatal("first census reported cached/shared")
+	}
+	censusOracle(t, w, reply.Result, 3)
+
+	again, err := svc.Census(ctx, CensusRequest{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("second identical census missed the cache")
+	}
+	if again.Result.Subgraphs != reply.Result.Subgraphs {
+		t.Fatal("cached census differs from the original")
+	}
+
+	// A different K is its own entry.
+	r4, err := svc.Census(ctx, CensusRequest{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.CacheHit {
+		t.Fatal("census at a new K reported a cache hit")
+	}
+	censusOracle(t, w, r4.Result, 4)
+
+	st := svc.Stats()
+	if st.Census != 3 {
+		t.Fatalf("Stats.Census = %d, want 3", st.Census)
+	}
+	if st.Parallel != 2 {
+		t.Fatalf("Stats.Parallel = %d, want 2 (census is always large)", st.Parallel)
+	}
+	if st.CensusCacheHits != 1 || st.CensusCacheMisses != 2 {
+		t.Fatalf("census cache hits/misses = %d/%d, want 1/2", st.CensusCacheHits, st.CensusCacheMisses)
+	}
+	// The runs landed in the plan histogram funnel.
+	if b := st.Session.Plans.Bucket("census:k=3"); b.Count != 1 {
+		t.Fatalf("plan bucket census:k=3 count %d, want 1", b.Count)
+	}
+	if b := st.Session.Plans.Bucket("census:k=4"); b.Count != 1 {
+		t.Fatalf("plan bucket census:k=4 count %d, want 1", b.Count)
+	}
+}
+
+// TestServiceCensusSingleflight: concurrent identical censuses run once
+// and share; followers report Shared or CacheHit, never a second run.
+func TestServiceCensusSingleflight(t *testing.T) {
+	w := buildSoakWorld(t, 92)
+	svc, err := New(Config{Target: w.tgt, Workers: 4, ParallelWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	replies := make([]CensusReply, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = svc.Census(context.Background(), CensusRequest{K: 4})
+		}(i)
+	}
+	wg.Wait()
+	leaders := 0
+	for i := range replies {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		censusOracle(t, w, replies[i].Result, 4)
+		if !replies[i].CacheHit && !replies[i].Shared {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders ran, want 1", leaders)
+	}
+	if st := svc.Stats(); st.Parallel != 1 {
+		t.Fatalf("Stats.Parallel = %d, want 1 (one admitted run)", st.Parallel)
+	}
+}
+
+// TestServiceCensusValidationAndClose: bad K is rejected; a draining
+// service refuses censuses with ErrClosed.
+func TestServiceCensusValidationAndClose(t *testing.T) {
+	w := buildSoakWorld(t, 93)
+	svc, err := New(Config{Target: w.tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1, 7, -2} {
+		if _, err := svc.Census(context.Background(), CensusRequest{K: k}); err == nil {
+			t.Errorf("K=%d accepted", k)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Census(context.Background(), CensusRequest{K: 3}); err != ErrClosed {
+		t.Fatalf("census after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestServiceCensusCancelled: a truncated census is returned to its
+// caller but never cached.
+func TestServiceCensusCancelled(t *testing.T) {
+	w := buildSoakWorld(t, 94)
+	svc, err := New(Config{Target: w.tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reply, err := svc.Census(ctx, CensusRequest{K: 4})
+	if err != nil {
+		// ctx.Err() surfacing directly is also acceptable here.
+		if ctx.Err() == nil {
+			t.Fatal(err)
+		}
+	} else if !reply.Result.TimedOut {
+		t.Fatal("census under a cancelled context reported complete")
+	}
+	if res := svc.censusGet(4); res != nil {
+		t.Fatal("truncated census was cached")
+	}
+}
+
+// TestHTTPCensus: the /census endpoint end to end — counts held to the
+// oracle, representatives resubmittable as /query patterns, the cache
+// hit on the second request, and the error statuses.
+func TestHTTPCensus(t *testing.T) {
+	w := buildSoakWorld(t, 95)
+	svc, err := New(Config{Target: w.tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := identityTable(w.gt)
+	handler := NewServer(svc, table)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	post := func(body map[string]any) *http.Response {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/census", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	var rec censusResponse
+	resp := post(map[string]any{"k": 3, "top": -1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("census: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	total, classes := testutil.BruteCensus(w.gt, 3)
+	if rec.Subgraphs != total || rec.ClassesTotal != len(classes) {
+		t.Fatalf("census: %d subgraphs in %d classes, oracle %d in %d",
+			rec.Subgraphs, rec.ClassesTotal, total, len(classes))
+	}
+	var sum int64
+	for _, c := range rec.Classes {
+		sum += c.Count
+	}
+	if sum != total {
+		t.Fatalf("class counts sum to %d, want %d", sum, total)
+	}
+
+	// Each representative is a valid GFF pattern; resubmitted under
+	// induced semantics it must find at least its counted occurrences.
+	c0 := rec.Classes[0]
+	if c0.Pattern == "" || !strings.Contains(c0.Pattern, "#motif-0") {
+		t.Fatalf("representative pattern not serialized: %q", c0.Pattern)
+	}
+	qresp, err := postQuery(t, ts.URL, map[string]any{"pattern": c0.Pattern, "semantics": "induced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qrec struct {
+		Matches int64 `json:"matches"`
+	}
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmitted representative: %s", qresp.Status)
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&qrec); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qrec.Matches < c0.Count {
+		t.Fatalf("representative matched %d times, census counted %d", qrec.Matches, c0.Count)
+	}
+
+	// Second request: served from the census cache.
+	resp = post(map[string]any{"k": 3})
+	var rec2 censusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rec2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rec2.CacheHit {
+		t.Fatal("second census not a cache hit")
+	}
+
+	// top caps the classes shown without touching the totals.
+	resp = post(map[string]any{"k": 3, "top": 1})
+	var rec3 censusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rec3); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rec3.ClassesShown > 1 || rec3.ClassesTotal != rec.ClassesTotal || rec3.Subgraphs != rec.Subgraphs {
+		t.Fatalf("top=1: shown %d of %d, subgraphs %d", rec3.ClassesShown, rec3.ClassesTotal, rec3.Subgraphs)
+	}
+
+	// Bad K → 400.
+	resp = post(map[string]any{"k": 99})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=99: %s, want 400", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Draining → 503.
+	handler.StartDrain()
+	resp = post(map[string]any{"k": 3})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining census: %s, want 503", resp.Status)
+	}
+	resp.Body.Close()
+}

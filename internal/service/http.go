@@ -57,6 +57,7 @@ func NewServer(svc *Service, table *graphio.LabelTable) *Server {
 	h := &Server{svc: svc, table: table, MaxPatternNodes: 64}
 	h.mux = http.NewServeMux()
 	h.mux.HandleFunc("POST /query", h.handleQuery)
+	h.mux.HandleFunc("POST /census", h.handleCensus)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	return h
@@ -284,6 +285,116 @@ func (h *Server) streamQuery(w http.ResponseWriter, r *http.Request, q Query) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// censusRequest is the POST /census body: {"k": 4, "timeout_ms": n,
+// "top": n}. top caps the classes returned (default 32, -1 = all); the
+// full class total and subgraph count are always reported.
+type censusRequest struct {
+	K         int   `json:"k"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Top       int   `json:"top,omitempty"`
+}
+
+// censusClassJSON is one isomorphism class of a census reply: the count,
+// the class identity (the canonical hash, rendered hex), the shape, and
+// the representative pattern as a GFF text section — directly
+// resubmittable to POST /query.
+type censusClassJSON struct {
+	Count   int64  `json:"count"`
+	ID      string `json:"id"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Pattern string `json:"pattern"`
+}
+
+type censusResponse struct {
+	K            int               `json:"k"`
+	Subgraphs    int64             `json:"subgraphs"`
+	ClassesTotal int               `json:"classes_total"`
+	Classes      []censusClassJSON `json:"classes"`
+	ClassesShown int               `json:"classes_shown"`
+	Truncated    bool              `json:"truncated,omitempty"`
+	CacheHit     bool              `json:"cache_hit"`
+	Shared       bool              `json:"shared,omitempty"`
+	QueueWaitMS  float64           `json:"queue_wait_ms"`
+	ElapsedMS    float64           `json:"elapsed_ms"`
+	MemoHits     int64             `json:"memo_hits"`
+	MemoMisses   int64             `json:"memo_misses"`
+}
+
+func (h *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	var req censusRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.K < parsge.MinCensusK || req.K > parsge.MaxCensusK {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("k must be in [%d, %d], got %d", parsge.MinCensusK, parsge.MaxCensusK, req.K))
+		return
+	}
+	reply, err := h.svc.Census(r.Context(), CensusRequest{
+		K:       req.K,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		httpError(w, errorCode(err), err)
+		return
+	}
+	res := reply.Result
+	top := req.Top
+	if top == 0 {
+		top = 32
+	}
+	shown := res.Classes
+	if top > 0 && len(shown) > top {
+		shown = shown[:top]
+	}
+	resp := censusResponse{
+		K:            res.K,
+		Subgraphs:    res.Subgraphs,
+		ClassesTotal: len(res.Classes),
+		Classes:      make([]censusClassJSON, len(shown)),
+		ClassesShown: len(shown),
+		Truncated:    res.TimedOut,
+		CacheHit:     reply.CacheHit,
+		Shared:       reply.Shared,
+		QueueWaitMS:  float64(reply.QueueWait) / float64(time.Millisecond),
+		ElapsedMS:    float64(res.Duration) / float64(time.Millisecond),
+		MemoHits:     res.MemoHits,
+		MemoMisses:   res.MemoMisses,
+	}
+	for i, c := range shown {
+		resp.Classes[i] = censusClassJSON{
+			Count:   c.Count,
+			ID:      fmt.Sprintf("%016x", c.Hash),
+			Nodes:   c.Pattern.NumNodes(),
+			Edges:   c.Pattern.NumEdges(),
+			Pattern: h.renderPattern(i, c.Pattern),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// renderPattern serializes a census representative as a GFF section
+// under the table lock (label lookups share the interning table with
+// pattern parsing).
+func (h *Server) renderPattern(i int, g *parsge.Graph) string {
+	var b strings.Builder
+	h.tableMu.Lock()
+	err := graphio.Write(&b, fmt.Sprintf("motif-%d", i), g, h.table)
+	h.tableMu.Unlock()
+	if err != nil {
+		return ""
+	}
+	return b.String()
 }
 
 func (h *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -155,11 +155,21 @@ type Service struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
+	// Census state: the per-K complete-result cache (the target is
+	// immutable, so entries never go stale) and the per-K singleflight
+	// map; see census.go.
+	censusMu      sync.Mutex
+	censusFlights map[int]*censusFlight
+	censusCache   map[int]*parsge.CensusResult
+	censusHits    int64
+	censusMisses  int64
+
 	statMu     sync.Mutex
 	queries    int64
 	shared     int64
 	sequential int64
 	parallel   int64
+	census     int64
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -574,6 +584,12 @@ type Stats struct {
 	Queries, Shared int64
 	// Sequential and Parallel count admitted runs by class.
 	Sequential, Parallel int64
+	// Census counts census requests (a subset of Queries; every admitted
+	// census run also counts as Parallel — census is always large).
+	// CensusCacheHits and CensusCacheMisses are the per-K census cache
+	// counters, separate from the pattern-result cache below.
+	Census                             int64
+	CensusCacheHits, CensusCacheMisses int64
 	// Cache counters.
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheEntries                           int
@@ -596,23 +612,29 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	entries, cost, hits, misses, evictions := s.cache.stats()
 	inUse, queued, granted, shed, timedOut, totalWait := s.adm.load()
+	s.censusMu.Lock()
+	censusHits, censusMisses := s.censusHits, s.censusMisses
+	s.censusMu.Unlock()
 	s.statMu.Lock()
 	st := Stats{
-		Queries:        s.queries,
-		Shared:         s.shared,
-		Sequential:     s.sequential,
-		Parallel:       s.parallel,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheEntries:   entries,
-		CacheCost:      cost,
-		TokensInUse:    inUse,
-		Queued:         queued,
-		Granted:        granted,
-		Shed:           shed,
-		QueueTimeouts:  timedOut,
-		TotalQueueWait: totalWait,
+		Queries:           s.queries,
+		Shared:            s.shared,
+		Sequential:        s.sequential,
+		Parallel:          s.parallel,
+		Census:            s.census,
+		CensusCacheHits:   censusHits,
+		CensusCacheMisses: censusMisses,
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEvictions:    evictions,
+		CacheEntries:      entries,
+		CacheCost:         cost,
+		TokensInUse:       inUse,
+		Queued:            queued,
+		Granted:           granted,
+		Shed:              shed,
+		QueueTimeouts:     timedOut,
+		TotalQueueWait:    totalWait,
 	}
 	s.statMu.Unlock()
 	st.Session = s.tgt.Stats()

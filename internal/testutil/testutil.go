@@ -315,3 +315,60 @@ func neighborsUndirected(g *graph.Graph, v int32) []int32 {
 	out := append([]int32(nil), g.OutNeighbors(v)...)
 	return append(out, g.InNeighbors(v)...)
 }
+
+// InducedSubgraph materializes the induced subgraph of g on the given
+// nodes (in the given order), keeping directions, labels, self-loops
+// and parallel edges.
+func InducedSubgraph(g *graph.Graph, nodes []int32) *graph.Graph {
+	b := graph.NewBuilder(len(nodes), 0)
+	pos := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		b.AddNode(g.NodeLabel(v))
+		pos[v] = int32(i)
+	}
+	for i, v := range nodes {
+		adj := g.OutNeighbors(v)
+		labs := g.OutEdgeLabels(v)
+		for t, u := range adj {
+			if j, ok := pos[u]; ok {
+				b.AddEdge(int32(i), j, labs[t])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// BruteCensus is the motif-census ground truth: it iterates every
+// k-subset of g's vertices, keeps those whose induced subgraph is
+// connected (undirected sense), and groups them by canonical encoding.
+// It returns the total count of connected k-subgraphs and the per-class
+// counts keyed by the canonical encoding bytes (as a string). Cost is
+// C(n, k) induced-subgraph builds — intended for small test graphs.
+func BruteCensus(g *graph.Graph, k int) (total int64, classes map[string]int64) {
+	classes = make(map[string]int64)
+	n := g.NumNodes()
+	if k <= 0 || k > n {
+		return 0, classes
+	}
+	subset := make([]int32, 0, k)
+	var rec func(next int32)
+	rec = func(next int32) {
+		if len(subset) == k {
+			sub := InducedSubgraph(g, subset)
+			if !sub.ConnectedUndirected() {
+				return
+			}
+			enc, _ := graph.CanonicalForm(sub)
+			classes[string(enc)]++
+			total++
+			return
+		}
+		for v := next; int(v) < n-(k-len(subset))+1; v++ {
+			subset = append(subset, v)
+			rec(v + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+	return total, classes
+}

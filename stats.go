@@ -1,6 +1,7 @@
 package parsge
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -128,6 +129,35 @@ func (s *sessionStats) record(res *Result) {
 	b.InducedACTime += p.InducedACTime
 	b.DomainAfterUnary += int64(p.DomainAfterUnary)
 	b.DomainFinal += int64(p.DomainFinal)
+}
+
+// recordCensus folds one census run into the accumulator. A census is a
+// query like any other for the session totals — Subgraphs stands in for
+// both matches and states (each emitted subgraph is one unit of found
+// result and one unit of explored work) — and lands in the plan
+// histogram under the bucket "census:k=<K>", so a service's funnel sees
+// census traffic next to the enumeration plans.
+func (s *sessionStats) recordCensus(res *CensusResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.matches += res.Subgraphs
+	s.states += res.Subgraphs
+	if res.TimedOut {
+		s.timeout++
+	}
+	s.match += res.Duration
+	s.steals += res.Steals
+	if s.buckets == nil {
+		s.buckets = make(map[string]*PlanBucket)
+	}
+	key := fmt.Sprintf("census:k=%d", res.K)
+	b := s.buckets[key]
+	if b == nil {
+		b = &PlanBucket{Plan: key}
+		s.buckets[key] = b
+	}
+	b.Count++
 }
 
 // snapshot returns a consistent copy.
