@@ -79,6 +79,10 @@ type CensusResult struct {
 	TimedOut bool
 	// Duration is the wall time of the run.
 	Duration time.Duration
+	// Epoch is the target mutation epoch the census ran against (see
+	// Target.ApplyUpdates); caches compare it with Target.Epoch() to
+	// drop censuses of superseded graph versions.
+	Epoch uint64
 }
 
 // Census enumerates every connected k-vertex subgraph of the session's
@@ -96,13 +100,14 @@ func (t *Target) Census(ctx context.Context, opts CensusOptions) (CensusResult, 
 	if opts.K < MinCensusK || opts.K > MaxCensusK {
 		return CensusResult{}, fmt.Errorf("parsge: census K must be in [%d, %d], got %d", MinCensusK, MaxCensusK, opts.K)
 	}
+	st := t.state.Load() // one snapshot for the whole run, like every query
 	workers := opts.Workers
 	if workers == 0 {
 		workers = t.defaultWorkers
 	}
 	if workers == AutoWorkers {
 		workers = runtime.GOMAXPROCS(0)
-		if n := t.g.NumNodes(); workers > n {
+		if n := st.g.NumNodes(); workers > n {
 			workers = n
 		}
 	}
@@ -112,7 +117,7 @@ func (t *Target) Census(ctx context.Context, opts CensusOptions) (CensusResult, 
 	qctx, stop := queryContext(ctx, opts.Timeout)
 	defer stop()
 	start := time.Now()
-	res, err := census.Run(qctx, t.g, census.Options{K: opts.K, Workers: workers, Seed: opts.Seed})
+	res, err := census.Run(qctx, st.g, census.Options{K: opts.K, Workers: workers, Seed: opts.Seed})
 	if err != nil {
 		return CensusResult{}, err
 	}
@@ -126,6 +131,7 @@ func (t *Target) Census(ctx context.Context, opts CensusOptions) (CensusResult, 
 		PerWorkerSubgraphs: res.PerWorkerSubgraphs,
 		TimedOut:           res.Aborted,
 		Duration:           time.Since(start),
+		Epoch:              st.epoch,
 	}
 	for i, c := range res.Classes {
 		out.Classes[i] = CensusClass{Count: c.Count, Pattern: c.Rep, Encoding: c.Encoding, Hash: c.Hash}

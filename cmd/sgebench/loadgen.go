@@ -11,11 +11,22 @@ package main
 //	sgebench  -loadgen http://localhost:8642 -target data/PPIS32-targets.gff \
 //	          -clients 8 -duration 10s
 //
+// Against a multi-target server (sgeserve -targets), -loadgen-targets
+// round-robins the query mix across the named targets and an optional
+// -update-target receives a steady trickle of edge-update batches while
+// the others are queried — the CI smoke shape for mutation under load:
+//
+//	sgeserve  -targets -target data/PPIS32-targets.gff &
+//	sgebench  -loadgen http://localhost:8642 -loadgen-target data/PPIS32-targets.gff \
+//	          -loadgen-targets t0,t1 -update-target t2
+//
 // The run reports throughput, latency percentiles, cache hit rate and
 // the server-side plan histogram, and fails (exit 1) when no request
 // succeeded, when counts were inconsistent between requests for the same
-// query identity, or when the server reports an empty plan histogram —
-// the assertions the CI smoke job stands on.
+// query identity — keyed by (target, pattern, semantics, epoch), since a
+// mutated target legitimately changes counts across epochs but must
+// never disagree within one — or when the server reports an empty plan
+// histogram. These are the assertions the CI smoke jobs stand on.
 
 import (
 	"bufio"
@@ -47,17 +58,41 @@ type loadgenConfig struct {
 	// (k cycling 3..4) instead of pattern queries, mixing the service's
 	// heaviest always-large workload into the stream.
 	CensusFrac float64
+	// Targets, when non-empty, switches to multi-target mode: queries
+	// and censuses round-robin across these named targets via
+	// /targets/{name}/..., and /stats is decoded as router stats.
+	// Names follow the server's convention: GFF section names, with
+	// "t<i>" for unnamed or duplicate sections.
+	Targets []string
+	// UpdateTarget, when set (multi-target mode only), names a target
+	// that receives a steady stream of small edge-update batches for
+	// the whole run. It may also appear in Targets: epoch-keyed count
+	// consistency makes querying a mutating target safe.
+	UpdateTarget string
 }
 
 type loadgenResult struct {
 	requests, errors, cacheHits, streams, censuses int64
+	updates                                        int64 // applied update batches
+	lastEpoch                                      uint64
 	latencies                                      []float64 // ms, successful requests
 	countMismatch                                  string
+}
+
+// queryTarget is one round-robin destination: base is the URL prefix the
+// /query and /census paths hang off ("" name = single-target mode).
+type queryTarget struct {
+	name  string
+	base  string
+	texts []string
 }
 
 func runLoadgen(cfg loadgenConfig) error {
 	if cfg.TargetFile == "" {
 		return fmt.Errorf("-loadgen needs -loadgen-target (the file the server serves, to extract patterns from)")
+	}
+	if cfg.UpdateTarget != "" && len(cfg.Targets) == 0 {
+		return fmt.Errorf("-update-target needs -loadgen-targets (updates only exist on a multi-target server)")
 	}
 	f, err := os.Open(cfg.TargetFile)
 	if err != nil {
@@ -72,22 +107,48 @@ func runLoadgen(cfg loadgenConfig) error {
 	if len(graphs) == 0 {
 		return fmt.Errorf("%s: no graph sections", cfg.TargetFile)
 	}
-	target := graphs[0].Graph
 
-	// Extract the pattern pool and serialize each once. Sizes 3–6 keep
-	// single queries fast enough that a 10 s run sees hundreds of them.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	texts := make([]string, 0, cfg.Patterns)
-	for len(texts) < cfg.Patterns {
-		gp := testutil.ExtractPattern(rng, target, 3+rng.Intn(4))
-		if gp.NumNodes() == 0 {
-			continue
+	// Name the sections exactly as sgeserve -targets does, so
+	// -loadgen-targets names resolve to the same graphs the server routes.
+	byName := make(map[string]*parsge.Graph, len(graphs))
+	seen := make(map[string]bool, len(graphs))
+	for i, ng := range graphs {
+		name := ng.Name
+		if name == "" || seen[name] {
+			name = fmt.Sprintf("t%d", i)
 		}
-		var buf bytes.Buffer
-		if err := graphio.Write(&buf, fmt.Sprintf("lg-%d", len(texts)), gp, table); err != nil {
+		seen[name] = true
+		byName[name] = ng.Graph
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var qts []queryTarget
+	if len(cfg.Targets) == 0 {
+		texts, err := patternPool(rng, graphs[0].Graph, cfg.Patterns, table)
+		if err != nil {
 			return err
 		}
-		texts = append(texts, buf.String())
+		qts = []queryTarget{{name: "", base: cfg.URL, texts: texts}}
+	} else {
+		for _, name := range cfg.Targets {
+			g, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("-loadgen-targets: no section named %q in %s", name, cfg.TargetFile)
+			}
+			texts, err := patternPool(rng, g, cfg.Patterns, table)
+			if err != nil {
+				return err
+			}
+			qts = append(qts, queryTarget{name: name, base: cfg.URL + "/targets/" + name, texts: texts})
+		}
+	}
+	var updateGraph *parsge.Graph
+	if cfg.UpdateTarget != "" {
+		g, ok := byName[cfg.UpdateTarget]
+		if !ok {
+			return fmt.Errorf("-update-target: no section named %q in %s", cfg.UpdateTarget, cfg.TargetFile)
+		}
+		updateGraph = g
 	}
 	semantics := []string{"iso", "induced", "hom"}
 
@@ -100,7 +161,7 @@ func runLoadgen(cfg loadgenConfig) error {
 
 	var mu sync.Mutex
 	res := &loadgenResult{}
-	counts := make(map[string]int64) // query identity -> first observed count
+	counts := make(map[string]int64) // (target, query identity, epoch) -> first observed count
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -109,10 +170,11 @@ func runLoadgen(cfg loadgenConfig) error {
 			defer wg.Done()
 			crng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			for i := 0; time.Now().Before(deadline); i++ {
+				qt := qts[(c+i)%len(qts)]
 				if cfg.CensusFrac > 0 && crng.Float64() < cfg.CensusFrac {
 					k := 3 + (c+i)%2
 					start := time.Now()
-					subgraphs, hit, err := issueCensus(client, cfg.URL, k)
+					subgraphs, epoch, hit, err := issueCensus(client, qt.base, k)
 					lat := float64(time.Since(start)) / float64(time.Millisecond)
 					mu.Lock()
 					res.requests++
@@ -125,7 +187,7 @@ func runLoadgen(cfg loadgenConfig) error {
 							res.cacheHits++
 						}
 						if subgraphs >= 0 { // truncated censuses carry lower bounds
-							id := fmt.Sprintf("census/k=%d", k)
+							id := fmt.Sprintf("%s/census/k=%d@e%d", qt.name, k, epoch)
 							if prev, ok := counts[id]; ok && prev != subgraphs {
 								if res.countMismatch == "" {
 									res.countMismatch = fmt.Sprintf("%s: %d subgraphs then %d", id, prev, subgraphs)
@@ -138,12 +200,12 @@ func runLoadgen(cfg loadgenConfig) error {
 					mu.Unlock()
 					continue
 				}
-				pi := crng.Intn(len(texts))
+				pi := crng.Intn(len(qt.texts))
 				sem := semantics[(c+i)%len(semantics)]
 				stream := crng.Intn(16) == 0
 				withMappings := !stream && crng.Intn(8) == 0
 				start := time.Now()
-				matches, hit, err := issueQuery(client, cfg.URL, texts[pi], sem, withMappings, stream)
+				matches, epoch, hit, err := issueQuery(client, qt.base, qt.texts[pi], sem, withMappings, stream)
 				lat := float64(time.Since(start)) / float64(time.Millisecond)
 				mu.Lock()
 				res.requests++
@@ -158,7 +220,7 @@ func runLoadgen(cfg loadgenConfig) error {
 						res.streams++
 					}
 					if matches >= 0 { // truncated replies carry no exact count
-						id := fmt.Sprintf("%d/%s", pi, sem)
+						id := fmt.Sprintf("%s/%d/%s@e%d", qt.name, pi, sem, epoch)
 						if prev, ok := counts[id]; ok && prev != matches {
 							if res.countMismatch == "" {
 								res.countMismatch = fmt.Sprintf("query %s: count %d then %d", id, prev, matches)
@@ -172,10 +234,32 @@ func runLoadgen(cfg loadgenConfig) error {
 			}
 		}(c)
 	}
+	if updateGraph != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runUpdater(client, cfg, updateGraph, deadline, &mu, res)
+		}()
+	}
 	wg.Wait()
 
-	stats, statsErr := fetchStats(client, cfg.URL)
+	multi := len(cfg.Targets) > 0
+	var stats service.Stats
+	var rstats service.RouterStats
+	var statsErr error
+	if multi {
+		rstats, statsErr = fetchRouterStats(client, cfg.URL)
+		stats = mergeRouterStats(rstats, cfg.Targets)
+	} else {
+		stats, statsErr = fetchStats(client, cfg.URL)
+	}
 	report(cfg, res, stats)
+	if multi && statsErr == nil {
+		for _, ti := range rstats.Targets {
+			fmt.Printf("loadgen: server: target %-12s epoch %d, %d nodes, %d edges, index hot %v\n",
+				ti.Name, ti.Epoch, ti.Nodes, ti.Edges, ti.IndexHot)
+		}
+	}
 
 	switch {
 	case res.countMismatch != "":
@@ -187,7 +271,74 @@ func runLoadgen(cfg loadgenConfig) error {
 	case len(stats.Session.Plans.Buckets) == 0:
 		return fmt.Errorf("server reports an empty plan histogram")
 	}
+	if cfg.UpdateTarget != "" {
+		ust := rstats.PerTarget[cfg.UpdateTarget]
+		switch {
+		case res.updates == 0:
+			return fmt.Errorf("update client applied no batches against %s", cfg.UpdateTarget)
+		case ust.Updates == 0 || ust.Epoch == 0:
+			return fmt.Errorf("server reports no updates on %s (updates=%d epoch=%d)", cfg.UpdateTarget, ust.Updates, ust.Epoch)
+		}
+	}
 	return nil
+}
+
+// patternPool extracts n connected patterns from g and serializes each
+// once through the shared table. Sizes 3–6 keep single queries fast
+// enough that a 10 s run sees hundreds of them.
+func patternPool(rng *rand.Rand, g *parsge.Graph, n int, table *graphio.LabelTable) ([]string, error) {
+	texts := make([]string, 0, n)
+	for len(texts) < n {
+		gp := testutil.ExtractPattern(rng, g, 3+rng.Intn(4))
+		if gp.NumNodes() == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := graphio.Write(&buf, fmt.Sprintf("lg-%d", len(texts)), gp, table); err != nil {
+			return nil, err
+		}
+		texts = append(texts, buf.String())
+	}
+	return texts, nil
+}
+
+// runUpdater trickles small edge-update batches at the update target
+// until the deadline: it alternates adding a random unlabeled arc and
+// removing one it added earlier, so the graph oscillates around its base
+// instead of drifting unboundedly while epochs keep advancing.
+func runUpdater(client *http.Client, cfg loadgenConfig, g *parsge.Graph, deadline time.Time, mu *sync.Mutex, res *loadgenResult) {
+	type arc struct{ from, to int32 }
+	urng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	n := int32(g.NumNodes())
+	base := cfg.URL + "/targets/" + cfg.UpdateTarget
+	var added []arc
+	for time.Now().Before(deadline) {
+		var ups []map[string]any
+		if len(added) > 0 && urng.Intn(2) == 0 {
+			j := urng.Intn(len(added))
+			e := added[j]
+			added = append(added[:j], added[j+1:]...)
+			ups = append(ups, map[string]any{"from": e.from, "to": e.to, "remove": true})
+		} else {
+			e := arc{urng.Int31n(n), urng.Int31n(n)}
+			added = append(added, e)
+			ups = append(ups, map[string]any{"from": e.from, "to": e.to})
+		}
+		start := time.Now()
+		epoch, err := issueUpdate(client, base, ups)
+		lat := float64(time.Since(start)) / float64(time.Millisecond)
+		mu.Lock()
+		res.requests++
+		if err != nil {
+			res.errors++
+		} else {
+			res.latencies = append(res.latencies, lat)
+			res.updates++
+			res.lastEpoch = epoch
+		}
+		mu.Unlock()
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 func waitHealthy(client *http.Client, url string, patience time.Duration) error {
@@ -207,10 +358,10 @@ func waitHealthy(client *http.Client, url string, patience time.Duration) error 
 	}
 }
 
-// issueQuery posts one query and returns the match count and whether it
-// was a cache hit. Streams are drained line by line to their terminal
-// record.
-func issueQuery(client *http.Client, url, pattern, sem string, mappings, stream bool) (int64, bool, error) {
+// issueQuery posts one query and returns the match count, the epoch the
+// reply executed against, and whether it was a cache hit. Streams are
+// drained line by line to their terminal record.
+func issueQuery(client *http.Client, base, pattern, sem string, mappings, stream bool) (int64, uint64, bool, error) {
 	body, _ := json.Marshal(map[string]any{
 		"pattern":    pattern,
 		"semantics":  sem,
@@ -218,13 +369,13 @@ func issueQuery(client *http.Client, url, pattern, sem string, mappings, stream 
 		"stream":     stream,
 		"timeout_ms": 30000,
 	})
-	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, false, fmt.Errorf("status %s", resp.Status)
+		return 0, 0, false, fmt.Errorf("status %s", resp.Status)
 	}
 	if stream {
 		sc := bufio.NewScanner(resp.Body)
@@ -239,73 +390,98 @@ func issueQuery(client *http.Client, url, pattern, sem string, mappings, stream 
 				Mapping   []int32 `json:"mapping"`
 				Done      bool    `json:"done"`
 				Matches   int64   `json:"matches"`
+				Epoch     uint64  `json:"epoch"`
 				Truncated bool    `json:"truncated"`
 				Error     string  `json:"error"`
 			}
 			if err := json.Unmarshal([]byte(line), &rec); err != nil {
-				return 0, false, err
+				return 0, 0, false, err
 			}
 			if rec.Done {
 				if rec.Error != "" {
-					return 0, false, fmt.Errorf("stream error: %s", rec.Error)
+					return 0, 0, false, fmt.Errorf("stream error: %s", rec.Error)
 				}
 				if rec.Truncated {
 					// A truncated stream has a lower-bound count; do not
 					// feed it to the consistency check.
-					return -1, false, nil
+					return -1, rec.Epoch, false, nil
 				}
 				if rec.Matches != streamed {
-					return 0, false, fmt.Errorf("stream delivered %d mappings, terminal says %d", streamed, rec.Matches)
+					return 0, 0, false, fmt.Errorf("stream delivered %d mappings, terminal says %d", streamed, rec.Matches)
 				}
-				return rec.Matches, false, sc.Err()
+				return rec.Matches, rec.Epoch, false, sc.Err()
 			}
 			streamed++
 		}
-		return 0, false, fmt.Errorf("stream ended without terminal record: %v", sc.Err())
+		return 0, 0, false, fmt.Errorf("stream ended without terminal record: %v", sc.Err())
 	}
 	var rec struct {
-		Matches   int64 `json:"matches"`
-		Truncated bool  `json:"truncated"`
-		CacheHit  bool  `json:"cache_hit"`
+		Matches   int64  `json:"matches"`
+		Epoch     uint64 `json:"epoch"`
+		Truncated bool   `json:"truncated"`
+		CacheHit  bool   `json:"cache_hit"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	if rec.Truncated {
-		return -1, rec.CacheHit, nil
+		return -1, rec.Epoch, rec.CacheHit, nil
 	}
-	return rec.Matches, rec.CacheHit, nil
+	return rec.Matches, rec.Epoch, rec.CacheHit, nil
 }
 
 // issueCensus posts one census request and returns the subgraph total
-// (-1 when truncated) and whether it was a cache hit. top=1 keeps the
-// reply small — totals are reported regardless of classes shown.
-func issueCensus(client *http.Client, url string, k int) (int64, bool, error) {
+// (-1 when truncated), the epoch it executed against, and whether it was
+// a cache hit. top=1 keeps the reply small — totals are reported
+// regardless of classes shown.
+func issueCensus(client *http.Client, base string, k int) (int64, uint64, bool, error) {
 	body, _ := json.Marshal(map[string]any{
 		"k":          k,
 		"top":        1,
 		"timeout_ms": 30000,
 	})
-	resp, err := client.Post(url+"/census", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(base+"/census", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, false, fmt.Errorf("census status %s", resp.Status)
+		return 0, 0, false, fmt.Errorf("census status %s", resp.Status)
 	}
 	var rec struct {
-		Subgraphs int64 `json:"subgraphs"`
-		Truncated bool  `json:"truncated"`
-		CacheHit  bool  `json:"cache_hit"`
+		Subgraphs int64  `json:"subgraphs"`
+		Epoch     uint64 `json:"epoch"`
+		Truncated bool   `json:"truncated"`
+		CacheHit  bool   `json:"cache_hit"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	if rec.Truncated {
-		return -1, rec.CacheHit, nil
+		return -1, rec.Epoch, rec.CacheHit, nil
 	}
-	return rec.Subgraphs, rec.CacheHit, nil
+	return rec.Subgraphs, rec.Epoch, rec.CacheHit, nil
+}
+
+// issueUpdate posts one edge-update batch and returns the resulting
+// epoch.
+func issueUpdate(client *http.Client, base string, ups []map[string]any) (uint64, error) {
+	body, _ := json.Marshal(map[string]any{"updates": ups})
+	resp, err := client.Post(base+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("update status %s", resp.Status)
+	}
+	var rec struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return 0, err
+	}
+	return rec.Epoch, nil
 }
 
 func fetchStats(client *http.Client, url string) (service.Stats, error) {
@@ -321,6 +497,57 @@ func fetchStats(client *http.Client, url string) (service.Stats, error) {
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
+// fetchRouterStats decodes the /stats document of a multi-target server.
+func fetchRouterStats(client *http.Client, url string) (service.RouterStats, error) {
+	var st service.RouterStats
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats status %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// mergeRouterStats folds the queried targets' per-target stats into one
+// aggregate view for the shared report: counters sum, plan-histogram
+// buckets concatenate (labeled by target), admission counters come from
+// the router's shared view once.
+func mergeRouterStats(rs service.RouterStats, targets []string) service.Stats {
+	var out service.Stats
+	for _, name := range targets {
+		st, ok := rs.PerTarget[name]
+		if !ok {
+			continue
+		}
+		out.Queries += st.Queries
+		out.Shared += st.Shared
+		out.Sequential += st.Sequential
+		out.Parallel += st.Parallel
+		out.Census += st.Census
+		out.CensusCacheHits += st.CensusCacheHits
+		out.CensusCacheMisses += st.CensusCacheMisses
+		out.Updates += st.Updates
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
+		out.Session.Plans.Planned += st.Session.Plans.Planned
+		out.Session.Plans.NoPlan += st.Session.Plans.NoPlan
+		for _, b := range st.Session.Plans.Buckets {
+			b.Plan = name + ":" + b.Plan
+			out.Session.Plans.Buckets = append(out.Session.Plans.Buckets, b)
+		}
+	}
+	out.TokensInUse = rs.TokensInUse
+	out.Queued = rs.Queued
+	out.Granted = rs.Granted
+	out.Shed = rs.Shed
+	out.QueueTimeouts = rs.QueueTimeouts
+	out.TotalQueueWait = rs.TotalQueueWait
+	return out
+}
+
 func report(cfg loadgenConfig, res *loadgenResult, stats service.Stats) {
 	ok := len(res.latencies)
 	qps := float64(ok) / cfg.Duration.Seconds()
@@ -328,6 +555,10 @@ func report(cfg loadgenConfig, res *loadgenResult, stats service.Stats) {
 		res.requests, ok, res.errors, res.streams, res.censuses, cfg.Duration, cfg.Clients)
 	fmt.Printf("loadgen: throughput %.1f q/s, cache hits %d (%.1f%%)\n",
 		qps, res.cacheHits, 100*float64(res.cacheHits)/max(1, float64(ok)))
+	if res.updates > 0 {
+		fmt.Printf("loadgen: %d update batches applied to %s (final epoch %d)\n",
+			res.updates, cfg.UpdateTarget, res.lastEpoch)
+	}
 	if ok > 0 {
 		sort.Float64s(res.latencies)
 		pct := func(p float64) float64 { return res.latencies[min(ok-1, int(p*float64(ok)))] }

@@ -55,6 +55,17 @@ func ablationNames() []string {
 	return names
 }
 
+// splitNames splits a comma-separated flag value, dropping empty parts.
+func splitNames(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiments to run: all, or comma-separated subset of "+strings.Join(experiments, ","))
@@ -66,6 +77,8 @@ func main() {
 		loadgenDuration = flag.Duration("duration", 10*time.Second, "loadgen run length")
 		loadgenPatterns = flag.Int("patterns", 12, "distinct patterns in the loadgen pool")
 		censusFrac      = flag.Float64("census-frac", 0, "fraction of loadgen requests issued as /census (0..1)")
+		loadgenTargets  = flag.String("loadgen-targets", "", "comma-separated target names on a multi-target server (sgeserve -targets) to round-robin the workload across")
+		updateTarget    = flag.String("update-target", "", "target name that receives a steady stream of edge-update batches during the run (needs -loadgen-targets)")
 		scale           = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
 		seed            = flag.Int64("seed", 20170525, "generation and scheduling seed")
 		timeout         = flag.Duration("timeout", 20*time.Second, "per-instance time budget (paper: 180s at scale 1.0)")
@@ -78,13 +91,15 @@ func main() {
 
 	if *loadgen != "" {
 		exitOn(runLoadgen(loadgenConfig{
-			URL:        strings.TrimRight(*loadgen, "/"),
-			TargetFile: *loadgenTarget,
-			Clients:    *loadgenClients,
-			Duration:   *loadgenDuration,
-			Patterns:   *loadgenPatterns,
-			Seed:       *seed,
-			CensusFrac: *censusFrac,
+			URL:          strings.TrimRight(*loadgen, "/"),
+			TargetFile:   *loadgenTarget,
+			Clients:      *loadgenClients,
+			Duration:     *loadgenDuration,
+			Patterns:     *loadgenPatterns,
+			Seed:         *seed,
+			CensusFrac:   *censusFrac,
+			Targets:      splitNames(*loadgenTargets),
+			UpdateTarget: *updateTarget,
 		}))
 		return
 	}

@@ -4,6 +4,7 @@
 //
 //	sgeserve -target data/PPIS32-targets.gff -listen :8642
 //	sgeserve -collection PPIS32 -scale 0.05 -listen :8642
+//	sgeserve -collection PPIS32 -scale 0.02 -targets -listen :8642
 //
 // Endpoints:
 //
@@ -11,6 +12,14 @@
 //	               "mappings": true, "stream": false, ...}
 //	GET  /healthz liveness (503 once draining)
 //	GET  /stats   serving counters + the session plan histogram
+//
+// With -targets every graph section of -target (or every collection
+// target) is hosted as a named target of one multi-target router
+// sharing the worker budget, served under /targets/{name}/query,
+// /targets/{name}/census and /targets/{name}/update — the update
+// endpoint applies batched edge mutations (parsge.Target.ApplyUpdates)
+// with epoch-tagged cache invalidation. /stats then lists every target
+// with its mutation epoch.
 //
 // On SIGTERM/SIGINT the server drains gracefully: health flips to 503,
 // new queries are refused, in-flight queries (streams included) get
@@ -40,6 +49,7 @@ func main() {
 		listen       = flag.String("listen", ":8642", "listen address")
 		targetFile   = flag.String("target", "", "target graph file (GFF text format; first section is served unless -index is set)")
 		index        = flag.Int("index", 0, "which graph section of -target (or collection target) to serve")
+		multi        = flag.Bool("targets", false, "serve every section/collection target as a named router target under /targets/{name}/")
 		collection   = flag.String("collection", "", "generate a synthetic collection target instead of reading -target: PPIS32, GRAEMLIN32 or PDBSv1")
 		scale        = flag.Float64("scale", 0.05, "collection scale (with -collection)")
 		seed         = flag.Int64("seed", 20170525, "collection seed (with -collection)")
@@ -52,12 +62,11 @@ func main() {
 		semantics    = flag.String("default-semantics", "", "semantics for queries that choose none: iso, induced or hom (empty = iso)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight queries on shutdown")
 		maxPattern   = flag.Int("max-pattern-nodes", 64, "reject patterns larger than this")
+		maxHot       = flag.Int("max-hot-indexes", 0, "with -targets: max targets holding their label index at once (LRU eviction; 0 = unbounded)")
 	)
 	flag.Parse()
 
 	table := graphio.NewLabelTable()
-	g, name, err := loadTarget(*targetFile, *collection, *index, *scale, *seed, table)
-	exitOn(err)
 
 	defSem := parsge.SemanticsUnset
 	if *semantics != "" {
@@ -73,20 +82,51 @@ func main() {
 		}
 	}
 
-	tgt, err := parsge.NewTarget(g, parsge.TargetOptions{DefaultSemantics: defSem})
-	exitOn(err)
-	svc, err := service.New(service.Config{
-		Target:          tgt,
-		Workers:         *workers,
-		ParallelWorkers: *parallel,
-		MaxQueue:        *maxQueue,
-		QueueTimeout:    *queueTimeout,
-		CacheMaxMatches: *cacheBudget,
-		DefaultTimeout:  *defTimeout,
-	})
-	exitOn(err)
-
-	handler := service.NewServer(svc, table)
+	var (
+		handler *service.Server
+		svc     *service.Service
+		router  *service.Router
+		banner  string
+	)
+	if *multi {
+		named, err := loadTargets(*targetFile, *collection, *scale, *seed, table)
+		exitOn(err)
+		router = service.NewRouter(service.RouterConfig{
+			Workers:         *workers,
+			ParallelWorkers: *parallel,
+			MaxQueue:        *maxQueue,
+			QueueTimeout:    *queueTimeout,
+			CacheMaxMatches: *cacheBudget,
+			DefaultTimeout:  *defTimeout,
+			MaxHotIndexes:   *maxHot,
+		})
+		for _, nt := range named {
+			exitOn(router.AddTarget(nt.name, nt.g, parsge.TargetOptions{DefaultSemantics: defSem}))
+		}
+		handler = service.NewRouterServer(router, table)
+		banner = fmt.Sprintf("%d targets", len(named))
+		for _, nt := range named {
+			banner += fmt.Sprintf(" %s(%dn/%de)", nt.name, nt.g.NumNodes(), nt.g.NumEdges())
+		}
+	} else {
+		g, name, err := loadTarget(*targetFile, *collection, *index, *scale, *seed, table)
+		exitOn(err)
+		tgt, err := parsge.NewTarget(g, parsge.TargetOptions{DefaultSemantics: defSem})
+		exitOn(err)
+		svc, err = service.New(service.Config{
+			Target:          tgt,
+			Workers:         *workers,
+			ParallelWorkers: *parallel,
+			MaxQueue:        *maxQueue,
+			QueueTimeout:    *queueTimeout,
+			CacheMaxMatches: *cacheBudget,
+			DefaultTimeout:  *defTimeout,
+		})
+		exitOn(err)
+		handler = service.NewServer(svc, table)
+		banner = fmt.Sprintf("%s (%d nodes, %d edges, mean degree %.1f)",
+			name, g.NumNodes(), g.NumEdges(), tgt.MeanDegree())
+	}
 	handler.MaxPatternNodes = *maxPattern
 	srv := &http.Server{
 		Addr:    *listen,
@@ -98,8 +138,7 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	log.Printf("sgeserve: serving %s (%d nodes, %d edges, mean degree %.1f) on %s",
-		name, g.NumNodes(), g.NumEdges(), tgt.MeanDegree(), *listen)
+	log.Printf("sgeserve: serving %s on %s", banner, *listen)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -122,12 +161,88 @@ func main() {
 		log.Printf("sgeserve: drain incomplete: %v", err)
 		srv.Close()
 	}
+	if router != nil {
+		if err := router.Close(ctx); err != nil {
+			log.Printf("sgeserve: router drain incomplete: %v", err)
+		}
+		rst := router.Stats()
+		var queries, hits, updates int64
+		for _, ts := range rst.PerTarget {
+			queries += ts.Queries
+			hits += ts.CacheHits
+			updates += ts.Updates
+		}
+		log.Printf("sgeserve: shut down after %d queries (%d cache hits, %d updates, %d shed)",
+			queries, hits, updates, rst.Shed)
+		return
+	}
 	if err := svc.Close(ctx); err != nil {
 		log.Printf("sgeserve: service drain incomplete: %v", err)
 	}
 	st := svc.Stats()
 	log.Printf("sgeserve: shut down after %d queries (%d cache hits, %d shed)",
 		st.Queries, st.CacheHits, st.Shed)
+}
+
+// namedGraph is one router target read from disk or generated.
+type namedGraph struct {
+	name string
+	g    *parsge.Graph
+}
+
+// loadTargets loads every graph section of file (or every collection
+// target) for multi-target serving. Names are the GFF section names —
+// "t<i>" when a section is unnamed — or "t0".."tN" for collections.
+func loadTargets(file, collection string, scale float64, seed int64, table *graphio.LabelTable) ([]namedGraph, error) {
+	switch {
+	case file != "" && collection != "":
+		return nil, fmt.Errorf("set -target or -collection, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		graphs, err := parsge.ReadGraphs(f, table)
+		if err != nil {
+			return nil, err
+		}
+		if len(graphs) == 0 {
+			return nil, fmt.Errorf("%s has no graph sections", file)
+		}
+		out := make([]namedGraph, len(graphs))
+		seen := make(map[string]bool, len(graphs))
+		for i, ng := range graphs {
+			name := ng.Name
+			if name == "" || seen[name] {
+				name = fmt.Sprintf("t%d", i)
+			}
+			seen[name] = true
+			out[i] = namedGraph{name: name, g: ng.Graph}
+		}
+		return out, nil
+	case collection != "":
+		c, err := datasets.ByName(collection, datasets.Config{Scale: scale, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		maxLabel := 0
+		for _, g := range c.Targets {
+			if l := int(g.MaxNodeLabel()); l > maxLabel {
+				maxLabel = l
+			}
+		}
+		for l := 1; l <= maxLabel; l++ {
+			table.Intern(strconv.Itoa(l))
+		}
+		out := make([]namedGraph, len(c.Targets))
+		for i, g := range c.Targets {
+			out[i] = namedGraph{name: fmt.Sprintf("t%d", i), g: g}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("one of -target or -collection is required")
+	}
 }
 
 // loadTarget reads the target graph from a file or generates a synthetic

@@ -1,8 +1,10 @@
 package parsge
 
 import (
+	"context"
 	"testing"
 
+	"parsge/internal/domain"
 	"parsge/internal/testutil"
 )
 
@@ -224,6 +226,144 @@ func FuzzContainment(f *testing.F) {
 		if counts[0] > counts[1] || counts[1] > counts[2] {
 			t.Fatalf("containment violated: induced=%d iso=%d hom=%d\npattern(n=%d)=%v\ntarget(n=%d)=%v",
 				counts[0], counts[1], counts[2], gp.NumNodes(), gp.Edges(), gt.NumNodes(), gt.Edges())
+		}
+	})
+}
+
+// decodeFuzzUpdates decodes fuzzer bytes into a base target plus a
+// sequence of edge-update batches. Like the other decoders it is
+// positional and total — missing bytes read as zero — so every input is
+// a valid mutation history and the fuzzer explores graph/batch shapes,
+// not parser rejections:
+//
+//	[0]          target node count (1–6)
+//	[1..]        n node labels (mod 3)
+//	[.]          base edge count (mod 12), 2 bytes per edge
+//	             u = b1 mod n, v = b2 mod n, label = (b1>>6) & 1
+//	[.]          batch count (mod 4)
+//	per batch:   update count (1 + mod 5), 3 bytes per update
+//	             u = b1 mod n, v = b2 mod n, label = b3 & 1,
+//	             remove = b3 & 2
+//
+// Duplicate updates, add/remove cancellations and no-op removals all
+// arise naturally from the modular arithmetic.
+func decodeFuzzUpdates(data []byte) (*Graph, [][]EdgeUpdate) {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	n := 1 + int(next())%6
+	b := NewBuilder(n, 0)
+	for i := 0; i < n; i++ {
+		b.AddNode(Label(next() % 3))
+	}
+	m := int(next()) % 12
+	for i := 0; i < m; i++ {
+		e1, e2 := next(), next()
+		b.AddEdge(int32(int(e1)%n), int32(int(e2)%n), Label((e1>>6)&1))
+	}
+	nb := int(next()) % 4
+	batches := make([][]EdgeUpdate, nb)
+	for i := range batches {
+		k := 1 + int(next())%5
+		ups := make([]EdgeUpdate, k)
+		for j := range ups {
+			b1, b2, b3 := next(), next(), next()
+			ups[j] = EdgeUpdate{
+				From:   int32(int(b1) % n),
+				To:     int32(int(b2) % n),
+				Label:  Label(b3 & 1),
+				Remove: b3&2 != 0,
+			}
+		}
+		batches[i] = ups
+	}
+	return b.MustBuild(), batches
+}
+
+// FuzzEdgeUpdates drives random mutation histories through
+// Target.ApplyUpdates and asserts, after every batch, that the
+// incrementally-maintained state — edge multiset, domain index, query
+// counts — equals a from-scratch rebuild of the same logical graph
+// (TestApplyUpdatesDifferential under coverage guidance). The committed
+// corpus lives in testdata/fuzz/FuzzEdgeUpdates; in a plain `go test`
+// run the seeds execute as regression tests.
+func FuzzEdgeUpdates(f *testing.F) {
+	// Triangle base, one batch that removes an arc and re-adds it with
+	// the other label.
+	f.Add([]byte{
+		3, 0, 1, 2,
+		6, 0, 1, 1, 0, 1, 2, 2, 1, 2, 0, 0, 2,
+		1, 3, 0, 1, 2, 0, 1, 1,
+	})
+	// Parallel edges and self-loops: base {0→0, 0→1 ×2}, two batches
+	// exercising copy-count exhaustion (two removes of the same arc) and
+	// in-batch add/remove cancellation.
+	f.Add([]byte{
+		2, 0, 0,
+		3, 0, 0, 0, 1, 0, 1,
+		2, 1, 0, 1, 2, 2, 0, 1, 2, 0, 1, 0, 0, 1, 2,
+	})
+	// Empty base graph, adds only.
+	f.Add([]byte{4, 0, 1, 2, 0, 0, 1, 2, 0, 1, 0, 2, 3, 1, 1, 2, 0})
+	// No-op batch (remove from the empty graph) followed by an add.
+	f.Add([]byte{1, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 0})
+
+	// Single-edge probe pattern: enough to catch a target whose
+	// incremental index disagrees with its graph.
+	pb := NewBuilder(2, 1)
+	pb.AddNode(0)
+	pb.AddNode(1)
+	pb.AddEdge(0, 1, 0)
+	probe := pb.MustBuild()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, batches := decodeFuzzUpdates(data)
+		tgt, err := NewTarget(g, TargetOptions{NLF: NLFExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := g.Edges()
+		labels := nodeLabels(g)
+		for bi, ups := range batches {
+			if _, err := tgt.ApplyUpdates(context.Background(), ups); err != nil {
+				t.Fatalf("batch %d: %v\nbase=%v ups=%v", bi, err, g.Edges(), ups)
+			}
+			oracle = applyOracle(oracle, ups)
+			og := graphFromEdges(t, labels, oracle)
+
+			got, want := sortedEdges(tgt.Graph()), sortedEdges(og)
+			if len(got) != len(want) {
+				t.Fatalf("batch %d: %d edges, oracle %d\nups=%v", bi, len(got), len(want), ups)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("batch %d: edge %d = %v, oracle %v\nups=%v", bi, i, got[i], want[i], ups)
+				}
+			}
+
+			rebuilt, err := NewTarget(og, TargetOptions{NLF: NLFExact})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, diff := domain.IndexEqual(tgt.state.Load().index, rebuilt.state.Load().index); !ok {
+				t.Fatalf("batch %d: incremental index differs from rebuild: %s\nbase=%v ups=%v",
+					bi, diff, g.Edges(), ups)
+			}
+			for _, sem := range []Semantics{SubgraphIso, Homomorphism} {
+				inc, err := tgt.Count(context.Background(), probe, Options{Algorithm: RIDSSIFC, Semantics: sem})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if oc := testutil.BruteCountSem(probe, og, sem); inc != oc {
+					t.Fatalf("batch %d: probe count under %v = %d, oracle %d\ngraph=%v", bi, sem, inc, oc, og.Edges())
+				}
+			}
 		}
 	})
 }

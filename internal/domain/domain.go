@@ -70,6 +70,11 @@ type Index struct {
 	// exactness fallback (nil = hashed buckets). See compact.go.
 	cout, cin []compactSig
 	keyBucket map[uint64]int8
+	// sumDeg / sumSqDeg are the exact integer degree moments behind
+	// stats.MeanDegree/DegreeSkew, kept so incremental update
+	// maintenance (update.go) can adjust them for touched vertices only
+	// and still reproduce a rebuild bit-for-bit.
+	sumDeg, sumSqDeg int64
 }
 
 // NewIndex buckets the target's nodes by label and precomputes the
@@ -83,10 +88,13 @@ func NewIndex(gt *graph.Graph) *Index { return NewIndexMode(gt, NLFAuto) }
 // small label alphabet the compact test is exact (NLFExactFallback).
 func NewIndexMode(gt *graph.Graph, mode NLFMode) *Index {
 	nt := gt.NumNodes()
+	st, sumDeg, sumSqDeg := statsWithSums(gt)
 	ix := &Index{
-		byLabel: make(map[graph.Label][]int32),
-		nt:      nt,
-		stats:   StatsOf(gt),
+		byLabel:  make(map[graph.Label][]int32),
+		nt:       nt,
+		stats:    st,
+		sumDeg:   sumDeg,
+		sumSqDeg: sumSqDeg,
 	}
 	for vt := int32(0); vt < int32(nt); vt++ {
 		l := gt.NodeLabel(vt)

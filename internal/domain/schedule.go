@@ -3,6 +3,7 @@ package domain
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"parsge/internal/graph"
@@ -149,29 +150,77 @@ type TargetStats struct {
 
 // StatsOf computes TargetStats in one O(n) pass over the graph.
 func StatsOf(g *graph.Graph) TargetStats {
-	st := TargetStats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	st, _, _ := statsWithSums(g)
+	return st
+}
+
+// statsWithSums computes TargetStats together with the integer degree
+// accumulators (Σ deg, Σ deg²) the derived fields are computed from.
+// Everything here is deterministic bit-for-bit: the entropy sums over
+// labels in ascending order and the degree moments are exact integer
+// sums fed through one shared float pipeline (fillDegreeStats) — so an
+// incrementally-maintained Index (which adjusts the sums for touched
+// vertices only) reproduces a from-scratch rebuild exactly, which the
+// differential update battery asserts.
+func statsWithSums(g *graph.Graph) (st TargetStats, sumDeg, sumSqDeg int64) {
+	st = TargetStats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
 	if st.Nodes == 0 {
-		return st
+		return st, 0, 0
 	}
 	hist := make(map[graph.Label]int)
 	for v := int32(0); v < int32(st.Nodes); v++ {
 		hist[g.NodeLabel(v)]++
 	}
 	st.Labels = len(hist)
-	n := float64(st.Nodes)
-	for _, c := range hist {
-		p := float64(c) / n
-		st.LabelEntropy -= p * math.Log2(p)
+	st.LabelEntropy = labelEntropy(hist, st.Nodes)
+	for v := int32(0); v < int32(st.Nodes); v++ {
+		d := int64(g.Degree(v))
+		sumDeg += d
+		sumSqDeg += d * d
 	}
-	mean, sd := g.DegreeStats()
+	fillDegreeStats(&st, sumDeg, sumSqDeg)
+	return st, sumDeg, sumSqDeg
+}
+
+// labelEntropy computes the Shannon entropy of a label histogram in a
+// deterministic (sorted-label) order — float addition is not
+// associative, so map-iteration order would make the low bits of the
+// result vary run to run.
+func labelEntropy(hist map[graph.Label]int, nodes int) float64 {
+	labels := make([]graph.Label, 0, len(hist))
+	for l := range hist {
+		labels = append(labels, l)
+	}
+	slices.Sort(labels)
+	n := float64(nodes)
+	entropy := 0.0
+	for _, l := range labels {
+		p := float64(hist[l]) / n
+		entropy -= p * math.Log2(p)
+	}
+	return entropy
+}
+
+// fillDegreeStats derives MeanDegree, DegreeSkew and Density from the
+// exact integer degree moments. Shared by fresh stats computation and
+// incremental index maintenance so the two produce identical floats.
+func fillDegreeStats(st *TargetStats, sumDeg, sumSqDeg int64) {
+	if st.Nodes == 0 {
+		return
+	}
+	n := float64(st.Nodes)
+	mean := float64(sumDeg) / n
 	st.MeanDegree = mean
+	variance := float64(sumSqDeg)/n - mean*mean
+	if variance < 0 {
+		variance = 0 // float cancellation on near-regular graphs
+	}
 	if mean > 0 {
-		st.DegreeSkew = sd / mean
+		st.DegreeSkew = math.Sqrt(variance) / mean
 	}
 	if st.Nodes > 1 {
 		st.Density = float64(st.Edges) / (n * (n - 1))
 	}
-	return st
 }
 
 // Thresholds of the Auto heuristic. They are deliberately few and

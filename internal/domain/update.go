@@ -1,0 +1,201 @@
+package domain
+
+import (
+	"fmt"
+
+	"parsge/internal/graph"
+)
+
+// Incremental index maintenance under edge updates.
+//
+// A node's NLF signatures depend only on its own adjacency rows, and
+// every endpoint of a changed arc is in the update's touched set — so
+// after an edge batch, only the touched vertices' signatures can
+// differ, and the rest are shared structurally with the previous index.
+// Node labels never change under edge updates (graph.EdgeUpdate cannot
+// add or relabel nodes), so the byLabel buckets and the label entropy
+// are carried over verbatim; the degree moments behind MeanDegree and
+// DegreeSkew are adjusted by exact integer deltas and re-derived
+// through the same fillDegreeStats pipeline a fresh build uses, which
+// is what makes the incremental stats bit-identical to a rebuild.
+
+// ApplyUpdates derives the index of newG from the index of oldG, where
+// newG = oldG.ApplyUpdates(batch) and touched is that call's changed
+// endpoint set. ix must be the index of oldG. The receiver is not
+// modified; untouched per-node state is shared between the two indexes.
+//
+// In exact NLF mode the result is bit-identical to NewIndexMode(newG,
+// mode) — the property the differential update battery pins with
+// IndexEqual. In compact mode the bucketed signatures are refolded for
+// the touched vertices; if the target's key alphabet outgrows a perfect
+// bucket assignment the whole compact table is rebuilt with hashed
+// buckets (still O(n), never a full stats/bucket rebuild). A compact
+// index maintained incrementally prunes identically, but may number its
+// alphabet differently from a fresh rebuild.
+func (ix *Index) ApplyUpdates(oldG, newG *graph.Graph, touched []int32) *Index {
+	nix := &Index{
+		byLabel: ix.byLabel, // node labels are immutable under edge updates
+		nt:      ix.nt,
+	}
+	sumDeg, sumSqDeg := ix.sumDeg, ix.sumSqDeg
+	for _, v := range touched {
+		od, nd := int64(oldG.Degree(v)), int64(newG.Degree(v))
+		sumDeg += nd - od
+		sumSqDeg += nd*nd - od*od
+	}
+	nix.sumDeg, nix.sumSqDeg = sumDeg, sumSqDeg
+	st := TargetStats{
+		Nodes:        ix.stats.Nodes,
+		Edges:        newG.NumEdges(),
+		Labels:       ix.stats.Labels,
+		LabelEntropy: ix.stats.LabelEntropy,
+	}
+	fillDegreeStats(&st, sumDeg, sumSqDeg)
+	nix.stats = st
+
+	if ix.cout != nil {
+		ix.applyCompactUpdates(nix, newG, touched)
+		return nix
+	}
+
+	nix.out = make([]nlfSig, ix.nt)
+	copy(nix.out, ix.out)
+	nix.in = make([]nlfSig, ix.nt)
+	copy(nix.in, ix.in)
+	var buf []uint64
+	for _, vt := range touched {
+		buf = appendNLFKeys(buf[:0], newG, newG.OutNeighbors(vt), newG.OutEdgeLabels(vt))
+		nix.out[vt] = buildNLFSig(buf)
+		buf = appendNLFKeys(buf[:0], newG, newG.InNeighbors(vt), newG.InEdgeLabels(vt))
+		nix.in[vt] = buildNLFSig(buf)
+	}
+	return nix
+}
+
+// applyCompactUpdates maintains the bucketed signature tables. Under a
+// perfect key→bucket assignment, added edges can introduce keys the
+// alphabet has never seen: while the array has room the assignment is
+// extended (on a cloned map — the old index may be serving queries),
+// past that the tables are rebuilt with hashed buckets. Keys that
+// removals made extinct are deliberately kept: a superset alphabet is
+// sound (a pattern key absent from the current graph folds to a bucket
+// every live candidate has at zero, emptying the domain exactly as the
+// "impossible" fast path would).
+func (ix *Index) applyCompactUpdates(nix *Index, newG *graph.Graph, touched []int32) {
+	var buf []uint64
+	if ix.keyBucket != nil {
+		fresh := make(map[uint64]struct{})
+		for _, vt := range touched {
+			buf = appendNLFKeys(buf[:0], newG, newG.OutNeighbors(vt), newG.OutEdgeLabels(vt))
+			buf = appendNLFKeys(buf, newG, newG.InNeighbors(vt), newG.InEdgeLabels(vt))
+			for _, k := range buf {
+				if _, ok := ix.keyBucket[k]; !ok {
+					fresh[k] = struct{}{}
+				}
+			}
+		}
+		if len(ix.keyBucket)+len(fresh) > compactBuckets {
+			// The alphabet outgrew the perfect assignment for good:
+			// rebuild the compact tables with hashed buckets.
+			nix.buildCompactNLF(newG)
+			return
+		}
+		kb := ix.keyBucket
+		if len(fresh) > 0 {
+			kb = make(map[uint64]int8, len(ix.keyBucket)+len(fresh))
+			for k, b := range ix.keyBucket {
+				kb[k] = b
+			}
+			for k := range fresh {
+				kb[k] = int8(len(kb))
+			}
+		}
+		nix.keyBucket = kb
+	}
+	nix.cout = make([]compactSig, ix.nt)
+	copy(nix.cout, ix.cout)
+	nix.cin = make([]compactSig, ix.nt)
+	copy(nix.cin, ix.cin)
+	for _, vt := range touched {
+		buf = appendNLFKeys(buf[:0], newG, newG.OutNeighbors(vt), newG.OutEdgeLabels(vt))
+		nix.cout[vt] = nix.foldCompact(buf)
+		buf = appendNLFKeys(buf[:0], newG, newG.InNeighbors(vt), newG.InEdgeLabels(vt))
+		nix.cin[vt] = nix.foldCompact(buf)
+	}
+}
+
+// IndexEqual compares two indexes for exact equality — label buckets,
+// cached statistics (including every float bit), NLF representation and
+// per-node signature contents. It returns a description of the first
+// difference for test diagnostics, or "" when equal. It is the oracle
+// relation of the incremental-vs-rebuild differential battery.
+func IndexEqual(a, b *Index) (bool, string) {
+	if a == nil || b == nil {
+		if a == b {
+			return true, ""
+		}
+		return false, "one index is nil"
+	}
+	if a.nt != b.nt {
+		return false, fmt.Sprintf("node count %d vs %d", a.nt, b.nt)
+	}
+	if a.stats != b.stats {
+		return false, fmt.Sprintf("stats %+v vs %+v", a.stats, b.stats)
+	}
+	if a.sumDeg != b.sumDeg || a.sumSqDeg != b.sumSqDeg {
+		return false, fmt.Sprintf("degree moments (%d,%d) vs (%d,%d)", a.sumDeg, a.sumSqDeg, b.sumDeg, b.sumSqDeg)
+	}
+	if len(a.byLabel) != len(b.byLabel) {
+		return false, fmt.Sprintf("label bucket count %d vs %d", len(a.byLabel), len(b.byLabel))
+	}
+	for l, av := range a.byLabel {
+		bv, ok := b.byLabel[l]
+		if !ok || len(av) != len(bv) {
+			return false, fmt.Sprintf("label %d bucket differs", l)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false, fmt.Sprintf("label %d bucket entry %d: %d vs %d", l, i, av[i], bv[i])
+			}
+		}
+	}
+	if (a.cout != nil) != (b.cout != nil) {
+		return false, "NLF representation differs (exact vs compact)"
+	}
+	if a.cout == nil {
+		for _, dir := range []struct {
+			name string
+			a, b []nlfSig
+		}{{"out", a.out, b.out}, {"in", a.in, b.in}} {
+			if len(dir.a) != len(dir.b) {
+				return false, fmt.Sprintf("%s signature table length %d vs %d", dir.name, len(dir.a), len(dir.b))
+			}
+			for v := range dir.a {
+				sa, sb := dir.a[v], dir.b[v]
+				if len(sa.keys) != len(sb.keys) {
+					return false, fmt.Sprintf("node %d %s signature: %d keys vs %d", v, dir.name, len(sa.keys), len(sb.keys))
+				}
+				for i := range sa.keys {
+					if sa.keys[i] != sb.keys[i] || sa.counts[i] != sb.counts[i] {
+						return false, fmt.Sprintf("node %d %s signature entry %d differs", v, dir.name, i)
+					}
+				}
+			}
+		}
+		return true, ""
+	}
+	if len(a.keyBucket) != len(b.keyBucket) {
+		return false, fmt.Sprintf("alphabet size %d vs %d", len(a.keyBucket), len(b.keyBucket))
+	}
+	for k, ab := range a.keyBucket {
+		if bb, ok := b.keyBucket[k]; !ok || ab != bb {
+			return false, fmt.Sprintf("key %#x bucket differs", k)
+		}
+	}
+	for v := range a.cout {
+		if a.cout[v] != b.cout[v] || a.cin[v] != b.cin[v] {
+			return false, fmt.Sprintf("node %d compact signature differs", v)
+		}
+	}
+	return true, ""
+}

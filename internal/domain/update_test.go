@@ -1,0 +1,196 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+
+	"parsge/internal/graph"
+)
+
+// randomGraph builds a random labeled graph with n nodes, ~m arcs and
+// labels drawn from [0, labels).
+func randomGraph(rng *rand.Rand, n, m, labels int) *graph.Graph {
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), graph.Label(rng.Intn(labels)))
+	}
+	return b.MustBuild()
+}
+
+func randomBatch(rng *rand.Rand, n, k, labels int) []graph.EdgeUpdate {
+	ups := make([]graph.EdgeUpdate, k)
+	for i := range ups {
+		ups[i] = graph.EdgeUpdate{
+			From:   int32(rng.Intn(n)),
+			To:     int32(rng.Intn(n)),
+			Label:  graph.Label(rng.Intn(labels)),
+			Remove: rng.Intn(2) == 0,
+		}
+	}
+	return ups
+}
+
+// TestIndexApplyUpdatesDifferential is the domain-level half of the
+// incremental-vs-rebuild battery: across random update sequences, the
+// incrementally-maintained exact-mode index must be IndexEqual —
+// signatures, label buckets, stats down to the float bits — to a
+// from-scratch NewIndexMode of the updated graph.
+func TestIndexApplyUpdatesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		g := randomGraph(rng, n, rng.Intn(3*n), 3)
+		ix := NewIndexMode(g, NLFExact)
+		for batch := 0; batch < 5; batch++ {
+			g2, touched, _, _, err := g.ApplyUpdates(randomBatch(rng, n, 1+rng.Intn(6), 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix2 := ix
+			if g2 != g {
+				ix2 = ix.ApplyUpdates(g, g2, touched)
+			}
+			rebuilt := NewIndexMode(g2, NLFExact)
+			if ok, diff := IndexEqual(ix2, rebuilt); !ok {
+				t.Fatalf("trial %d batch %d: incremental index differs from rebuild: %s", trial, batch, diff)
+			}
+			g, ix = g2, ix2
+		}
+	}
+}
+
+// TestIndexApplyUpdatesCompact checks the compact-mode maintenance: the
+// incrementally-maintained bucketed index must accept exactly the same
+// candidates as a fresh index over the updated graph (same computed
+// domains for random patterns), even though its alphabet numbering may
+// differ from a rebuild's.
+func TestIndexApplyUpdatesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(7)
+		g := randomGraph(rng, n, rng.Intn(3*n), 2)
+		ix := NewIndexMode(g, NLFCompact)
+		for batch := 0; batch < 4; batch++ {
+			g2, touched, _, _, err := g.ApplyUpdates(randomBatch(rng, n, 1+rng.Intn(5), 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix2 := ix
+			if g2 != g {
+				ix2 = ix.ApplyUpdates(g, g2, touched)
+			}
+			rebuilt := NewIndexMode(g2, NLFCompact)
+			// Stats must still be bit-identical (they don't depend on
+			// the alphabet numbering).
+			if ix2.stats != rebuilt.stats {
+				t.Fatalf("trial %d batch %d: compact stats %+v vs rebuild %+v", trial, batch, ix2.stats, rebuilt.stats)
+			}
+			pat := randomGraph(rng, 2+rng.Intn(3), 3, 2)
+			for _, sem := range []graph.Semantics{graph.SubgraphIso, graph.InducedIso, graph.Homomorphism} {
+				di := Compute(pat, g2, Options{Index: ix2, Semantics: sem})
+				dr := Compute(pat, g2, Options{Index: rebuilt, Semantics: sem})
+				for vp := int32(0); vp < int32(pat.NumNodes()); vp++ {
+					si, sr := di.Of(vp).Count(), dr.Of(vp).Count()
+					if si != sr {
+						t.Fatalf("trial %d batch %d sem %v: node %d domain %d vs rebuild %d", trial, batch, sem, vp, si, sr)
+					}
+				}
+			}
+			g, ix = g2, ix2
+		}
+	}
+}
+
+// TestIndexCompactAlphabetGrowth drives a perfect-assignment compact
+// index past compactBuckets distinct keys via updates and checks it
+// falls back to hashed buckets while still pruning soundly.
+func TestIndexCompactAlphabetGrowth(t *testing.T) {
+	// Start tiny: two nodes, one key.
+	b := graph.NewBuilder(4, 2)
+	for i := 0; i < 4; i++ {
+		b.AddNode(0)
+	}
+	b.AddEdge(0, 1, 0)
+	g := b.MustBuild()
+	ix := NewIndexMode(g, NLFCompact)
+	if !ix.NLFExactFallback() {
+		t.Fatal("tiny alphabet should get a perfect assignment")
+	}
+	// Each new edge label is a new (node label, edge label) key; push
+	// well past the bucket array.
+	var ups []graph.EdgeUpdate
+	for l := 1; l <= compactBuckets+2; l++ {
+		ups = append(ups, graph.EdgeUpdate{From: 2, To: 3, Label: graph.Label(l)})
+	}
+	g2, touched, _, _, err := g.ApplyUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2 := ix.ApplyUpdates(g, g2, touched)
+	if ix2.NLFExactFallback() {
+		t.Fatal("alphabet overflow should fall back to hashed buckets")
+	}
+	// Sound: a pattern needing one of the new keys keeps its valid
+	// candidate.
+	pb := graph.NewBuilder(2, 1)
+	pb.AddNode(0)
+	pb.AddNode(0)
+	pb.AddEdge(0, 1, graph.Label(compactBuckets+2))
+	pat := pb.MustBuild()
+	d := Compute(pat, g2, Options{Index: ix2})
+	if !d.Of(0).Test(2) {
+		t.Fatal("hashed-bucket fallback pruned the valid candidate")
+	}
+	// The old index must be untouched (it may be serving queries).
+	if !ix.NLFExactFallback() {
+		t.Fatal("ApplyUpdates mutated the receiver's alphabet")
+	}
+}
+
+// TestIndexApplyUpdatesSharing pins the structural-sharing contract:
+// untouched nodes' signatures are shared with the previous index, and
+// byLabel is carried over as-is.
+func TestIndexApplyUpdatesSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := randomGraph(rng, 8, 16, 3)
+	ix := NewIndexMode(g, NLFExact)
+	g2, touched, _, _, err := g.ApplyUpdates([]graph.EdgeUpdate{{From: 0, To: 1, Label: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2 := ix.ApplyUpdates(g, g2, touched)
+	tset := map[int32]bool{}
+	for _, v := range touched {
+		tset[v] = true
+	}
+	for v := 0; v < 8; v++ {
+		if tset[int32(v)] {
+			continue
+		}
+		if len(ix.out[v].keys) > 0 && &ix.out[v].keys[0] != &ix2.out[v].keys[0] {
+			t.Fatalf("untouched node %d out signature was copied, not shared", v)
+		}
+	}
+	if &ix.byLabel == nil || len(ix2.byLabel) != len(ix.byLabel) {
+		t.Fatal("byLabel not carried over")
+	}
+}
+
+// TestStatsDeterminism: StatsOf must be bit-for-bit reproducible across
+// calls (sorted-order entropy, integer degree moments) — the property
+// incremental maintenance relies on.
+func TestStatsDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(20), rng.Intn(60), 5)
+		a := StatsOf(g)
+		for i := 0; i < 5; i++ {
+			if b := StatsOf(g); a != b {
+				t.Fatalf("StatsOf not deterministic: %+v vs %+v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeUpdate is one mutation of a graph's edge multiset: an arc to add
+// or (with Remove set) one matching arc to remove. Updates address arcs
+// by their full (From, To, Label) triple; with parallel edges present,
+// a removal consumes exactly one copy of the triple. Node sets and node
+// labels are immutable — an update batch can rewire a graph but never
+// grow or relabel it (the invariant that keeps per-node scratch arenas
+// and label buckets valid across updates).
+type EdgeUpdate struct {
+	From, To int32
+	Label    Label
+	Remove   bool
+}
+
+// ApplyUpdates applies a batch of edge updates and returns the
+// resulting graph, leaving g untouched (persistent-structure style: the
+// two graphs share node labels and the adjacency rows of unaffected
+// vertices' storage is rebuilt only where needed).
+//
+// The batch is applied in order with multiset semantics:
+//
+//   - an add always contributes one arc (parallel duplicates are legal,
+//     exactly as with Builder.AddEdge) — unless it restores an arc a
+//     prior update in the same batch removed, in which case the two
+//     cancel;
+//   - a remove first cancels a pending add of the same triple from this
+//     batch, then consumes one copy present in g, and otherwise is a
+//     no-op (removing an absent arc is not an error — callers replaying
+//     update streams must tolerate duplicates).
+//
+// Returns the new graph, the sorted distinct endpoints of all arcs that
+// actually changed (empty when the batch had no net effect, in which
+// case the returned graph is g itself), the number of arcs added plus
+// removed net of cancellation, and the number of no-op removals. An
+// update referencing a node outside [0, NumNodes()) fails the whole
+// batch; no partial application is visible.
+func (g *Graph) ApplyUpdates(updates []EdgeUpdate) (*Graph, []int32, int, int, error) {
+	n := int32(g.NumNodes())
+	for i, u := range updates {
+		if u.From < 0 || u.From >= n || u.To < 0 || u.To >= n {
+			return nil, nil, 0, 0, fmt.Errorf("graph: update %d: edge (%d,%d) references missing node (n=%d)", i, u.From, u.To, n)
+		}
+	}
+
+	adds := make(map[Edge]int)
+	removes := make(map[Edge]int)
+	base := make(map[Edge]int) // memoized multiplicity of the triple in g
+	multiplicity := func(e Edge) int {
+		if c, ok := base[e]; ok {
+			return c
+		}
+		c := g.countArcs(e.From, e.To, e.Label)
+		base[e] = c
+		return c
+	}
+	noops := 0
+	for _, u := range updates {
+		e := Edge{From: u.From, To: u.To, Label: u.Label}
+		if !u.Remove {
+			if removes[e] > 0 {
+				removes[e]-- // restores a copy removed earlier in the batch
+			} else {
+				adds[e]++
+			}
+			continue
+		}
+		switch {
+		case adds[e] > 0:
+			adds[e]-- // cancels a pending add from this batch
+		case removes[e] < multiplicity(e):
+			removes[e]++
+		default:
+			noops++ // the triple is absent: nothing to remove
+		}
+	}
+
+	// Net effect per direction: which rows must be rebuilt and by how
+	// much their degree changes.
+	applied := 0
+	outDelta := make(map[int32]int) // From endpoints (out-rows)
+	inDelta := make(map[int32]int)  // To endpoints (in-rows)
+	touchedSet := make(map[int32]struct{})
+	for e, c := range adds {
+		if c <= 0 {
+			continue
+		}
+		applied += c
+		outDelta[e.From] += c
+		inDelta[e.To] += c
+		touchedSet[e.From] = struct{}{}
+		touchedSet[e.To] = struct{}{}
+	}
+	for e, c := range removes {
+		if c <= 0 {
+			continue
+		}
+		applied += c
+		outDelta[e.From] -= c
+		inDelta[e.To] -= c
+		touchedSet[e.From] = struct{}{}
+		touchedSet[e.To] = struct{}{}
+	}
+	if len(touchedSet) == 0 {
+		return g, nil, 0, noops, nil
+	}
+	touched := make([]int32, 0, len(touchedSet))
+	for v := range touchedSet {
+		touched = append(touched, v)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+
+	netAdds, netRems := 0, 0
+	for _, c := range adds {
+		netAdds += c
+	}
+	for _, c := range removes {
+		netRems += c
+	}
+	g2 := &Graph{
+		nodeLabels: g.nodeLabels, // immutable, shared
+		numEdges:   g.numEdges + netAdds - netRems,
+	}
+	g2.outStart, g2.outAdj, g2.outLab = g.rebuildDirection(adds, removes, outDelta, false)
+	g2.inStart, g2.inAdj, g2.inLab = g.rebuildDirection(adds, removes, inDelta, true)
+	return g2, touched, applied, noops, nil
+}
+
+// countArcs returns the multiplicity of the (u, v, l) triple in g's
+// edge multiset. The sorted out-row makes the (u, v) run O(log deg) to
+// locate.
+func (g *Graph) countArcs(u, v int32, l Label) int {
+	adj := g.OutNeighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	labs := g.OutEdgeLabels(u)
+	c := 0
+	for ; i < len(adj) && adj[i] == v; i++ {
+		if labs[i] == l {
+			c++
+		}
+	}
+	return c
+}
+
+// rebuildDirection produces one direction of the updated CSR: untouched
+// rows are copied verbatim, touched rows are filtered of their removed
+// arcs, extended with the added ones, and re-sorted by (neighbor id,
+// edge label) — a deterministic order regardless of map iteration.
+func (g *Graph) rebuildDirection(adds, removes map[Edge]int, delta map[int32]int, reverse bool) ([]int32, []int32, []Label) {
+	n := int32(g.NumNodes())
+	oldStart, oldAdj, oldLab := g.outStart, g.outAdj, g.outLab
+	if reverse {
+		oldStart, oldAdj, oldLab = g.inStart, g.inAdj, g.inLab
+	}
+	src := func(e Edge) int32 {
+		if reverse {
+			return e.To
+		}
+		return e.From
+	}
+	dst := func(e Edge) int32 {
+		if reverse {
+			return e.From
+		}
+		return e.To
+	}
+	// Per-row pending work, keyed by the row (source endpoint in this
+	// direction).
+	type rowEdit struct {
+		add []Edge // arcs to append (triples, possibly repeated)
+		rem map[Edge]int
+	}
+	edits := make(map[int32]*rowEdit, len(delta))
+	editOf := func(v int32) *rowEdit {
+		e := edits[v]
+		if e == nil {
+			e = &rowEdit{}
+			edits[v] = e
+		}
+		return e
+	}
+	for e, c := range adds {
+		if c <= 0 {
+			continue
+		}
+		ed := editOf(src(e))
+		for i := 0; i < c; i++ {
+			ed.add = append(ed.add, e)
+		}
+	}
+	for e, c := range removes {
+		if c <= 0 {
+			continue
+		}
+		ed := editOf(src(e))
+		if ed.rem == nil {
+			ed.rem = make(map[Edge]int)
+		}
+		ed.rem[e] = c
+	}
+
+	start := make([]int32, n+1)
+	for v := int32(0); v < n; v++ {
+		start[v+1] = start[v] + (oldStart[v+1] - oldStart[v]) + int32(delta[v])
+	}
+	adj := make([]int32, start[n])
+	lab := make([]Label, start[n])
+	for v := int32(0); v < n; v++ {
+		lo, hi := start[v], start[v+1]
+		ed := edits[v]
+		if ed == nil {
+			copy(adj[lo:hi], oldAdj[oldStart[v]:oldStart[v+1]])
+			copy(lab[lo:hi], oldLab[oldStart[v]:oldStart[v+1]])
+			continue
+		}
+		row := adj[lo:lo]
+		rowLab := lab[lo:lo]
+		for i := oldStart[v]; i < oldStart[v+1]; i++ {
+			var e Edge
+			if reverse {
+				e = Edge{From: oldAdj[i], To: v, Label: oldLab[i]}
+			} else {
+				e = Edge{From: v, To: oldAdj[i], Label: oldLab[i]}
+			}
+			if ed.rem[e] > 0 {
+				ed.rem[e]--
+				continue
+			}
+			row = append(row, oldAdj[i])
+			rowLab = append(rowLab, oldLab[i])
+		}
+		for _, e := range ed.add {
+			row = append(row, dst(e))
+			rowLab = append(rowLab, e.Label)
+		}
+		sort.Sort(&labeledRowSorter{row, rowLab})
+	}
+	return start, adj, lab
+}
+
+// labeledRowSorter orders a rebuilt row by (neighbor id, edge label):
+// the neighbor order every consumer requires, with the label tiebreak
+// making update application fully deterministic (buildCSR's plain
+// neighbor sort leaves parallel-edge label order to sort.Sort's whims,
+// which is fine for fresh builds but would make incremental and rebuilt
+// graphs gratuitously diverge).
+type labeledRowSorter struct {
+	adj []int32
+	lab []Label
+}
+
+func (r *labeledRowSorter) Len() int { return len(r.adj) }
+func (r *labeledRowSorter) Less(i, j int) bool {
+	if r.adj[i] != r.adj[j] {
+		return r.adj[i] < r.adj[j]
+	}
+	return r.lab[i] < r.lab[j]
+}
+func (r *labeledRowSorter) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.lab[i], r.lab[j] = r.lab[j], r.lab[i]
+}

@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// edgeMultiset renders a graph's edge multiset in a canonical order so
+// two graphs can be compared for equality regardless of row-internal
+// storage order.
+func edgeMultiset(g *Graph) []Edge {
+	es := g.Edges()
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Label < b.Label
+	})
+	return es
+}
+
+func sameEdges(t *testing.T, got, want *Graph) {
+	t.Helper()
+	ge, we := edgeMultiset(got), edgeMultiset(want)
+	if len(ge) != len(we) {
+		t.Fatalf("edge count: got %d, want %d", len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, ge[i], we[i])
+		}
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges: got %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+}
+
+// rebuild applies updates to the edge list by brute force and rebuilds
+// via Builder — the oracle ApplyUpdates is held to.
+func rebuild(t *testing.T, g *Graph, ups []EdgeUpdate) *Graph {
+	t.Helper()
+	edges := g.Edges()
+	for _, u := range ups {
+		e := Edge{From: u.From, To: u.To, Label: u.Label}
+		if !u.Remove {
+			edges = append(edges, e)
+			continue
+		}
+		for i, ex := range edges {
+			if ex == e {
+				edges[i] = edges[len(edges)-1]
+				edges = edges[:len(edges)-1]
+				break
+			}
+		}
+	}
+	b := NewBuilder(g.NumNodes(), len(edges))
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		b.AddNode(g.NodeLabel(v))
+	}
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.Label)
+	}
+	ng, err := b.Build()
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	return ng
+}
+
+func baseGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5, 8)
+	for i := 0; i < 5; i++ {
+		b.AddNode(Label(i % 2))
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 0, 2)
+	b.AddEdge(0, 0, 3) // self-loop
+	b.AddEdge(0, 1, 1) // parallel duplicate of (0,1,1)
+	b.AddEdge(0, 1, 2) // parallel with a different label
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyUpdatesBasic(t *testing.T) {
+	g := baseGraph(t)
+	ups := []EdgeUpdate{
+		{From: 1, To: 3, Label: 4},               // new arc
+		{From: 0, To: 1, Label: 1, Remove: true}, // one of the two parallels
+		{From: 2, To: 3, Label: 1, Remove: true},
+	}
+	g2, touched, applied, noops, err := g.ApplyUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 || noops != 0 {
+		t.Fatalf("applied=%d noops=%d, want 3/0", applied, noops)
+	}
+	wantTouched := []int32{0, 1, 2, 3}
+	if len(touched) != len(wantTouched) {
+		t.Fatalf("touched %v, want %v", touched, wantTouched)
+	}
+	for i := range touched {
+		if touched[i] != wantTouched[i] {
+			t.Fatalf("touched %v, want %v", touched, wantTouched)
+		}
+	}
+	sameEdges(t, g2, rebuild(t, g, ups))
+	// The original is untouched.
+	if g.NumEdges() != 8 || !g.HasEdgeLabeled(2, 3, 1) {
+		t.Fatal("ApplyUpdates mutated the receiver")
+	}
+	// One parallel copy of (0,1,1) must remain.
+	if g2.countArcs(0, 1, 1) != 1 {
+		t.Fatalf("parallel multiplicity after removal: %d, want 1", g2.countArcs(0, 1, 1))
+	}
+}
+
+func TestApplyUpdatesNoopAndCancellation(t *testing.T) {
+	g := baseGraph(t)
+
+	// Removing an absent arc is a counted no-op.
+	g2, touched, applied, noops, err := g.ApplyUpdates([]EdgeUpdate{
+		{From: 1, To: 0, Label: 9, Remove: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatal("no-net-effect batch should return the receiver")
+	}
+	if len(touched) != 0 || applied != 0 || noops != 1 {
+		t.Fatalf("touched=%v applied=%d noops=%d", touched, applied, noops)
+	}
+
+	// add then remove of the same triple cancels to nothing.
+	g2, touched, applied, noops, err = g.ApplyUpdates([]EdgeUpdate{
+		{From: 1, To: 0, Label: 9},
+		{From: 1, To: 0, Label: 9, Remove: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g || len(touched) != 0 || applied != 0 || noops != 0 {
+		t.Fatalf("cancelled batch: touched=%v applied=%d noops=%d same=%v", touched, applied, noops, g2 == g)
+	}
+
+	// remove then re-add restores the arc: net zero.
+	g2, _, _, _, err = g.ApplyUpdates([]EdgeUpdate{
+		{From: 1, To: 2, Label: 2, Remove: true},
+		{From: 1, To: 2, Label: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatal("remove+re-add should cancel to the receiver")
+	}
+
+	// Removing both parallel copies works; a third removal is a no-op.
+	g2, _, applied, noops, err = g.ApplyUpdates([]EdgeUpdate{
+		{From: 0, To: 1, Label: 1, Remove: true},
+		{From: 0, To: 1, Label: 1, Remove: true},
+		{From: 0, To: 1, Label: 1, Remove: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 || noops != 1 {
+		t.Fatalf("applied=%d noops=%d, want 2/1", applied, noops)
+	}
+	if g2.countArcs(0, 1, 1) != 0 || !g2.HasEdgeLabeled(0, 1, 2) {
+		t.Fatal("wrong copies removed")
+	}
+}
+
+func TestApplyUpdatesValidation(t *testing.T) {
+	g := baseGraph(t)
+	for _, bad := range []EdgeUpdate{
+		{From: -1, To: 0},
+		{From: 0, To: 5},
+		{From: 7, To: 7, Remove: true},
+	} {
+		if _, _, _, _, err := g.ApplyUpdates([]EdgeUpdate{{From: 0, To: 1, Label: 9}, bad}); err == nil {
+			t.Fatalf("update %+v: expected error", bad)
+		}
+	}
+	// A failed batch must not partially apply.
+	if g.countArcs(0, 1, 9) != 0 {
+		t.Fatal("failed batch leaked an edge")
+	}
+}
+
+func TestApplyUpdatesSelfLoops(t *testing.T) {
+	g := baseGraph(t)
+	ups := []EdgeUpdate{
+		{From: 0, To: 0, Label: 3, Remove: true},
+		{From: 2, To: 2, Label: 5},
+	}
+	g2, touched, _, _, err := g.ApplyUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(touched) != 2 || touched[0] != 0 || touched[1] != 2 {
+		t.Fatalf("touched=%v, want [0 2]", touched)
+	}
+	sameEdges(t, g2, rebuild(t, g, ups))
+}
+
+// TestApplyUpdatesRandom holds ApplyUpdates to the brute-force
+// edge-list oracle over random batches, including chains of batches
+// (each applied to the previous incremental result).
+func TestApplyUpdatesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(7)
+		b := NewBuilder(n, 0)
+		for i := 0; i < n; i++ {
+			b.AddNode(Label(rng.Intn(3)))
+		}
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), Label(rng.Intn(3)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, oracle := g, g
+		for batch := 0; batch < 4; batch++ {
+			k := 1 + rng.Intn(6)
+			ups := make([]EdgeUpdate, k)
+			for i := range ups {
+				ups[i] = EdgeUpdate{
+					From:   int32(rng.Intn(n)),
+					To:     int32(rng.Intn(n)),
+					Label:  Label(rng.Intn(3)),
+					Remove: rng.Intn(2) == 0,
+				}
+			}
+			next, touched, _, _, err := cur.ApplyUpdates(ups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle = rebuild(t, oracle, ups)
+			sameEdges(t, next, oracle)
+			// Rows of untouched vertices are identical.
+			tset := make(map[int32]bool)
+			for _, v := range touched {
+				tset[v] = true
+			}
+			for v := int32(0); v < int32(n); v++ {
+				if tset[v] {
+					continue
+				}
+				if next.OutDegree(v) != cur.OutDegree(v) || next.InDegree(v) != cur.InDegree(v) {
+					t.Fatalf("trial %d: untouched node %d changed degree", trial, v)
+				}
+			}
+			cur = next
+		}
+	}
+}

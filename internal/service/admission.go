@@ -27,17 +27,29 @@ var (
 // machine is never oversubscribed: the sum of held tokens never exceeds
 // the budget, whatever mix of query sizes is in flight.
 //
-// Waiting is FIFO with two overload valves: a queue-length bound (shed
-// immediately once exceeded — ErrOverloaded) and a per-query wait bound
-// (ErrQueueTimeout). FIFO means a large query at the head blocks smaller
-// ones behind it until its tokens fit; that head-of-line blocking is
-// deliberate — skipping ahead would starve large queries under a steady
-// trickle of small ones.
+// Waiters queue per *class* (a Router runs one class per target; a
+// standalone Service uses a single class), FIFO within a class, and
+// grants rotate round-robin across classes — so one target's request
+// flood cannot starve its siblings: each release hands the next slot to
+// the next class in rotation, head-of-queue first. With a single class
+// the rotation is a no-op and the discipline is exactly plain FIFO.
+//
+// Two overload valves apply across all classes: a total queue-length
+// bound (shed immediately once exceeded — ErrOverloaded) and a
+// per-query wait bound (ErrQueueTimeout). Within the rotation, a head
+// whose token demand does not fit freezes further grants until tokens
+// free up: that head-of-line reservation is deliberate — skipping ahead
+// would starve large queries under a steady trickle of small ones, and
+// the rotation guarantees every class's head gets its turn as the
+// frozen head.
 type admission struct {
 	mu       sync.Mutex
 	capacity int64
 	inUse    int64
-	queue    *list.List // of *waiter, FIFO
+	queues   map[string]*list.List // per class, of *waiter, FIFO
+	order    []string              // round-robin rotation of classes with waiters
+	rr       int                   // next rotation position to serve
+	queued   int                   // total waiters across classes
 	maxQueue int
 
 	granted, shed, timedOut int64
@@ -45,33 +57,43 @@ type admission struct {
 }
 
 type waiter struct {
+	class   string
 	need    int64
 	ready   chan struct{} // closed on grant, with w.granted set
 	granted bool          // guarded by admission.mu
 }
 
 func newAdmission(capacity int64, maxQueue int) *admission {
-	return &admission{capacity: capacity, maxQueue: maxQueue, queue: list.New()}
+	return &admission{capacity: capacity, maxQueue: maxQueue, queues: make(map[string]*list.List)}
 }
 
 // acquire blocks until need tokens are granted, the context fires, the
 // queue timeout elapses, or the queue is full on arrival. It returns the
 // time spent waiting. need is clamped to the capacity by the caller.
-func (a *admission) acquire(ctx context.Context, need int64, timeout time.Duration) (time.Duration, error) {
+func (a *admission) acquire(ctx context.Context, class string, need int64, timeout time.Duration) (time.Duration, error) {
 	a.mu.Lock()
-	if a.queue.Len() == 0 && a.inUse+need <= a.capacity {
+	if a.queued == 0 && a.inUse+need <= a.capacity {
 		a.inUse += need
 		a.granted++
 		a.mu.Unlock()
 		return 0, nil
 	}
-	if a.queue.Len() >= a.maxQueue {
+	if a.queued >= a.maxQueue {
 		a.shed++
 		a.mu.Unlock()
 		return 0, ErrOverloaded
 	}
-	w := &waiter{need: need, ready: make(chan struct{})}
-	el := a.queue.PushBack(w)
+	q := a.queues[class]
+	if q == nil {
+		q = list.New()
+		a.queues[class] = q
+	}
+	if q.Len() == 0 {
+		a.order = append(a.order, class)
+	}
+	w := &waiter{class: class, need: need, ready: make(chan struct{})}
+	el := q.PushBack(w)
+	a.queued++
 	a.mu.Unlock()
 
 	start := time.Now()
@@ -100,9 +122,9 @@ func (a *admission) acquire(ctx context.Context, need int64, timeout time.Durati
 	}
 }
 
-// abandon removes an un-granted waiter from the queue. If the grant
-// raced the abandonment (ready closed between the select firing and the
-// lock being taken), the tokens are handed straight back.
+// abandon removes an un-granted waiter from its class queue. If the
+// grant raced the abandonment (ready closed between the select firing
+// and the lock being taken), the tokens are handed straight back.
 func (a *admission) abandon(el *list.Element, w *waiter) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -111,10 +133,18 @@ func (a *admission) abandon(el *list.Element, w *waiter) {
 		a.grantLocked()
 		return
 	}
-	a.queue.Remove(el)
+	q := a.queues[w.class]
+	q.Remove(el)
+	a.queued--
+	if q.Len() == 0 {
+		a.dropClassLocked(w.class)
+	}
+	// The abandoned waiter may have been the frozen head reserving
+	// capacity; whoever is behind it may fit now.
+	a.grantLocked()
 }
 
-// release returns tokens and wakes queued waiters in FIFO order.
+// release returns tokens and wakes queued waiters.
 func (a *admission) release(need int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -122,14 +152,44 @@ func (a *admission) release(need int64) {
 	a.grantLocked()
 }
 
-// grantLocked admits queue heads while their token demand fits.
+// dropClassLocked removes an empty class from the rotation, keeping the
+// rr position pointed at the same next class.
+func (a *admission) dropClassLocked(class string) {
+	for i, c := range a.order {
+		if c != class {
+			continue
+		}
+		a.order = append(a.order[:i], a.order[i+1:]...)
+		if a.rr > i {
+			a.rr--
+		}
+		if len(a.order) > 0 {
+			a.rr %= len(a.order)
+		} else {
+			a.rr = 0
+		}
+		return
+	}
+}
+
+// grantLocked admits class heads round-robin while their token demand
+// fits; the first head that does not fit freezes further grants
+// (capacity is reserved for it — see the type comment).
 func (a *admission) grantLocked() {
-	for a.queue.Len() > 0 {
-		w := a.queue.Front().Value.(*waiter)
+	for a.queued > 0 {
+		cls := a.order[a.rr%len(a.order)]
+		q := a.queues[cls]
+		w := q.Front().Value.(*waiter)
 		if a.inUse+w.need > a.capacity {
 			return
 		}
-		a.queue.Remove(a.queue.Front())
+		q.Remove(q.Front())
+		a.queued--
+		if q.Len() == 0 {
+			a.dropClassLocked(cls)
+		} else {
+			a.rr = (a.rr + 1) % len(a.order)
+		}
 		a.inUse += w.need
 		a.granted++
 		w.granted = true
@@ -141,5 +201,5 @@ func (a *admission) grantLocked() {
 func (a *admission) load() (inUse int64, queued int, granted, shed, timedOut int64, totalWait time.Duration) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.inUse, a.queue.Len(), a.granted, a.shed, a.timedOut, a.totalWait
+	return a.inUse, a.queued, a.granted, a.shed, a.timedOut, a.totalWait
 }

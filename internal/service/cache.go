@@ -49,6 +49,11 @@ type entry struct {
 	key      string
 	res      parsge.Result // the complete run that populated the entry (never TimedOut)
 	mappings [][]int32     // canonical numbering; nil with !hasMappings
+	// epoch is res.Epoch: the target mutation epoch the entry's run
+	// executed against. A lookup at a different epoch treats the entry
+	// as stale and evicts it (see get) — the cache can never serve a
+	// result computed on a superseded graph version.
+	epoch uint64
 	// hasMappings distinguishes "cached zero mappings" (a complete
 	// empty result set) from a count-only entry.
 	hasMappings bool
@@ -91,15 +96,25 @@ func newCache(maxCost int64) *cache {
 	return &cache{maxCost: maxCost, byKey: make(map[string]*list.Element), lru: list.New()}
 }
 
-// get returns the entry for key if present and sufficient: a count-only
-// entry cannot serve a request that needs mappings (it reports a miss,
-// and the subsequent put upgrades the entry).
-func (c *cache) get(key string, needMappings bool) (*entry, bool) {
+// get returns the entry for key if present, current, and sufficient: an
+// entry from a different target mutation epoch is stale — it is evicted
+// on sight and the lookup misses — and a count-only entry cannot serve
+// a request that needs mappings (it reports a miss, and the subsequent
+// put upgrades the entry).
+func (c *cache) get(key string, needMappings bool, epoch uint64) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if ok {
 		e := el.Value.(*entry)
+		if e.epoch != epoch {
+			c.lru.Remove(el)
+			delete(c.byKey, e.key)
+			c.cost -= e.cost
+			c.evictions++
+			c.misses++
+			return nil, false
+		}
 		if !needMappings || e.hasMappings {
 			c.lru.MoveToFront(el)
 			c.hits++
@@ -115,6 +130,7 @@ func (c *cache) get(key string, needMappings bool) (*entry, bool) {
 // hold them outside the lock — so an upgrade replaces the element.
 func (c *cache) put(e *entry) {
 	e.cost = entryCost(e)
+	e.epoch = e.res.Epoch
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.maxCost <= 0 || e.cost > c.maxCost {
@@ -122,8 +138,11 @@ func (c *cache) put(e *entry) {
 	}
 	if old, ok := c.byKey[e.key]; ok {
 		oe := old.Value.(*entry)
-		if oe.hasMappings && !e.hasMappings {
-			// Never downgrade a mapping entry to a count-only one.
+		if oe.hasMappings && !e.hasMappings && oe.epoch == e.epoch {
+			// Never downgrade a same-epoch mapping entry to a count-only
+			// one. Across epochs the new entry always replaces — if a
+			// straggler reinstates a superseded epoch, get evicts it on
+			// the next current-epoch lookup.
 			c.lru.MoveToFront(old)
 			return
 		}

@@ -207,16 +207,16 @@ func TestCacheLRU(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		c.put(mk(i))
 	}
-	if _, ok := c.get("k0", false); !ok {
+	if _, ok := c.get("k0", false, 0); !ok {
 		t.Fatal("k0 evicted under budget")
 	}
 	// k0 is now most recent; inserting k3 must evict k1 (the coldest).
 	c.put(mk(3))
-	if _, ok := c.get("k1", false); ok {
+	if _, ok := c.get("k1", false, 0); ok {
 		t.Fatal("k1 survived past the budget")
 	}
 	for _, want := range []string{"k0", "k2", "k3"} {
-		if _, ok := c.get(want, false); !ok {
+		if _, ok := c.get(want, false, 0); !ok {
 			t.Fatalf("%s missing", want)
 		}
 	}
@@ -226,13 +226,13 @@ func TestCacheLRU(t *testing.T) {
 	// An entry alone exceeding the budget is refused outright.
 	big := &entry{key: "big", hasMappings: true, mappings: make([][]int32, 64)}
 	c.put(big)
-	if _, ok := c.get("big", false); ok {
+	if _, ok := c.get("big", false, 0); ok {
 		t.Fatal("over-budget entry was cached")
 	}
 	// Disabled cache accepts nothing.
 	d := newCache(0)
 	d.put(mk(0))
-	if _, ok := d.get("k0", false); ok {
+	if _, ok := d.get("k0", false, 0); ok {
 		t.Fatal("disabled cache served an entry")
 	}
 }
@@ -243,19 +243,19 @@ func TestCacheLRU(t *testing.T) {
 func TestCacheCountOnlyUpgrade(t *testing.T) {
 	c := newCache(100)
 	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}})
-	if _, ok := c.get("k", false); !ok {
+	if _, ok := c.get("k", false, 0); !ok {
 		t.Fatal("count-only entry does not serve counts")
 	}
-	if _, ok := c.get("k", true); ok {
+	if _, ok := c.get("k", true, 0); ok {
 		t.Fatal("count-only entry served a mappings request")
 	}
 	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}, hasMappings: true, mappings: [][]int32{{0}, {1}}})
-	e, ok := c.get("k", true)
+	e, ok := c.get("k", true, 0)
 	if !ok || len(e.mappings) != 2 {
 		t.Fatal("upgrade failed")
 	}
 	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}})
-	if e, ok := c.get("k", true); !ok || !e.hasMappings {
+	if e, ok := c.get("k", true, 0); !ok || !e.hasMappings {
 		t.Fatal("count-only put downgraded a mappings entry")
 	}
 }

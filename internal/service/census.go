@@ -17,11 +17,12 @@ import (
 //     vertex, so it takes the full parallel-pool token grant
 //     (ParallelWorkers) like the biggest pattern queries do; small
 //     queries keep flowing around it under the weighted-FIFO discipline.
-//   - Caching: the target is immutable for the life of the Service, so
-//     a complete census at one K never goes stale — a tiny per-K map
-//     (at most MaxCensusK−MinCensusK+1 entries) replaces the LRU, and
-//     per-K singleflight collapses concurrent identical requests onto
-//     one run.
+//   - Caching: a complete census at one K is immutable for the life of
+//     a graph version, so a tiny map keyed (K, mutation epoch) replaces
+//     the LRU — entries of superseded epochs are evicted on sight, and
+//     per-(K, epoch) singleflight collapses concurrent identical
+//     requests onto one run without ever latching a post-update request
+//     onto a pre-update leader.
 //   - Observability: runs are recorded by Target.Census into the plan
 //     histogram under "census:k=<K>", and the service counts census
 //     requests next to its query counters.
@@ -46,6 +47,15 @@ type CensusReply struct {
 	CacheHit, Shared bool
 	// QueueWait is the time spent in the admission queue.
 	QueueWait time.Duration
+}
+
+// censusID identifies one census computation: the subgraph size at one
+// target mutation epoch. Keying cache and singleflight by the pair is
+// what makes updates safe — a request after ApplyUpdates uses a fresh
+// ID and cannot see (or join) pre-update state.
+type censusID struct {
+	k     int
+	epoch uint64
 }
 
 // censusFlight is one in-flight census identical requests rendezvous on.
@@ -76,7 +86,8 @@ func (s *Service) Census(ctx context.Context, req CensusRequest) (CensusReply, e
 	// stops deduplicating so a perpetually-timing-out leader cannot
 	// livelock its followers.
 	for attempt := 0; ; attempt++ {
-		if res := s.censusGet(req.K); res != nil {
+		id := censusID{k: req.K, epoch: s.tgt.Epoch()}
+		if res := s.censusGet(id); res != nil {
 			return CensusReply{Result: *res, CacheHit: true}, nil
 		}
 		if ctx.Err() != nil {
@@ -84,7 +95,7 @@ func (s *Service) Census(ctx context.Context, req CensusRequest) (CensusReply, e
 		}
 
 		s.censusMu.Lock()
-		if f := s.censusFlights[req.K]; f != nil && attempt < 3 {
+		if f := s.censusFlights[id]; f != nil && attempt < 3 {
 			s.censusMu.Unlock()
 			select {
 			case <-f.done:
@@ -109,17 +120,17 @@ func (s *Service) Census(ctx context.Context, req CensusRequest) (CensusReply, e
 		var f *censusFlight
 		if attempt < 3 {
 			if s.censusFlights == nil {
-				s.censusFlights = make(map[int]*censusFlight)
+				s.censusFlights = make(map[censusID]*censusFlight)
 			}
 			f = &censusFlight{done: make(chan struct{})}
-			s.censusFlights[req.K] = f
+			s.censusFlights[id] = f
 		}
 		s.censusMu.Unlock()
 
 		reply, res, err := s.runCensusLeader(ctx, req)
 		if f != nil {
 			s.censusMu.Lock()
-			delete(s.censusFlights, req.K)
+			delete(s.censusFlights, id)
 			s.censusMu.Unlock()
 			f.res, f.err = res, err
 			close(f.done)
@@ -136,7 +147,7 @@ func (s *Service) Census(ctx context.Context, req CensusRequest) (CensusReply, e
 // life of the service.
 func (s *Service) runCensusLeader(ctx context.Context, req CensusRequest) (CensusReply, *parsge.CensusResult, error) {
 	need := int64(s.cfg.ParallelWorkers)
-	waited, err := s.adm.acquire(ctx, need, s.cfg.QueueTimeout)
+	waited, err := s.adm.acquire(ctx, s.cls, need, s.cfg.QueueTimeout)
 	if err != nil {
 		return CensusReply{}, nil, err
 	}
@@ -163,15 +174,22 @@ func (s *Service) runCensusLeader(ctx context.Context, req CensusRequest) (Censu
 		// not a result identical requests may reuse.
 		return reply, nil, nil
 	}
-	s.censusPut(req.K, &res)
+	s.censusPut(&res)
 	return reply, &res, nil
 }
 
-// censusGet returns the cached complete census for k, or nil.
-func (s *Service) censusGet(k int) *parsge.CensusResult {
+// censusGet returns the cached complete census for id, or nil. Entries
+// of other epochs at the same K are superseded graph versions — evicted
+// here, never returned.
+func (s *Service) censusGet(id censusID) *parsge.CensusResult {
 	s.censusMu.Lock()
 	defer s.censusMu.Unlock()
-	res := s.censusCache[k]
+	for old := range s.censusCache {
+		if old.k == id.k && old.epoch != id.epoch {
+			delete(s.censusCache, old)
+		}
+	}
+	res := s.censusCache[id]
 	if res != nil {
 		s.censusHits++
 	} else {
@@ -180,13 +198,15 @@ func (s *Service) censusGet(k int) *parsge.CensusResult {
 	return res
 }
 
-// censusPut caches a complete census. The target is immutable, so
-// entries never expire; at most MaxCensusK−MinCensusK+1 can exist.
-func (s *Service) censusPut(k int, res *parsge.CensusResult) {
+// censusPut caches a complete census under the (K, epoch) its run
+// executed against — res.Epoch tells the truth even if the target moved
+// on while the run was in flight (the entry is then already stale and
+// dies on the next lookup).
+func (s *Service) censusPut(res *parsge.CensusResult) {
 	s.censusMu.Lock()
 	defer s.censusMu.Unlock()
 	if s.censusCache == nil {
-		s.censusCache = make(map[int]*parsge.CensusResult)
+		s.censusCache = make(map[censusID]*parsge.CensusResult)
 	}
-	s.censusCache[k] = res
+	s.censusCache[censusID{k: res.K, epoch: res.Epoch}] = res
 }

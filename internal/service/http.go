@@ -14,11 +14,20 @@ import (
 	"parsge/internal/graphio"
 )
 
-// Server exposes a Service over HTTP with a small JSON API:
+// Server exposes a Service — or a multi-target Router — over HTTP with
+// a small JSON API:
 //
-//	POST /query   — submit a pattern; count, enumerate, or stream matches
-//	GET  /healthz — liveness; 503 once draining
-//	GET  /stats   — the Stats snapshot, plan histogram included
+//	POST /query                  — submit a pattern; count, enumerate, or stream matches
+//	POST /census                 — motif census of the target
+//	POST /targets/{name}/query   — the same, against a named router target
+//	POST /targets/{name}/census
+//	POST /targets/{name}/update  — apply an edge-update batch to a named target
+//	GET  /healthz                — liveness; 503 once draining
+//	GET  /stats                  — the Stats snapshot, plan histogram included
+//
+// The single-target endpoints exist on a NewServer server; the
+// /targets/{name}/ tree on a NewRouterServer server (whose /stats lists
+// every hosted target with its mutation epoch).
 //
 // The query body is JSON: {"pattern": "<graph section in the GFF text
 // format>", "semantics": "iso"|"induced"|"hom", "algorithm": "auto"|...,
@@ -28,12 +37,17 @@ import (
 // {"done": true, ...} line. A client that disconnects mid-stream tears
 // the enumeration down through the request context.
 //
-// Pattern labels are interned into the server's label table (shared with
-// the target graph so equal label strings compare equal); the table is
-// guarded here because graphio tables are not safe for concurrent
-// interning.
+// The update body is JSON: {"updates": [{"from": u, "to": v, "label":
+// "x", "remove": bool}, ...]} — one batch, applied atomically (see
+// parsge.Target.ApplyUpdates); the reply carries the new epoch.
+//
+// Pattern and update labels are interned into the server's label table
+// (shared with the target graph so equal label strings compare equal);
+// the table is guarded here because graphio tables are not safe for
+// concurrent interning.
 type Server struct {
 	svc     *Service
+	router  *Router
 	table   *graphio.LabelTable
 	tableMu sync.Mutex
 	mux     *http.ServeMux
@@ -45,19 +59,64 @@ type Server struct {
 	// it is simply served uncached (see Service.validate).
 	MaxPatternNodes int
 
+	// MaxUpdateBatch bounds the updates accepted in one POST .../update
+	// body. Default 65536.
+	MaxUpdateBatch int
+
 	draining atomic.Bool
 }
 
 // NewServer wraps svc. table must be the label table the target graph
 // was read with (a fresh table is only correct for label-free use).
 func NewServer(svc *Service, table *graphio.LabelTable) *Server {
+	h := newServer(svc, nil, table)
+	h.mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) { h.handleQuery(w, r, svc) })
+	h.mux.HandleFunc("POST /census", func(w http.ResponseWriter, r *http.Request) { h.handleCensus(w, r, svc) })
+	return h
+}
+
+// NewRouterServer wraps a multi-target router: every hosted target is
+// served under /targets/{name}/, and /stats reports the router
+// snapshot. table must be the label table the target graphs were read
+// with.
+func NewRouterServer(router *Router, table *graphio.LabelTable) *Server {
+	h := newServer(nil, router, table)
+	resolve := func(w http.ResponseWriter, r *http.Request) *Service {
+		svc, err := router.route(r.PathValue("name"))
+		if err != nil {
+			code := http.StatusNotFound
+			if !errors.Is(err, ErrUnknownTarget) {
+				code = errorCode(err)
+			}
+			httpError(w, code, err)
+			return nil
+		}
+		return svc
+	}
+	h.mux.HandleFunc("POST /targets/{name}/query", func(w http.ResponseWriter, r *http.Request) {
+		if svc := resolve(w, r); svc != nil {
+			h.handleQuery(w, r, svc)
+		}
+	})
+	h.mux.HandleFunc("POST /targets/{name}/census", func(w http.ResponseWriter, r *http.Request) {
+		if svc := resolve(w, r); svc != nil {
+			h.handleCensus(w, r, svc)
+		}
+	})
+	h.mux.HandleFunc("POST /targets/{name}/update", func(w http.ResponseWriter, r *http.Request) {
+		if svc := resolve(w, r); svc != nil {
+			h.handleUpdate(w, r, svc)
+		}
+	})
+	return h
+}
+
+func newServer(svc *Service, router *Router, table *graphio.LabelTable) *Server {
 	if table == nil {
 		table = graphio.NewLabelTable()
 	}
-	h := &Server{svc: svc, table: table, MaxPatternNodes: 64}
+	h := &Server{svc: svc, router: router, table: table, MaxPatternNodes: 64, MaxUpdateBatch: 1 << 16}
 	h.mux = http.NewServeMux()
-	h.mux.HandleFunc("POST /query", h.handleQuery)
-	h.mux.HandleFunc("POST /census", h.handleCensus)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	return h
@@ -83,6 +142,7 @@ type queryRequest struct {
 
 type queryResponse struct {
 	Matches       int64     `json:"matches"`
+	Epoch         uint64    `json:"epoch"`
 	States        int64     `json:"states"`
 	Truncated     bool      `json:"truncated,omitempty"`
 	Unsatisfiable bool      `json:"unsatisfiable,omitempty"`
@@ -96,11 +156,13 @@ type queryResponse struct {
 	Mappings      [][]int32 `json:"mappings,omitempty"`
 }
 
-// streamLine is one NDJSON line of a streaming reply.
+// streamLine is one NDJSON line of a streaming reply. The terminal
+// (done) line carries the epoch the stream executed against.
 type streamLine struct {
 	Mapping   []int32 `json:"mapping,omitempty"`
 	Done      bool    `json:"done,omitempty"`
 	Matches   int64   `json:"matches,omitempty"`
+	Epoch     uint64  `json:"epoch,omitempty"`
 	Truncated bool    `json:"truncated,omitempty"`
 	Error     string  `json:"error,omitempty"`
 }
@@ -175,7 +237,7 @@ func errorCode(err error) int {
 	}
 }
 
-func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request, svc *Service) {
 	if h.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
@@ -213,14 +275,14 @@ func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}}
 
 	if req.Stream {
-		h.streamQuery(w, r, q)
+		h.streamQuery(w, r, q, svc)
 		return
 	}
 	var reply Reply
 	if req.Mappings {
-		reply, err = h.svc.Enumerate(r.Context(), q)
+		reply, err = svc.Enumerate(r.Context(), q)
 	} else {
-		reply, err = h.svc.Count(r.Context(), q)
+		reply, err = svc.Count(r.Context(), q)
 	}
 	if err != nil {
 		httpError(w, errorCode(err), err)
@@ -228,6 +290,7 @@ func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := queryResponse{
 		Matches:       reply.Result.Matches,
+		Epoch:         reply.Result.Epoch,
 		States:        reply.Result.States,
 		Truncated:     reply.Result.TimedOut,
 		Unsatisfiable: reply.Result.Unsatisfiable,
@@ -248,8 +311,8 @@ func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // context tears the enumeration down when the client disconnects: the
 // service stream unblocks on ctx, releases its admission tokens, and the
 // handler returns — the regression tests count goroutines to hold this.
-func (h *Server) streamQuery(w http.ResponseWriter, r *http.Request, q Query) {
-	matches, end, err := h.svc.Stream(r.Context(), q)
+func (h *Server) streamQuery(w http.ResponseWriter, r *http.Request, q Query, svc *Service) {
+	matches, end, err := svc.Stream(r.Context(), q)
 	if err != nil {
 		httpError(w, errorCode(err), err)
 		return
@@ -277,7 +340,7 @@ func (h *Server) streamQuery(w http.ResponseWriter, r *http.Request, q Query) {
 		// longer than its context allows.
 	}
 	e := <-end
-	line := streamLine{Done: true, Matches: e.Result.Matches, Truncated: e.Result.TimedOut}
+	line := streamLine{Done: true, Matches: e.Result.Matches, Epoch: e.Result.Epoch, Truncated: e.Result.TimedOut}
 	if e.Err != nil {
 		line.Error = e.Err.Error()
 	}
@@ -310,6 +373,7 @@ type censusClassJSON struct {
 
 type censusResponse struct {
 	K            int               `json:"k"`
+	Epoch        uint64            `json:"epoch"`
 	Subgraphs    int64             `json:"subgraphs"`
 	ClassesTotal int               `json:"classes_total"`
 	Classes      []censusClassJSON `json:"classes"`
@@ -323,7 +387,7 @@ type censusResponse struct {
 	MemoMisses   int64             `json:"memo_misses"`
 }
 
-func (h *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
+func (h *Server) handleCensus(w http.ResponseWriter, r *http.Request, svc *Service) {
 	if h.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
@@ -339,7 +403,7 @@ func (h *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("k must be in [%d, %d], got %d", parsge.MinCensusK, parsge.MaxCensusK, req.K))
 		return
 	}
-	reply, err := h.svc.Census(r.Context(), CensusRequest{
+	reply, err := svc.Census(r.Context(), CensusRequest{
 		K:       req.K,
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
@@ -358,6 +422,7 @@ func (h *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := censusResponse{
 		K:            res.K,
+		Epoch:        res.Epoch,
 		Subgraphs:    res.Subgraphs,
 		ClassesTotal: len(res.Classes),
 		Classes:      make([]censusClassJSON, len(shown)),
@@ -409,5 +474,73 @@ func (h *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (h *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if h.router != nil {
+		json.NewEncoder(w).Encode(h.router.Stats())
+		return
+	}
 	json.NewEncoder(w).Encode(h.svc.Stats())
+}
+
+// updateRequest is the POST /targets/{name}/update body. Labels are
+// strings interned into the shared table; an empty or omitted label is
+// the unlabeled-graph label.
+type updateRequest struct {
+	Updates []struct {
+		From   int32  `json:"from"`
+		To     int32  `json:"to"`
+		Label  string `json:"label,omitempty"`
+		Remove bool   `json:"remove,omitempty"`
+	} `json:"updates"`
+}
+
+type updateResponse struct {
+	Epoch           uint64  `json:"epoch"`
+	Applied         int     `json:"applied"`
+	NoOps           int     `json:"noops"`
+	TouchedVertices int     `json:"touched_vertices"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+func (h *Server) handleUpdate(w http.ResponseWriter, r *http.Request, svc *Service) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	var req updateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty update batch"))
+		return
+	}
+	if len(req.Updates) > h.MaxUpdateBatch {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch has %d updates, limit %d", len(req.Updates), h.MaxUpdateBatch))
+		return
+	}
+	ups := make([]parsge.EdgeUpdate, len(req.Updates))
+	h.tableMu.Lock()
+	for i, u := range req.Updates {
+		lab := parsge.Label(0)
+		if u.Label != "" {
+			lab = h.table.Intern(u.Label)
+		}
+		ups[i] = parsge.EdgeUpdate{From: u.From, To: u.To, Label: lab, Remove: u.Remove}
+	}
+	h.tableMu.Unlock()
+	res, err := svc.Update(r.Context(), ups)
+	if err != nil {
+		httpError(w, errorCode(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(updateResponse{
+		Epoch:           res.Epoch,
+		Applied:         res.Applied,
+		NoOps:           res.NoOps,
+		TouchedVertices: res.TouchedVertices,
+		ElapsedMS:       float64(res.Duration) / float64(time.Millisecond),
+	})
 }

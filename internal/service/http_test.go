@@ -16,6 +16,7 @@ import (
 	"parsge"
 	"parsge/internal/graph"
 	"parsge/internal/graphio"
+	"parsge/internal/testutil"
 )
 
 // identityTable pre-interns the decimal spellings of programmatic
@@ -324,4 +325,151 @@ func TestHTTPClientDisconnectTeardown(t *testing.T) {
 	if err != nil || r.Result.Matches == 0 {
 		t.Fatalf("service wedged after disconnects: %v %+v", err, r.Result)
 	}
+}
+
+// TestHTTPRouterEndpoints: the multi-target HTTP tree — per-target
+// query and census, the update endpoint advancing the epoch and
+// invalidating caches, unknown-target 404s, and the router /stats
+// listing.
+func TestHTTPRouterEndpoints(t *testing.T) {
+	wa := buildSoakWorld(t, 61)
+	wb := buildSoakWorld(t, 62)
+	r := NewRouter(RouterConfig{Workers: 4})
+	if err := r.AddTargetSession("alpha", wa.tgt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddTargetSession("beta", wb.tgt); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(context.Background())
+	table := identityTable(wa.gt)
+	for l := 1; l <= int(wb.gt.MaxNodeLabel()); l++ {
+		table.Intern(strconv.Itoa(l))
+	}
+	srv := httptest.NewServer(NewRouterServer(r, table))
+	defer srv.Close()
+
+	post := func(path string, body map[string]any) (*http.Response, map[string]any) {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp, out
+	}
+
+	// Per-target counts match each target's own oracle.
+	pa := patternText(t, wa.patterns[0], table)
+	pb := patternText(t, wb.patterns[0], table)
+	resp, out := post("/targets/alpha/query", map[string]any{"pattern": pa, "semantics": "iso"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alpha query: %d %v", resp.StatusCode, out)
+	}
+	if int64(out["matches"].(float64)) != wa.oracle[0][parsge.SubgraphIso] {
+		t.Fatalf("alpha matches %v, oracle %d", out["matches"], wa.oracle[0][parsge.SubgraphIso])
+	}
+	if out["epoch"].(float64) != 0 {
+		t.Fatalf("alpha epoch %v", out["epoch"])
+	}
+	resp, out = post("/targets/beta/query", map[string]any{"pattern": pb, "semantics": "iso"})
+	if resp.StatusCode != http.StatusOK || int64(out["matches"].(float64)) != wb.oracle[0][parsge.SubgraphIso] {
+		t.Fatalf("beta query: %d %v (oracle %d)", resp.StatusCode, out, wb.oracle[0][parsge.SubgraphIso])
+	}
+
+	// Census per target.
+	resp, out = post("/targets/alpha/census", map[string]any{"k": 3})
+	if resp.StatusCode != http.StatusOK || out["subgraphs"].(float64) <= 0 {
+		t.Fatalf("alpha census: %d %v", resp.StatusCode, out)
+	}
+
+	// Unknown target: 404.
+	resp, _ = post("/targets/nope/query", map[string]any{"pattern": pa})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown target status %d", resp.StatusCode)
+	}
+
+	// Update alpha: remove one existing arc (and its reverse, the soak
+	// target is undirected-encoded) — epoch 1, then a re-query reflects
+	// the mutated graph and misses the stale cache.
+	e := wa.gt.Edges()[0]
+	lab := ""
+	if e.Label != 0 {
+		lab = table.Name(e.Label)
+	}
+	ups := []map[string]any{
+		{"from": e.From, "to": e.To, "label": lab, "remove": true},
+		{"from": e.To, "to": e.From, "label": lab, "remove": true},
+	}
+	resp, out = post("/targets/alpha/update", map[string]any{"updates": ups})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %d %v", resp.StatusCode, out)
+	}
+	if out["epoch"].(float64) != 1 || out["applied"].(float64) == 0 {
+		t.Fatalf("update reply %v", out)
+	}
+	want := countOracle(t, wa.patterns[0], wa.tgt.Graph(), parsge.SubgraphIso)
+	resp, out = post("/targets/alpha/query", map[string]any{"pattern": pa, "semantics": "iso"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-update query: %d %v", resp.StatusCode, out)
+	}
+	if out["epoch"].(float64) != 1 || out["cache_hit"].(bool) {
+		t.Fatalf("post-update reply %v", out)
+	}
+	if int64(out["matches"].(float64)) != want {
+		t.Fatalf("post-update matches %v, oracle %d", out["matches"], want)
+	}
+
+	// Malformed updates: empty batch and out-of-range endpoint.
+	resp, _ = post("/targets/alpha/update", map[string]any{"updates": []map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	resp, _ = post("/targets/alpha/update", map[string]any{"updates": []map[string]any{{"from": 0, "to": 99999}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range status %d", resp.StatusCode)
+	}
+
+	// Router /stats: both targets listed with their epochs.
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var rstats struct {
+		Targets []struct {
+			Name  string `json:"Name"`
+			Epoch uint64 `json:"Epoch"`
+		}
+		PerTarget map[string]struct {
+			Queries int64
+			Updates int64
+		}
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&rstats); err != nil {
+		t.Fatal(err)
+	}
+	if len(rstats.Targets) != 2 || rstats.Targets[0].Name != "alpha" || rstats.Targets[1].Name != "beta" {
+		t.Fatalf("stats targets %+v", rstats.Targets)
+	}
+	if rstats.Targets[0].Epoch != 1 || rstats.Targets[1].Epoch != 0 {
+		t.Fatalf("stats epochs %+v", rstats.Targets)
+	}
+	if rstats.PerTarget["alpha"].Updates != 1 {
+		t.Fatalf("alpha updates %d", rstats.PerTarget["alpha"].Updates)
+	}
+}
+
+// countOracle is BruteCountSem spelled out for post-update graphs.
+func countOracle(t *testing.T, gp, gt *graph.Graph, sem parsge.Semantics) int64 {
+	t.Helper()
+	return testutil.BruteCountSem(gp, gt, sem)
 }

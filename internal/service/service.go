@@ -151,16 +151,21 @@ type Service struct {
 	tgt   *parsge.Target
 	cache *cache
 	adm   *admission
+	// cls is the admission class the service's queries queue under: ""
+	// for a standalone Service (a single class degenerates to plain
+	// FIFO), the target name when the Service is one route of a Router
+	// sharing its admission with sibling targets.
+	cls string
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	// Census state: the per-K complete-result cache (the target is
-	// immutable, so entries never go stale) and the per-K singleflight
-	// map; see census.go.
+	// Census state: the per-(K, epoch) complete-result cache and
+	// singleflight map; see census.go. Entries of superseded epochs are
+	// evicted on sight.
 	censusMu      sync.Mutex
-	censusFlights map[int]*censusFlight
-	censusCache   map[int]*parsge.CensusResult
+	censusFlights map[censusID]*censusFlight
+	censusCache   map[censusID]*parsge.CensusResult
 	censusHits    int64
 	censusMisses  int64
 
@@ -170,6 +175,7 @@ type Service struct {
 	sequential int64
 	parallel   int64
 	census     int64
+	updates    int64
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -182,13 +188,22 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: nil Target")
 	}
 	cfg = cfg.withDefaults()
+	return newServiceWith(cfg, newAdmission(int64(cfg.Workers), cfg.MaxQueue), ""), nil
+}
+
+// newServiceWith builds a Service over an externally-owned admission —
+// how a Router gives every target its own cache and singleflight state
+// while all targets share one machine-wide worker budget, queueing
+// under their own class.
+func newServiceWith(cfg Config, adm *admission, cls string) *Service {
 	return &Service{
 		cfg:     cfg,
 		tgt:     cfg.Target,
 		cache:   newCache(cfg.CacheMaxMatches),
-		adm:     newAdmission(int64(cfg.Workers), cfg.MaxQueue),
+		adm:     adm,
+		cls:     cls,
 		flights: make(map[string]*flight),
-	}, nil
+	}
 }
 
 // Target returns the underlying session.
@@ -315,16 +330,20 @@ func (s *Service) do(ctx context.Context, q Query, needMappings bool) (Reply, er
 	// waiter whose leader was truncated (timeout/cancel — nothing
 	// cacheable) retries; after a few turns it stops deduplicating and
 	// just runs, so one perpetually-timing-out leader cannot livelock
-	// its followers.
+	// its followers. Every turn re-reads the target's mutation epoch:
+	// cache entries from superseded epochs are misses (get evicts them),
+	// and the singleflight key carries the epoch so a query arriving
+	// after ApplyUpdates never latches onto a pre-update leader.
 	for attempt := 0; ; attempt++ {
-		if ent, ok := s.cache.get(key, needMappings); ok {
+		epoch := s.tgt.Epoch()
+		if ent, ok := s.cache.get(key, needMappings, epoch); ok {
 			return s.replyFromEntry(ent, perm, needMappings, true, false), nil
 		}
 		if ctx.Err() != nil {
 			return Reply{}, ctx.Err()
 		}
 
-		fkey := key
+		fkey := fmt.Sprintf("%s#e%d", key, epoch)
 		if needMappings {
 			fkey += "#m"
 		}
@@ -387,7 +406,7 @@ func (s *Service) admit(ctx context.Context, q Query) (large bool, workers int, 
 		need = int64(s.cfg.ParallelWorkers)
 		workers = s.cfg.ParallelWorkers
 	}
-	waited, err = s.adm.acquire(ctx, need, s.cfg.QueueTimeout)
+	waited, err = s.adm.acquire(ctx, s.cls, need, s.cfg.QueueTimeout)
 	if err != nil {
 		return large, 0, waited, nil, err
 	}
@@ -465,7 +484,7 @@ func (s *Service) cacheGetStream(key string) (*entry, bool) {
 	if key == "" {
 		return nil, false
 	}
-	return s.cache.get(key, true)
+	return s.cache.get(key, true, s.tgt.Epoch())
 }
 
 // replyFromEntry materializes a cached/shared entry for a client whose
@@ -574,6 +593,32 @@ func (s *Service) Stream(ctx context.Context, q Query) (<-chan parsge.Match, <-c
 	return matches, end, nil
 }
 
+// Update applies a batch of edge mutations to the service's target
+// (see parsge.Target.ApplyUpdates: batch-atomic, epoch-advancing).
+// Queries already running finish on the snapshot they started with;
+// queries arriving after Update returns see the new graph, and every
+// cache entry of the superseded epoch dies on its next lookup — the
+// service can never serve a pre-update result for a post-update query.
+// The update takes one admission token, so mutation work queues behind
+// the same budget as everything else.
+func (s *Service) Update(ctx context.Context, updates []parsge.EdgeUpdate) (parsge.UpdateResult, error) {
+	if err := s.begin(); err != nil {
+		return parsge.UpdateResult{}, err
+	}
+	defer s.wg.Done()
+	if _, err := s.adm.acquire(ctx, s.cls, 1, s.cfg.QueueTimeout); err != nil {
+		return parsge.UpdateResult{}, err
+	}
+	defer s.adm.release(1)
+	res, err := s.tgt.ApplyUpdates(ctx, updates)
+	if err == nil {
+		s.statMu.Lock()
+		s.updates++
+		s.statMu.Unlock()
+	}
+	return res, err
+}
+
 // Stats is a point-in-time snapshot of the service: its own serving
 // counters plus the Target's session statistics (including the plan
 // histogram of the adaptive preprocessing scheduler).
@@ -590,6 +635,10 @@ type Stats struct {
 	// counters, separate from the pattern-result cache below.
 	Census                             int64
 	CensusCacheHits, CensusCacheMisses int64
+	// Updates counts applied edge-update batches; Epoch is the target's
+	// mutation epoch at snapshot time.
+	Updates int64
+	Epoch   uint64
 	// Cache counters.
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheEntries                           int
@@ -624,6 +673,8 @@ func (s *Service) Stats() Stats {
 		Census:            s.census,
 		CensusCacheHits:   censusHits,
 		CensusCacheMisses: censusMisses,
+		Updates:           s.updates,
+		Epoch:             s.tgt.Epoch(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheEvictions:    evictions,

@@ -346,6 +346,12 @@ type Result struct {
 	// It is nil when the engine ran without domain preprocessing (plain
 	// RI).
 	Plan *PlanInfo
+	// Epoch is the target mutation epoch the query executed against
+	// (see Target.ApplyUpdates): 0 until the first effective update
+	// batch, incremented once per batch. Caches keyed on query results
+	// compare it against Target.Epoch() to invalidate entries made
+	// stale by updates.
+	Epoch uint64
 }
 
 // PlanInfo describes the resolved preprocessing filter plan of one

@@ -18,10 +18,17 @@ import (
 
 // PlanBucket aggregates every query whose preprocessing resolved to one
 // filter plan (bucketed by the plan's String rendering, e.g.
-// "nlf+ac:adaptive:1" or "ac:fixpoint+inducedAC").
+// "nlf+ac:adaptive:1" or "ac:fixpoint+inducedAC") at one target
+// mutation epoch. On an immutable target all buckets carry Epoch 0;
+// after ApplyUpdates, traffic against the updated graph lands in fresh
+// buckets, so /stats distinguishes pre- and post-mutation behavior
+// instead of silently aliasing them.
 type PlanBucket struct {
 	// Plan is the bucket key: the PlanInfo.String() rendering.
 	Plan string
+	// Epoch is the target mutation epoch the bucket's queries ran
+	// against.
+	Epoch uint64
 	// Count is the number of queries that resolved to this plan.
 	Count int64
 	// UnaryTime, ACTime and InducedACTime are summed over the bucket's
@@ -45,15 +52,36 @@ type PlanHistogram struct {
 	Buckets []PlanBucket
 }
 
-// Bucket returns the bucket for a plan rendering, or a zero bucket when
-// no query resolved to it.
+// Bucket returns the aggregate over all epochs of the buckets for a
+// plan rendering, or a zero bucket when no query resolved to it. For a
+// per-epoch view use BucketAt or walk Buckets directly.
 func (h *PlanHistogram) Bucket(plan string) PlanBucket {
+	out := PlanBucket{Plan: plan}
 	for _, b := range h.Buckets {
-		if b.Plan == plan {
+		if b.Plan != plan {
+			continue
+		}
+		out.Epoch = b.Epoch // of the last contributing bucket; callers wanting epochs use BucketAt
+		out.Count += b.Count
+		out.UnaryTime += b.UnaryTime
+		out.ACTime += b.ACTime
+		out.InducedACTime += b.InducedACTime
+		out.DomainAfterUnary += b.DomainAfterUnary
+		out.DomainFinal += b.DomainFinal
+	}
+	return out
+}
+
+// BucketAt returns the bucket for a plan rendering at one target
+// mutation epoch, or a zero bucket when no query at that epoch resolved
+// to it.
+func (h *PlanHistogram) BucketAt(epoch uint64, plan string) PlanBucket {
+	for _, b := range h.Buckets {
+		if b.Plan == plan && b.Epoch == epoch {
 			return b
 		}
 	}
-	return PlanBucket{Plan: plan}
+	return PlanBucket{Plan: plan, Epoch: epoch}
 }
 
 // SessionStats is a snapshot of everything a Target did since NewTarget:
@@ -114,15 +142,7 @@ func (s *sessionStats) record(res *Result) {
 		s.noPlan++
 		return
 	}
-	if s.buckets == nil {
-		s.buckets = make(map[string]*PlanBucket)
-	}
-	key := p.String()
-	b := s.buckets[key]
-	if b == nil {
-		b = &PlanBucket{Plan: key}
-		s.buckets[key] = b
-	}
+	b := s.bucket(res.Epoch, p.String())
 	b.Count++
 	b.UnaryTime += p.UnaryTime
 	b.ACTime += p.ACTime
@@ -148,16 +168,24 @@ func (s *sessionStats) recordCensus(res *CensusResult) {
 	}
 	s.match += res.Duration
 	s.steals += res.Steals
+	s.bucket(res.Epoch, fmt.Sprintf("census:k=%d", res.K)).Count++
+}
+
+// bucket returns (creating on demand) the accumulator bucket for one
+// (epoch, plan) pair. Keying by epoch is what keeps pre- and
+// post-mutation traffic apart — before epochs existed, a census or plan
+// bucket silently aggregated across graph versions.
+func (s *sessionStats) bucket(epoch uint64, plan string) *PlanBucket {
 	if s.buckets == nil {
 		s.buckets = make(map[string]*PlanBucket)
 	}
-	key := fmt.Sprintf("census:k=%d", res.K)
+	key := fmt.Sprintf("%d|%s", epoch, plan)
 	b := s.buckets[key]
 	if b == nil {
-		b = &PlanBucket{Plan: key}
+		b = &PlanBucket{Plan: plan, Epoch: epoch}
 		s.buckets[key] = b
 	}
-	b.Count++
+	return b
 }
 
 // snapshot returns a consistent copy.
@@ -184,7 +212,10 @@ func (s *sessionStats) snapshot() SessionStats {
 		if bi.Count != bj.Count {
 			return bi.Count > bj.Count
 		}
-		return bi.Plan < bj.Plan
+		if bi.Plan != bj.Plan {
+			return bi.Plan < bj.Plan
+		}
+		return bi.Epoch < bj.Epoch
 	})
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parsge/internal/domain"
@@ -74,16 +75,63 @@ type TargetOptions struct {
 // terminates promptly (typically well under 100 ms) after the context
 // fires, reporting Result.TimedOut.
 type Target struct {
-	g     *Graph
-	index *domain.Index // nil with SkipLabelIndex
-	arena *ri.Arena
+	// state is the current graph snapshot plus everything derived from
+	// it. Queries load it exactly once at entry and run against that
+	// snapshot for their whole lifetime; ApplyUpdates swaps in a new
+	// snapshot atomically, so a query never sees a half-applied update
+	// and an update never blocks on running queries.
+	state atomic.Pointer[targetState]
+	arena *ri.Arena // node count is immutable, so the arena survives updates
 
-	meanDegree       float64
-	autoAlgorithm    Algorithm // chooseAlgorithm(Auto, g), resolved once
+	// nlfMode and skipIndex reproduce the NewTarget index configuration
+	// for incremental maintenance and EnsureIndex rebuilds.
+	nlfMode   NLFMode
+	skipIndex bool
+	// updateMu serializes the writers — ApplyUpdates, ReleaseIndex,
+	// EnsureIndex — against each other (readers never take it).
+	updateMu sync.Mutex
+
 	defaultWorkers   int
 	defaultSemantics Semantics
 
 	stats sessionStats // aggregate query statistics, see Stats
+}
+
+// targetState is one immutable snapshot of the mutable target: the
+// graph, the index derived from it (nil with SkipLabelIndex or after
+// ReleaseIndex), the cached statistics behind the Auto algorithm
+// choice, and the mutation epoch identifying the snapshot.
+type targetState struct {
+	g             *Graph
+	index         *domain.Index
+	meanDegree    float64
+	autoAlgorithm Algorithm // chooseAlgorithm(Auto, g), resolved per snapshot
+	epoch         uint64
+}
+
+// resolveAlgorithm maps Auto to the algorithm cached for this snapshot.
+func (st *targetState) resolveAlgorithm(a Algorithm) Algorithm {
+	if a == Auto {
+		return st.autoAlgorithm
+	}
+	return a
+}
+
+// newTargetState derives the full snapshot state for g at the given
+// epoch, building a fresh index unless skipped.
+func newTargetState(g *Graph, mode NLFMode, skipIndex bool, epoch uint64) *targetState {
+	st := &targetState{
+		g:             g,
+		autoAlgorithm: chooseAlgorithm(Auto, g),
+		epoch:         epoch,
+	}
+	if n := g.NumNodes(); n > 0 {
+		st.meanDegree = 2 * float64(g.NumEdges()) / float64(n)
+	}
+	if !skipIndex {
+		st.index = domain.NewIndexMode(g, mode)
+	}
+	return st
 }
 
 // NewTarget precomputes the reusable target-side state for g.
@@ -95,35 +143,25 @@ func NewTarget(g *Graph, opts TargetOptions) (*Target, error) {
 		return nil, fmt.Errorf("parsge: unknown semantics %d", int32(opts.DefaultSemantics))
 	}
 	t := &Target{
-		g:                g,
 		arena:            ri.NewArena(g.NumNodes()),
-		autoAlgorithm:    chooseAlgorithm(Auto, g),
+		nlfMode:          opts.NLF,
+		skipIndex:        opts.SkipLabelIndex,
 		defaultWorkers:   opts.DefaultWorkers,
 		defaultSemantics: opts.DefaultSemantics,
 	}
-	if n := g.NumNodes(); n > 0 {
-		t.meanDegree = 2 * float64(g.NumEdges()) / float64(n)
-	}
-	if !opts.SkipLabelIndex {
-		t.index = domain.NewIndexMode(g, opts.NLF)
-	}
+	t.state.Store(newTargetState(g, opts.NLF, opts.SkipLabelIndex, 0))
 	return t, nil
 }
 
-// Graph returns the target graph the session was built for.
-func (t *Target) Graph() *Graph { return t.g }
+// Graph returns the target graph of the current snapshot. After
+// ApplyUpdates the returned graph is the updated one; graphs themselves
+// are immutable, so a caller holding an older snapshot's graph keeps a
+// consistent (if stale) view.
+func (t *Target) Graph() *Graph { return t.state.Load().g }
 
-// MeanDegree returns the target's mean total degree, the statistic the
-// Auto algorithm choice is based on (cached at NewTarget).
-func (t *Target) MeanDegree() float64 { return t.meanDegree }
-
-// resolveAlgorithm maps Auto to the algorithm cached at NewTarget.
-func (t *Target) resolveAlgorithm(a Algorithm) Algorithm {
-	if a == Auto {
-		return t.autoAlgorithm
-	}
-	return a
-}
+// MeanDegree returns the current snapshot's mean total degree, the
+// statistic the Auto algorithm choice is based on.
+func (t *Target) MeanDegree() float64 { return t.state.Load().meanDegree }
 
 // ResolveSemantics reports the effective matching semantics a query with
 // these options runs under on this Target: the legacy Induced flag is
@@ -180,8 +218,22 @@ func (t *Target) enumerate(ctx context.Context, pattern *Graph, opts Options) (R
 	return res, err
 }
 
-// enumerateQuery dispatches one query to the engine the options select.
+// enumerateQuery loads one target snapshot, dispatches the query
+// against it, and stamps the result with the snapshot's epoch — the
+// whole query (preprocessing included) sees exactly one graph version
+// however many updates land concurrently.
 func (t *Target) enumerateQuery(ctx context.Context, pattern *Graph, opts Options) (Result, error) {
+	st := t.state.Load()
+	res, err := t.enumerateOn(st, ctx, pattern, opts)
+	if err == nil {
+		res.Epoch = st.epoch
+	}
+	return res, err
+}
+
+// enumerateOn dispatches one query to the engine the options select,
+// running entirely against the given snapshot.
+func (t *Target) enumerateOn(st *targetState, ctx context.Context, pattern *Graph, opts Options) (Result, error) {
 	if pattern == nil {
 		return Result{}, fmt.Errorf("parsge: nil pattern graph")
 	}
@@ -191,7 +243,7 @@ func (t *Target) enumerateQuery(ctx context.Context, pattern *Graph, opts Option
 	if ctx.Err() != nil {
 		return Result{TimedOut: true}, nil
 	}
-	opts.Algorithm = t.resolveAlgorithm(opts.Algorithm)
+	opts.Algorithm = st.resolveAlgorithm(opts.Algorithm)
 	if opts.Workers == 0 {
 		opts.Workers = t.defaultWorkers
 	}
@@ -201,11 +253,11 @@ func (t *Target) enumerateQuery(ctx context.Context, pattern *Graph, opts Option
 	}
 	if opts.Algorithm == VF2 || opts.Algorithm == LAD {
 		if opts.Algorithm == VF2 {
-			res := vf2.Enumerate(pattern, t.g, vf2.Options{
+			res := vf2.Enumerate(pattern, st.g, vf2.Options{
 				Limit:         opts.Limit,
 				Visit:         opts.Visit,
 				Ctx:           ctx,
-				Index:         t.index,
+				Index:         st.index,
 				SkipNLF:       opts.Pruning.DisableNLF,
 				SkipInducedAC: opts.Pruning.DisableInducedAC,
 				ACPasses:      opts.Pruning.ACPasses,
@@ -222,11 +274,11 @@ func (t *Target) enumerateQuery(ctx context.Context, pattern *Graph, opts Option
 				Plan:          planInfo(res.PreprocStats),
 			}, nil
 		}
-		res := lad.Enumerate(pattern, t.g, lad.Options{
+		res := lad.Enumerate(pattern, st.g, lad.Options{
 			Limit:         opts.Limit,
 			Visit:         opts.Visit,
 			Ctx:           ctx,
-			Index:         t.index,
+			Index:         st.index,
 			SkipNLF:       opts.Pruning.DisableNLF,
 			SkipInducedAC: opts.Pruning.DisableInducedAC,
 			ACPasses:      opts.Pruning.ACPasses,
@@ -247,14 +299,14 @@ func (t *Target) enumerateQuery(ctx context.Context, pattern *Graph, opts Option
 		return Result{}, fmt.Errorf("parsge: unknown algorithm %d", int(opts.Algorithm))
 	}
 
-	prep, err := ri.Prepare(pattern, t.g, ri.Options{
+	prep, err := ri.Prepare(pattern, st.g, ri.Options{
 		Variant:       ri.Variant(opts.Algorithm),
 		Semantics:     sem,
 		SkipNLF:       opts.Pruning.DisableNLF,
 		SkipInducedAC: opts.Pruning.DisableInducedAC,
 		ACPasses:      opts.Pruning.ACPasses,
 		Schedule:      opts.Pruning.Schedule,
-		TargetIndex:   t.index,
+		TargetIndex:   st.index,
 	})
 	if err != nil {
 		return Result{}, err

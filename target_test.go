@@ -356,10 +356,10 @@ func TestTargetAutoResolution(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got, want := tgt.resolveAlgorithm(Auto), chooseAlgorithm(Auto, gt); got != want {
+		if got, want := tgt.state.Load().resolveAlgorithm(Auto), chooseAlgorithm(Auto, gt); got != want {
 			t.Fatalf("cached auto algorithm %v, chooseAlgorithm says %v", got, want)
 		}
-		if got := tgt.resolveAlgorithm(VF2); got != VF2 {
+		if got := tgt.state.Load().resolveAlgorithm(VF2); got != VF2 {
 			t.Fatalf("explicit algorithm rewritten to %v", got)
 		}
 	}
