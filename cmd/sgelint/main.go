@@ -1,0 +1,16 @@
+// Command sgelint is the repository's static invariant suite — the
+// concurrency, epoch, and context discipline checks described in
+// DESIGN.md ("Static analysis") — packaged as a vet tool:
+//
+//	go build -o "$(go env GOPATH)/bin/sgelint" ./cmd/sgelint
+//	go vet -vettool="$(go env GOPATH)/bin/sgelint" ./...
+//
+// or simply `make lint`. Run `sgelint` with no arguments for the
+// analyzer list and the suppression syntax.
+package main
+
+import "parsge/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.All())
+}

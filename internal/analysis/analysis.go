@@ -1,0 +1,214 @@
+// Package analysis is sgelint: a suite of static invariant checkers
+// for the concurrency, epoch, and context discipline this codebase
+// depends on, plus the driver machinery to run them under
+// `go vet -vettool` (see unitchecker.go) and under tests (see the
+// analysistest subpackage).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — but is built on the standard library
+// only (go/ast, go/types, go/importer), because this module vendors
+// nothing and adds no dependencies. Facts (cross-package analysis
+// state) are not supported; every analyzer here is a per-package
+// checker, with cross-package knowledge limited to what export data
+// already carries (types, exported constants).
+//
+// Suppressions: a finding may be silenced with a comment on the same
+// line, or the line immediately above it:
+//
+//	//sgelint:ignore <analyzer> <justification>
+//
+// The justification is mandatory — an ignore directive without one is
+// itself reported. Unknown analyzer names in directives are reported
+// too, so a typo cannot silently disable nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sgelint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects a package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding: a position and a message, tagged with
+// the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is one parsed //sgelint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos
+	line     int    // line the directive appears on
+	analyzer string // analyzer name it targets ("" = malformed)
+	reason   string // justification ("" = malformed)
+	used     bool
+}
+
+const ignorePrefix = "//sgelint:ignore"
+
+// parseIgnores extracts every //sgelint:ignore directive from a file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			d := &ignoreDirective{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			text := strings.TrimPrefix(c.Text, ignorePrefix)
+			// A justification never contains "//"; anything after one is
+			// a nested comment (the fixtures' // want annotations ride
+			// on directive lines this way).
+			if i := strings.Index(text, "//"); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
+			if len(fields) >= 1 {
+				d.analyzer = fields[0]
+			}
+			if len(fields) >= 2 {
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run type-checks nothing — it receives an already-checked package —
+// and runs every analyzer over it, returning the surviving
+// diagnostics: findings silenced by a well-formed //sgelint:ignore
+// directive (same line or the line immediately above) are dropped,
+// malformed or dangling directives are reported, and the result is
+// sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	// Index directives by (file, analyzer, line). A directive on line L
+	// suppresses matching findings on L (trailing comment) and L+1
+	// (comment above the offending statement).
+	type dirKey struct {
+		file     string
+		analyzer string
+		line     int
+	}
+	dirs := make(map[dirKey][]*ignoreDirective)
+	var all []*ignoreDirective
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, d := range parseIgnores(fset, f) {
+			all = append(all, d)
+			if d.analyzer == "" || d.reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "sgelint",
+					Message:  "malformed suppression: want //sgelint:ignore <analyzer> <justification>",
+				})
+				continue
+			}
+			if !known[d.analyzer] {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "sgelint",
+					Message:  fmt.Sprintf("suppression names unknown analyzer %q", d.analyzer),
+				})
+				continue
+			}
+			k := dirKey{fname, d.analyzer, d.line}
+			dirs[k] = append(dirs[k], d)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "sgelint" {
+			p := fset.Position(d.Pos)
+			suppressed := false
+			for _, line := range [2]int{p.Line, p.Line - 1} {
+				for _, dir := range dirs[dirKey{p.Filename, d.Analyzer, line}] {
+					dir.used = true
+					suppressed = true
+				}
+			}
+			if suppressed {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	// A directive that suppressed nothing is dead weight — likely a
+	// stale annotation after the offending code changed. Report it so
+	// suppressions cannot rot in place.
+	for _, d := range all {
+		if d.analyzer != "" && d.reason != "" && known[d.analyzer] && !d.used {
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "sgelint",
+				Message:  fmt.Sprintf("suppression for %q matches no finding (stale //sgelint:ignore?)", d.analyzer),
+			})
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// All returns the full sgelint analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxSend,
+		EpochKey,
+		AtomicMix,
+		SemExhaustive,
+		CtxBackground,
+	}
+}

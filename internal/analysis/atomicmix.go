@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix catches torn access disciplines: a struct field that is
+// read or written through the sync/atomic free functions
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...) anywhere
+// in the package must never also be accessed plainly — a plain read
+// races with the atomic writers, and the -race detector only notices
+// when a soak happens to interleave the two. The single exemption is
+// the owner's constructors (any function in the package whose results
+// include the struct type or a pointer to it): before the value
+// escapes, plain initialization is the idiom.
+//
+// Fields typed as the sync/atomic wrapper types (atomic.Int64,
+// atomic.Bool, atomic.Pointer[T], ...) are immune by construction —
+// they have no plain access to mix — which is why this codebase
+// prefers them; this analyzer exists to keep any future free-function
+// usage honest.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must not also be accessed plainly outside the owner's constructors",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect every field passed by address to a sync/atomic
+	// free function, and remember the exact &x.f argument nodes so
+	// pass 2 does not flag the atomic call sites themselves.
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name seen
+	atomicArgSel := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := atomicFreeFunc(info, call)
+			if !ok {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := selectedField(info, sel)
+			if fv == nil {
+				return true
+			}
+			atomicFields[fv] = name
+			atomicArgSel[sel] = true
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every other selector of those fields, unless it
+	// sits inside a constructor of the owning struct.
+	for _, f := range pass.Files {
+		withStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgSel[sel] {
+				return true
+			}
+			fv := selectedField(info, sel)
+			if fv == nil {
+				return true
+			}
+			fn, ok := atomicFields[fv]
+			if !ok {
+				return true
+			}
+			if inConstructorOf(info, stack, fieldOwner(info, sel)) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "plain access to field %s, which is accessed with atomic.%s elsewhere; use sync/atomic consistently", fv.Name(), fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicFreeFunc reports whether call invokes a sync/atomic package
+// function whose first argument is an address (Add*, Load*, Store*,
+// Swap*, CompareAndSwap*), returning the function name.
+func atomicFreeFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	name := obj.Name()
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// selectedField resolves x.f to the struct field *types.Var it
+// denotes, or nil when the selector is not a field access.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// fieldOwner returns the named struct type the selector's field is
+// reached through (after pointer indirection), or nil.
+func fieldOwner(info *types.Info, sel *ast.SelectorExpr) *types.Named {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := s.Recv()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// inConstructorOf reports whether the innermost enclosing FuncDecl
+// returns owner (or *owner): a constructor may initialize atomic
+// fields plainly before the value escapes.
+func inConstructorOf(info *types.Info, stack []ast.Node, owner *types.Named) bool {
+	if owner == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Type.Results == nil {
+			return false
+		}
+		for _, res := range fd.Type.Results.List {
+			t := info.Types[res.Type].Type
+			if p, ok := types.Unalias(t).(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj() == owner.Obj() {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

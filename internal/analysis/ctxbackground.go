@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// CtxBackground keeps cancellation threaded through every engine path:
+// context.Background() and context.TODO() are forbidden outside
+// process entry points (cmd/...), examples, and tests. A Background()
+// deep in library code severs the query from its caller's deadline —
+// the exact leak class PR 1 removed when it threaded ctx through every
+// engine. Library code that wants a default for a nil caller context
+// must either require one or carry a //sgelint:ignore with its
+// justification, so each such boundary stays a reviewed decision.
+var CtxBackground = &Analyzer{
+	Name: "ctxbackground",
+	Doc:  "context.Background()/context.TODO() are forbidden outside cmd/, examples/, and _test.go files",
+	Run:  runCtxBackground,
+}
+
+func runCtxBackground(pass *Pass) error {
+	for _, f := range pass.Files {
+		if ctxBackgroundExempt(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s() outside cmd/, examples/, or a test severs cancellation; thread the caller's ctx through", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxBackgroundExempt reports whether a file may legitimately mint a
+// root context: process entry points under a cmd/ or examples/ path
+// segment, and test files.
+func ctxBackgroundExempt(filename string) bool {
+	if strings.HasSuffix(filename, "_test.go") {
+		return true
+	}
+	for _, seg := range strings.Split(filepath.ToSlash(filename), "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}

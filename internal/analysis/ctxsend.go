@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// CtxSend enforces the send-or-cancel streaming rule (PR 1 / PR 5): in
+// any function that receives a context.Context — including closures
+// nested inside one — a channel send must not be able to block past
+// cancellation. A send is accepted when it is a case of a select that
+// also has a <-ctx.Done() case (directly, or through a variable bound
+// to ctx.Done()) or a default case; or when it targets a locally made
+// channel with constant capacity ≥ 1 and sits outside any loop (the
+// one-shot buffered terminal-event idiom: `end := make(chan T, 1)`).
+// Anything else is the abandonment leak the streaming API was rebuilt
+// to exclude: a consumer that stops draining pins the producer
+// goroutine forever.
+var CtxSend = &Analyzer{
+	Name: "ctxsend",
+	Doc:  "channel sends in context-bearing functions must be select-guarded by ctx.Done() (or go to a buffered local channel outside a loop)",
+	Run:  runCtxSend,
+}
+
+func runCtxSend(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1 (package-wide): variables bound to ctx.Done() results
+	// (`cancelled := qctx.Done()`) guard selects just like a direct
+	// call; variables bound to `make(chan T, k)` with constant k ≥ 1
+	// are buffered one-shot channels.
+	doneVars := make(map[*types.Var]bool)
+	bufferedChans := make(map[*types.Var]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || rhs == nil {
+			return
+		}
+		v, _ := info.Defs[id].(*types.Var)
+		if v == nil {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v == nil {
+			return
+		}
+		if isDoneCall(info, rhs) {
+			doneVars[v] = true
+		}
+		if isBufferedMake(info, rhs) {
+			bufferedChans[v] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Lhs {
+						record(st.Lhs[i], st.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i := range st.Names {
+						record(st.Names[i], st.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: judge every send statement.
+	for _, f := range pass.Files {
+		withStack(f, func(n ast.Node, stack []ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if !enclosingCtxFunc(info, stack) {
+				return true
+			}
+			if selectGuardsSend(info, send, stack, doneVars) {
+				return true
+			}
+			if bufferedChans[usedVar(info, send.Chan)] && !inLoop(stack) {
+				return true
+			}
+			pass.Reportf(send.Arrow,
+				"send on %s in a context-bearing function can block past cancellation; guard it with a select on ctx.Done()",
+				types.ExprString(send.Chan))
+			return true
+		})
+	}
+	return nil
+}
+
+// isBufferedMake reports whether e is make(chan T, k) with constant
+// k ≥ 1.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if _, ok := types.Unalias(info.Types[call.Args[0]].Type).(*types.Chan); !ok {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(tv.Value) > 0
+}
+
+// selectGuardsSend reports whether the send (whose ancestor stack is
+// given) is the communication of a select case, and that select also
+// offers an escape: a <-ctx.Done() case (direct call or done-variable)
+// or a default case.
+func selectGuardsSend(info *types.Info, send *ast.SendStmt, stack []ast.Node, doneVars map[*types.Var]bool) bool {
+	// Stack shape for a guarded send: ..., SelectStmt, BlockStmt,
+	// CommClause; the send must be the clause's Comm statement — a
+	// send in a case *body* is an ordinary blocking send.
+	if len(stack) < 3 {
+		return false
+	}
+	clause, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok || clause.Comm != ast.Stmt(send) {
+		return false
+	}
+	sel, ok := stack[len(stack)-3].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, s := range sel.Body.List {
+		cc, ok := s.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil { // default clause: the select cannot block
+			return true
+		}
+		if recvIsDone(info, cc.Comm, doneVars) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsDone reports whether a select communication statement receives
+// from a context's Done channel.
+func recvIsDone(info *types.Info, comm ast.Stmt, doneVars map[*types.Var]bool) bool {
+	var recv ast.Expr
+	switch st := comm.(type) {
+	case *ast.ExprStmt:
+		recv = st.X
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			recv = st.Rhs[0]
+		}
+	}
+	un, ok := recv.(*ast.UnaryExpr)
+	if !ok {
+		return false
+	}
+	if isDoneCall(info, un.X) {
+		return true
+	}
+	return doneVars[usedVar(info, un.X)]
+}
+
+// inLoop reports whether any stack entry between the innermost
+// function and the node is a for/range statement: a "one-shot" send
+// inside a loop is not one-shot.
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

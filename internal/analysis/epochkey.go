@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochKey guards the PR 7 stale-cache bug class: every cache /
+// singleflight key struct that embeds a target mutation epoch must be
+// constructed with that epoch set explicitly. Key structs are
+// designated with a marker on their declaration:
+//
+//	//sgelint:epochkey            // epoch fields inferred by name
+//	//sgelint:epochkey epoch gen  // epoch fields listed explicitly
+//
+// Without arguments, every field whose name contains "epoch"
+// (case-insensitive) is required. A composite literal of a marked
+// struct that omits a required field — including the empty literal
+// T{} — is a finding: a zero epoch silently aliases traffic onto graph
+// version 0, which is exactly how a superseded cache entry outlives an
+// update. Positional literals are accepted (the compiler already
+// forces them to be complete). Markers are discovered in the package
+// under analysis, so literals and declaration must share a package —
+// which is also the only sound place to build a key.
+var EpochKey = &Analyzer{
+	Name: "epochkey",
+	Doc:  "composite literals of //sgelint:epochkey-marked structs must set their epoch field(s) explicitly",
+	Run:  runEpochKey,
+}
+
+func runEpochKey(pass *Pass) error {
+	marked := markedTypes(pass, "epochkey")
+	if len(marked) == 0 {
+		return nil
+	}
+
+	// Resolve each marked type to its required field set.
+	required := make(map[*types.TypeName][]string, len(marked))
+	for tn, args := range marked {
+		st, ok := types.Unalias(tn.Type()).Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(tn.Pos(), "//sgelint:epochkey marker on %s, which is not a struct type", tn.Name())
+			continue
+		}
+		fields := args
+		if len(fields) == 0 {
+			for i := 0; i < st.NumFields(); i++ {
+				if name := st.Field(i).Name(); strings.Contains(strings.ToLower(name), "epoch") {
+					fields = append(fields, name)
+				}
+			}
+		} else {
+			for _, name := range fields {
+				if !structHasField(st, name) {
+					pass.Reportf(tn.Pos(), "//sgelint:epochkey marker on %s names missing field %q", tn.Name(), name)
+				}
+			}
+		}
+		if len(fields) == 0 {
+			pass.Reportf(tn.Pos(), "//sgelint:epochkey marker on %s, which has no epoch field (name one explicitly: //sgelint:epochkey <field>)", tn.Name())
+			continue
+		}
+		required[tn] = fields
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok {
+				return true
+			}
+			fields, ok := required[named.Obj()]
+			if !ok {
+				return true
+			}
+			// Positional literals must be complete, so the epoch is
+			// necessarily present; only keyed (and empty) literals can
+			// omit fields.
+			if len(lit.Elts) > 0 {
+				if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+					return true
+				}
+			}
+			present := make(map[string]bool, len(lit.Elts))
+			for _, el := range lit.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						present[id.Name] = true
+					}
+				}
+			}
+			for _, name := range fields {
+				if !present[name] {
+					pass.Reportf(lit.Pos(), "composite literal of epoch-keyed struct %s does not set %q; a zero epoch aliases graph version 0", named.Obj().Name(), name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func structHasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// withStack walks root in depth-first order, calling fn for every node
+// with the stack of its ancestors (outermost first, root included,
+// node itself excluded). Returning false prunes the subtree.
+func withStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// isNamedType reports whether t (after unaliasing) is the defined type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return isNamedType(t, "context", "Context") }
+
+// hasContextParam reports whether the function type declares a
+// parameter of type context.Context.
+func hasContextParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingCtxFunc reports whether any function on the stack (FuncDecl
+// or FuncLit, innermost included) receives a context.Context parameter.
+// A closure nested in a context-bearing function counts: it closes over
+// the context and owes the same discipline.
+func enclosingCtxFunc(info *types.Info, stack []ast.Node) bool {
+	for _, n := range stack {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if hasContextParam(info, fn.Type) {
+				return true
+			}
+		case *ast.FuncLit:
+			if hasContextParam(info, fn.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDoneCall reports whether e is a call of the Done method on a
+// context.Context value (`ctx.Done()`).
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// usedVar resolves an expression to the *types.Var it names, or nil.
+func usedVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// marker is one //sgelint:<name> directive (other than ignore)
+// attached to a declaration, e.g. //sgelint:epochkey epoch.
+type marker struct {
+	name string
+	args []string
+}
+
+// commentMarkers parses sgelint markers out of a comment group.
+func commentMarkers(cg *ast.CommentGroup, out []marker) []marker {
+	if cg == nil {
+		return out
+	}
+	for _, c := range cg.List {
+		if !strings.HasPrefix(c.Text, "//sgelint:") || strings.HasPrefix(c.Text, ignorePrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(c.Text, "//sgelint:"))
+		if len(fields) == 0 {
+			continue
+		}
+		out = append(out, marker{name: fields[0], args: fields[1:]})
+	}
+	return out
+}
+
+// typeMarkers collects the sgelint markers attached to a type
+// declaration: on the enclosing GenDecl's doc, the TypeSpec's doc, or
+// the TypeSpec's trailing line comment.
+func typeMarkers(gd *ast.GenDecl, ts *ast.TypeSpec) []marker {
+	var out []marker
+	// A doc comment on a grouped GenDecl applies to the group, not one
+	// spec — only attribute it when the declaration holds a single spec.
+	if len(gd.Specs) == 1 {
+		out = commentMarkers(gd.Doc, out)
+	}
+	out = commentMarkers(ts.Doc, out)
+	out = commentMarkers(ts.Comment, out)
+	return out
+}
+
+// markedTypes returns, for each struct/defined type in the package
+// carrying the given marker, its *types.TypeName mapped to the marker's
+// arguments.
+func markedTypes(pass *Pass, markerName string) map[*types.TypeName][]string {
+	out := make(map[*types.TypeName][]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, m := range typeMarkers(gd, ts) {
+					if m.name != markerName {
+						continue
+					}
+					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = m.args
+					}
+				}
+			}
+		}
+	}
+	return out
+}

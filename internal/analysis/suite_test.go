@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"parsge/internal/analysis"
+	"parsge/internal/analysis/analysistest"
+)
+
+// Each analyzer runs alone over its fixture: the fixtures contain real
+// `// want` violations, so disabling an analyzer fails its test with
+// unmatched expectations — the suite cannot silently lose a checker.
+
+func TestCtxSend(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.CtxSend}, "ctxsend")
+}
+
+func TestEpochKey(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.EpochKey}, "epochkey")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.AtomicMix}, "atomicmix")
+}
+
+func TestSemExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.SemExhaustive}, "semexhaustive")
+}
+
+func TestCtxBackground(t *testing.T) {
+	// The cmd/bgok fixture is the non-flagging half: a cmd/ path
+	// segment exempts root-context construction.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.CtxBackground}, "ctxbackground", "cmd/bgok")
+}
+
+// TestSuppression runs the full suite over the suppress fixture: a
+// well-formed //sgelint:ignore (same line and line-above forms)
+// silences its finding, while malformed, unknown-analyzer, and stale
+// directives are findings themselves.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.All(), "suppress")
+}
+
+// recordingTB captures failure reports so a test can assert that the
+// harness *would* fail.
+type recordingTB struct {
+	testing.TB
+	failed bool
+}
+
+func (r *recordingTB) Helper()                      {}
+func (r *recordingTB) Errorf(string, ...any)        { r.failed = true }
+func (r *recordingTB) Fatalf(f string, args ...any) { r.failed = true; r.TB.Fatalf(f, args...) }
+
+// TestFixturesRequireAnalyzers is the disabled-analyzer tripwire: every
+// fixture carries real violations, so running it with its analyzer
+// removed must produce unmatched // want expectations. If this test
+// fails, a fixture has gone vacuous and no longer pins its analyzer.
+func TestFixturesRequireAnalyzers(t *testing.T) {
+	fixtures := []string{"ctxsend", "epochkey", "atomicmix", "semexhaustive", "ctxbackground"}
+	for _, fx := range fixtures {
+		rec := &recordingTB{TB: t}
+		analysistest.Run(rec, "testdata", nil, fx)
+		if !rec.failed {
+			t.Errorf("fixture %q reports no mismatch with its analyzer disabled; it must contain real // want violations", fx)
+		}
+	}
+}
+
+// TestAllAnalyzersRegistered pins the suite composition: the vet
+// driver and the fixtures above must agree on what "all" means.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"ctxsend", "epochkey", "atomicmix", "semexhaustive", "ctxbackground"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q lacks Doc or Run", a.Name)
+		}
+	}
+}

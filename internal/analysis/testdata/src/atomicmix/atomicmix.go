@@ -1,0 +1,43 @@
+// Package atomicmix is the fixture for the atomicmix analyzer: a
+// field touched through sync/atomic free functions must never also be
+// accessed plainly outside its owner's constructors.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	c.n = seed // constructor: plain initialization before escape is fine
+	return c
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) load() int64 { return atomic.LoadInt64(&c.n) }
+
+func (c *counter) torn() int64 {
+	return c.n // want "plain access to field n, which is accessed with atomic"
+}
+
+func reset(c *counter) {
+	c.n = 0 // want "plain access to field n"
+}
+
+func (c *counter) untouched() int64 {
+	return c.other // never accessed atomically: fine
+}
+
+// gauge uses the wrapper types, which cannot be accessed plainly at
+// all — nothing for the analyzer to do.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) read() int64 { return g.v.Load() }
+
+func (g *gauge) bump() { g.v.Add(1) }

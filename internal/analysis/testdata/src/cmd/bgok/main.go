@@ -1,0 +1,12 @@
+// Command bgok is the non-flagging half of the ctxbackground fixture:
+// a path with a cmd/ segment is a process entry point, where minting
+// the root context is exactly right.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = context.TODO()
+	_ = ctx
+}

@@ -1,0 +1,22 @@
+// Package ctxbackground is the fixture for the ctxbackground
+// analyzer: no root contexts outside cmd/, examples/, and tests.
+package ctxbackground
+
+import "context"
+
+func root() context.Context {
+	return context.Background() // want `context.Background\(\) outside cmd/, examples/, or a test`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) outside cmd/, examples/, or a test`
+}
+
+func threaded(ctx context.Context) context.Context {
+	return ctx
+}
+
+// withCancel derives from a caller context — deriving is the point.
+func withCancel(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,90 @@
+// Package ctxsend is the fixture for the ctxsend analyzer: sends in
+// context-bearing functions must be select-guarded or buffered
+// one-shots.
+package ctxsend
+
+import "context"
+
+func work(ctx context.Context) int { return len(ctx.Err().Error()) }
+
+func bareSend(ctx context.Context, out chan<- int) {
+	out <- 1 // want "send on out in a context-bearing function can block past cancellation"
+}
+
+func guardedDirect(ctx context.Context, out chan<- int) {
+	select {
+	case out <- 2:
+	case <-ctx.Done():
+	}
+}
+
+func guardedViaVar(ctx context.Context, out chan<- int) {
+	cancelled := ctx.Done()
+	select {
+	case out <- 3:
+	case <-cancelled:
+	}
+}
+
+func guardedDefault(ctx context.Context, out chan<- int) {
+	select {
+	case out <- 4:
+	default:
+	}
+}
+
+func selectWithoutEscape(ctx context.Context, out chan<- int, in <-chan int) {
+	select {
+	case out <- 5: // want "can block past cancellation"
+	case v := <-in:
+		_ = v
+	}
+}
+
+func sendInCaseBody(ctx context.Context, out chan<- int) {
+	select {
+	case <-ctx.Done():
+		out <- 6 // want "can block past cancellation"
+	}
+}
+
+func bufferedTerminal(ctx context.Context) <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ctx.Err() // one-shot buffered terminal channel: accepted
+	}()
+	return errc
+}
+
+func bufferedInLoop(ctx context.Context, n int) <-chan int {
+	c := make(chan int, 8)
+	for i := 0; i < n; i++ {
+		c <- i // want "can block past cancellation"
+	}
+	close(c)
+	return c
+}
+
+func unbuffered(ctx context.Context) <-chan int {
+	c := make(chan int)
+	go func() {
+		c <- 7 // want "can block past cancellation"
+	}()
+	return c
+}
+
+func noContextAnywhere(out chan<- int) {
+	out <- 8 // no context in scope: not this analyzer's business
+}
+
+func closureInheritsCtx(ctx context.Context, out chan<- int) func() {
+	return func() {
+		out <- 9 // want "can block past cancellation"
+	}
+}
+
+func closureOwnCtx(out chan<- int) func(context.Context) {
+	return func(ctx context.Context) {
+		out <- 10 // want "can block past cancellation"
+	}
+}

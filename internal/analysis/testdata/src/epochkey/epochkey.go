@@ -1,0 +1,48 @@
+// Package epochkey is the fixture for the epochkey analyzer:
+// composite literals of marked key structs must set their epoch
+// field(s) explicitly.
+package epochkey
+
+// cacheKey relies on field-name inference: "epoch" is required.
+//
+//sgelint:epochkey
+type cacheKey struct {
+	id    string
+	epoch uint64
+}
+
+// flightKey lists its required field explicitly (it is not named
+// anything epoch-like).
+//
+//sgelint:epochkey gen
+type flightKey struct {
+	id  string
+	gen uint64
+}
+
+//sgelint:epochkey
+type noEpoch struct { // want "has no epoch field"
+	id string
+}
+
+//sgelint:epochkey missing
+type wrongField struct { // want `names missing field "missing"`
+	epoch uint64
+}
+
+type unmarked struct {
+	id    string
+	epoch uint64
+}
+
+func construct(e uint64) []any {
+	good := cacheKey{id: "a", epoch: e}
+	positional := cacheKey{"b", e} // complete by construction: accepted
+	missing := cacheKey{id: "c"}   // want `does not set "epoch"`
+	empty := cacheKey{}            // want `does not set "epoch"`
+	byPtr := &cacheKey{id: "d"}    // want `does not set "epoch"`
+	f := flightKey{id: "e", gen: e}
+	fMissing := flightKey{id: "f"} // want `does not set "gen"`
+	plain := unmarked{id: "g"}     // unmarked struct: not checked
+	return []any{good, positional, missing, empty, byPtr, f, fMissing, plain}
+}

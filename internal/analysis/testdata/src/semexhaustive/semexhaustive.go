@@ -1,0 +1,62 @@
+// Package semexhaustive is the fixture for the semexhaustive
+// analyzer: switches over designated enum types must cover every
+// declared constant or carry a non-empty default.
+package semexhaustive
+
+//sgelint:exhaustive
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+func incomplete(m Mode) int {
+	switch m { // want "switch over semexhaustive.Mode is not exhaustive: missing ModeC"
+	case ModeA:
+		return 1
+	case ModeB:
+		return 2
+	}
+	return 0
+}
+
+func complete(m Mode) int {
+	switch m {
+	case ModeA, ModeB:
+		return 1
+	case ModeC:
+		return 2
+	}
+	return 0
+}
+
+func emptyDefault(m Mode) int {
+	switch m { // want "missing ModeC.*empty default silently ignores"
+	case ModeA, ModeB:
+		return 1
+	default:
+	}
+	return 0
+}
+
+func handledDefault(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	default:
+		panic("unhandled mode")
+	}
+}
+
+// plain is not designated: its switches are unconstrained.
+type plain int
+
+const plainA plain = 0
+
+func unwatched(p plain) {
+	switch p {
+	case plainA:
+	}
+}

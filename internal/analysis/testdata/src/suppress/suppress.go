@@ -1,0 +1,32 @@
+// Package suppress is the fixture for the //sgelint:ignore directive:
+// well-formed suppressions silence a finding (same line or the line
+// above), malformed or dangling ones are themselves findings.
+package suppress
+
+import "context"
+
+func sameLine(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() //sgelint:ignore ctxbackground nil-ctx compatibility default, fixture edition
+	}
+	return ctx
+}
+
+func lineAbove() context.Context {
+	//sgelint:ignore ctxbackground fixture: the justification sits on the line above the finding
+	return context.Background()
+}
+
+func missingJustification() context.Context {
+	return context.Background() //sgelint:ignore ctxbackground // want "malformed suppression" "severs cancellation"
+}
+
+func unknownAnalyzer() {
+	//sgelint:ignore nosuchanalyzer because this analyzer does not exist // want `suppression names unknown analyzer "nosuchanalyzer"`
+	_ = 0
+}
+
+func stale() {
+	//sgelint:ignore ctxsend the offending send was removed long ago // want `suppression for "ctxsend" matches no finding`
+	_ = 1
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the cmd/go vet tool protocol — the same
+// contract golang.org/x/tools/go/analysis/unitchecker fulfills — on
+// the standard library alone, so `go vet -vettool=$(which sgelint)
+// ./...` drives the suite with full build-cache integration:
+//
+//  1. `sgelint -flags` prints a JSON description of the tool's flags
+//     (none) so cmd/go can merge them into its own flag set.
+//  2. `sgelint -V=full` prints a versioned identity line that cmd/go
+//     hashes into its action cache keys, so analyzer changes (a new
+//     binary) invalidate cached vet verdicts.
+//  3. `sgelint <dir>/vet.cfg` analyzes one package: cmd/go writes a
+//     JSON config naming the source files, the import map, and the
+//     export-data file of every dependency; the tool type-checks from
+//     those (importer.ForCompiler("gc", lookup) — no network, no
+//     GOPATH source), runs the suite, prints findings, and writes the
+//     (empty — no cross-package facts) .vetx output cmd/go caches.
+//
+// For dependency packages cmd/go sets VetxOnly: only facts are wanted.
+// This suite has no facts, so those runs write the empty output and
+// exit without parsing a single file — which keeps `go vet -vettool`
+// over the whole module fast even though cmd/go schedules every
+// transitive standard-library package.
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig (the JSON written
+// next to each package's build actions). Unused fields are kept so the
+// contract is documented in one place.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for the sgelint binary: it speaks the vet
+// tool protocol described above and exits. Findings go to stderr in
+// the usual file:line:col form; any finding makes the run (and hence
+// `go vet`) fail.
+func Main(analyzers []*Analyzer) {
+	progname := "sgelint"
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-V=full":
+		// cmd/go parses this line (see work.Builder.toolID): field 2
+		// "devel" requires the last field to carry the content hash it
+		// keys its vet cache on — hash the binary itself.
+		self, err := os.Executable()
+		if err != nil {
+			self = os.Args[0]
+		}
+		f, err := os.Open(self)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("%s version devel buildID=%02x\n", progname, h.Sum(nil))
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		code, err := analyzeConfig(args[0], analyzers, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+	fmt.Fprintf(os.Stderr, `usage of %[1]s, the sgelint invariant suite:
+
+	go vet -vettool=$(command -v %[1]s) ./...
+
+(%[1]s is a vet tool, not a standalone command: cmd/go resolves the
+packages, builds dependency export data, and invokes %[1]s once per
+package with a generated vet.cfg.)
+
+Analyzers:
+`, progname)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress a finding with `//sgelint:ignore <analyzer> <justification>`\non the offending line or the line above it.\n")
+	os.Exit(2)
+}
+
+// analyzeConfig runs the suite over one vet.cfg unit of work. The
+// returned code is the process exit status: 0 clean, 2 findings.
+func analyzeConfig(cfgPath string, analyzers []*Analyzer, out io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// Dependency runs want only facts; this suite has none. Write the
+	// empty output (cmd/go caches it) and skip all work.
+	if cfg.VetxOnly {
+		return 0, writeVetx(cfg)
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(cfg)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg)
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if err := writeVetx(cfg); err != nil {
+		return 0, err
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// writeVetx writes the (empty) facts output cmd/go expects; without it
+// the action cache cannot memoize this package's vet verdict.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// typecheck builds the types.Package for the unit: imports resolve
+// through cfg.ImportMap to the export-data files cmd/go already built.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	base, ok := importer.ForCompiler(fset, compiler, lookup).(types.ImporterFrom)
+	if !ok {
+		return nil, nil, fmt.Errorf("importer for compiler %q does not support ImportFrom", compiler)
+	}
+	tcfg := &types.Config{
+		Importer:  unsafeAwareImporter{base},
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, goarch()),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// unsafeAwareImporter short-circuits the one package that has no
+// export data.
+type unsafeAwareImporter struct {
+	base types.ImporterFrom
+}
+
+func (m unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m unsafeAwareImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.base.ImportFrom(path, dir, mode)
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -50,7 +50,7 @@ type CensusBenchResult struct {
 func (s *Suite) CensusThroughput() CensusBenchResult {
 	ctx := s.Ctx
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sgelint:ignore ctxbackground bench harness default when Suite.Ctx is unset; cmd/sgebench passes a SIGINT-bound ctx
 	}
 	const k = 4
 	workers := 1

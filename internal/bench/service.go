@@ -47,7 +47,7 @@ type ServiceResult struct {
 func (s *Suite) ServiceThroughput() ServiceResult {
 	ctx := s.Ctx
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sgelint:ignore ctxbackground bench harness default when Suite.Ctx is unset; cmd/sgebench passes a SIGINT-bound ctx
 	}
 	var res ServiceResult
 	insts := s.instances("PPIS32")

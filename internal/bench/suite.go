@@ -208,7 +208,7 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 
 	parent := s.Ctx
 	if parent == nil {
-		parent = context.Background()
+		parent = context.Background() //sgelint:ignore ctxbackground bench harness default when Suite.Ctx is unset; cmd/sgebench passes a SIGINT-bound ctx
 	}
 	ctx, cancel := context.WithTimeout(parent, s.Timeout)
 	defer cancel()

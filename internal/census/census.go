@@ -122,7 +122,7 @@ func Run(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("census: K must be in [%d, %d], got %d", MinK, MaxK, opts.K)
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sgelint:ignore ctxbackground documented nil-ctx default at the census entry point, mirroring the query boundary
 	}
 	n := g.NumNodes()
 	res := Result{K: opts.K}

@@ -45,14 +45,22 @@ func cacheKey(canon []byte, sem parsge.Semantics, opts parsge.Options) string {
 // *canonical* pattern numbering (mappings[i][canonPos] = target node),
 // so any client pattern isomorphic to the cached one can have them
 // translated back through its own canonical permutation.
+//
+// entry is epoch-keyed: every construction site must say which graph
+// version the result belongs to (sgelint's epochkey analyzer enforces
+// it) — an entry whose epoch silently defaulted to zero would be
+// served as if computed on the never-updated graph.
+//
+//sgelint:epochkey
 type entry struct {
 	key      string
 	res      parsge.Result // the complete run that populated the entry (never TimedOut)
 	mappings [][]int32     // canonical numbering; nil with !hasMappings
-	// epoch is res.Epoch: the target mutation epoch the entry's run
-	// executed against. A lookup at a different epoch treats the entry
-	// as stale and evicts it (see get) — the cache can never serve a
-	// result computed on a superseded graph version.
+	// epoch is the target mutation epoch the entry's run executed
+	// against (res.Epoch at construction). A lookup at a different
+	// epoch treats the entry as stale and evicts it (see get) — the
+	// cache can never serve a result computed on a superseded graph
+	// version.
 	epoch uint64
 	// hasMappings distinguishes "cached zero mappings" (a complete
 	// empty result set) from a count-only entry.
@@ -130,7 +138,6 @@ func (c *cache) get(key string, needMappings bool, epoch uint64) (*entry, bool) 
 // hold them outside the lock — so an upgrade replaces the element.
 func (c *cache) put(e *entry) {
 	e.cost = entryCost(e)
-	e.epoch = e.res.Epoch
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.maxCost <= 0 || e.cost > c.maxCost {

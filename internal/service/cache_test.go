@@ -200,6 +200,7 @@ func TestCacheLRU(t *testing.T) {
 	mk := func(i int) *entry {
 		return &entry{
 			key:         fmt.Sprintf("k%d", i),
+			epoch:       0,
 			hasMappings: true,
 			mappings:    [][]int32{{0}, {1}}, // cost 3
 		}
@@ -224,7 +225,7 @@ func TestCacheLRU(t *testing.T) {
 		t.Fatalf("entries=%d cost=%d evictions=%d", entries, cost, evictions)
 	}
 	// An entry alone exceeding the budget is refused outright.
-	big := &entry{key: "big", hasMappings: true, mappings: make([][]int32, 64)}
+	big := &entry{key: "big", epoch: 0, hasMappings: true, mappings: make([][]int32, 64)}
 	c.put(big)
 	if _, ok := c.get("big", false, 0); ok {
 		t.Fatal("over-budget entry was cached")
@@ -242,19 +243,19 @@ func TestCacheLRU(t *testing.T) {
 // count-only put must not downgrade it back.
 func TestCacheCountOnlyUpgrade(t *testing.T) {
 	c := newCache(100)
-	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}})
+	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}, epoch: 0})
 	if _, ok := c.get("k", false, 0); !ok {
 		t.Fatal("count-only entry does not serve counts")
 	}
 	if _, ok := c.get("k", true, 0); ok {
 		t.Fatal("count-only entry served a mappings request")
 	}
-	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}, hasMappings: true, mappings: [][]int32{{0}, {1}}})
+	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}, epoch: 0, hasMappings: true, mappings: [][]int32{{0}, {1}}})
 	e, ok := c.get("k", true, 0)
 	if !ok || len(e.mappings) != 2 {
 		t.Fatal("upgrade failed")
 	}
-	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}})
+	c.put(&entry{key: "k", res: parsge.Result{Matches: 2}, epoch: 0})
 	if e, ok := c.get("k", true, 0); !ok || !e.hasMappings {
 		t.Fatal("count-only put downgraded a mappings entry")
 	}

@@ -52,7 +52,10 @@ type CensusReply struct {
 // censusID identifies one census computation: the subgraph size at one
 // target mutation epoch. Keying cache and singleflight by the pair is
 // what makes updates safe — a request after ApplyUpdates uses a fresh
-// ID and cannot see (or join) pre-update state.
+// ID and cannot see (or join) pre-update state. Constructions must set
+// the epoch explicitly (sgelint: epochkey).
+//
+//sgelint:epochkey
 type censusID struct {
 	k     int
 	epoch uint64

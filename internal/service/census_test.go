@@ -175,7 +175,7 @@ func TestServiceCensusCancelled(t *testing.T) {
 	} else if !reply.Result.TimedOut {
 		t.Fatal("census under a cancelled context reported complete")
 	}
-	if res := svc.censusGet(censusID{k: 4}); res != nil {
+	if res := svc.censusGet(censusID{k: 4, epoch: 0}); res != nil {
 		t.Fatal("truncated census was cached")
 	}
 }

@@ -137,6 +137,21 @@ type Reply struct {
 	QueueWait time.Duration
 }
 
+// flightKey identifies one singleflight rendezvous: the result cache
+// key, the result shape (a mappings run cannot satisfy waiters joined
+// for counts and vice versa — they rendezvous separately), and the
+// target mutation epoch. The epoch is what keeps a query arriving
+// after ApplyUpdates from latching onto a pre-update leader; it was a
+// "#e%d" suffix in a formatted string until sgelint's epochkey
+// analyzer demanded a field it could see.
+//
+//sgelint:epochkey
+type flightKey struct {
+	key          string
+	needMappings bool
+	epoch        uint64
+}
+
 // flight is one in-flight computation identical queries rendezvous on.
 type flight struct {
 	done chan struct{}
@@ -158,7 +173,7 @@ type Service struct {
 	cls string
 
 	flightMu sync.Mutex
-	flights  map[string]*flight
+	flights  map[flightKey]*flight
 
 	// Census state: the per-(K, epoch) complete-result cache and
 	// singleflight map; see census.go. Entries of superseded epochs are
@@ -202,7 +217,7 @@ func newServiceWith(cfg Config, adm *admission, cls string) *Service {
 		cache:   newCache(cfg.CacheMaxMatches),
 		adm:     adm,
 		cls:     cls,
-		flights: make(map[string]*flight),
+		flights: make(map[flightKey]*flight),
 	}
 }
 
@@ -343,10 +358,7 @@ func (s *Service) do(ctx context.Context, q Query, needMappings bool) (Reply, er
 			return Reply{}, ctx.Err()
 		}
 
-		fkey := fmt.Sprintf("%s#e%d", key, epoch)
-		if needMappings {
-			fkey += "#m"
-		}
+		fkey := flightKey{key: key, needMappings: needMappings, epoch: epoch}
 		s.flightMu.Lock()
 		if f := s.flights[fkey]; f != nil && attempt < 3 {
 			s.flightMu.Unlock()
@@ -452,7 +464,7 @@ func (s *Service) runLeader(ctx context.Context, q Query, sem parsge.Semantics, 
 		// for this caller, but not a result identical queries may reuse.
 		return reply, nil, nil
 	}
-	ent := &entry{key: key, res: res}
+	ent := &entry{key: key, res: res, epoch: res.Epoch}
 	if needMappings {
 		ent.hasMappings = true
 		ent.mappings = make([][]int32, len(mappings))
@@ -472,7 +484,7 @@ func (s *Service) runLeader(ctx context.Context, q Query, sem parsge.Semantics, 
 // (the count is still worth caching).
 func (s *Service) cachePut(ent *entry) {
 	if len(ent.mappings) > s.cfg.CacheMaxMappingsPerEntry {
-		ent = &entry{key: ent.key, res: ent.res}
+		ent = &entry{key: ent.key, res: ent.res, epoch: ent.epoch}
 	}
 	s.cache.put(ent)
 }
@@ -532,13 +544,15 @@ func (s *Service) Stream(ctx context.Context, q Query) (<-chan parsge.Match, <-c
 			for _, cm := range ent.mappings {
 				select {
 				case matches <- parsge.Match{Mapping: translate(cm, perm)}:
+					continue
 				case <-ctx.Done():
 					res.TimedOut = true
-					close(matches)
-					end <- parsge.StreamEnd{Result: res}
-					return
 				}
+				break
 			}
+			// The terminal send happens exactly once, outside the replay
+			// loop — `end` is a one-shot buffered channel, so this can
+			// never block a cancelled client (sgelint: ctxsend).
 			close(matches)
 			end <- parsge.StreamEnd{Result: res}
 		}()
@@ -581,7 +595,7 @@ func (s *Service) Stream(ctx context.Context, q Query) (<-chan parsge.Match, <-c
 		e := <-innerEnd
 		close(matches)
 		if e.Err == nil && !e.Result.TimedOut && !dead && key != "" {
-			ent := &entry{key: key, res: e.Result}
+			ent := &entry{key: key, res: e.Result, epoch: e.Result.Epoch}
 			if !overflow {
 				ent.hasMappings = true
 				ent.mappings = collected

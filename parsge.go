@@ -425,7 +425,7 @@ func Enumerate(pattern, target *Graph, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return t.Enumerate(context.Background(), pattern, opts)
+	return t.Enumerate(context.Background(), pattern, opts) //sgelint:ignore ctxbackground one-shot convenience wrapper: no ctx in its signature by design; ctx-aware callers use Target.Enumerate
 }
 
 // autoWorkerCount sizes the pool for AutoWorkers: one worker per
@@ -466,7 +466,7 @@ func FindAll(pattern, target *Graph, opts Options) ([][]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.FindAll(context.Background(), pattern, opts)
+	return t.FindAll(context.Background(), pattern, opts) //sgelint:ignore ctxbackground one-shot convenience wrapper: no ctx in its signature by design; ctx-aware callers use Target.FindAll
 }
 
 // LabelTable interns string labels for the text graph format.
@@ -521,7 +521,7 @@ func EnumerateStream(pattern, target *Graph, opts Options) (<-chan Match, <-chan
 		done <- err
 		return matches, done
 	}
-	return t.EnumerateStream(context.Background(), pattern, opts)
+	return t.EnumerateStream(context.Background(), pattern, opts) //sgelint:ignore ctxbackground one-shot convenience wrapper: no ctx in its signature by design; ctx-aware callers use Target.EnumerateStream
 }
 
 // Automorphisms returns the size of the pattern's automorphism group,

@@ -187,7 +187,7 @@ func (t *Target) ResolveSemantics(opts Options) (Semantics, error) {
 // function must always be called.
 func queryContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sgelint:ignore ctxbackground documented nil-ctx default at the public query boundary; every internal path threads the caller ctx
 	}
 	if timeout > 0 {
 		return context.WithTimeout(ctx, timeout)

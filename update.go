@@ -74,7 +74,7 @@ func (t *Target) Epoch() uint64 { return t.state.Load().epoch }
 // does not advance).
 func (t *Target) ApplyUpdates(ctx context.Context, updates []EdgeUpdate) (UpdateResult, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sgelint:ignore ctxbackground documented nil-ctx default at the public update boundary, mirroring queryContext
 	}
 	t.updateMu.Lock()
 	defer t.updateMu.Unlock()
