@@ -190,21 +190,26 @@ func FuzzContainment(f *testing.F) {
 		gp, gt := decodeContainmentPair(data)
 		// The last input byte steers the two engines to *different*
 		// points of the schedule space (schedule, AC depth, filter
-		// toggles), so the cross-check also differentially validates the
-		// adaptive scheduler: a plan-dependent count breaks the equality
-		// below even when it breaks it in only one engine.
+		// toggles) and of the kernel space (bits 4–5 and 6–7 pick the
+		// candidate kernel per engine independently), so the cross-check
+		// also differentially validates the adaptive scheduler and the
+		// bitset kernel layer: a plan- or kernel-dependent count breaks
+		// the equality below even when it breaks it in only one engine.
 		var knobs byte
 		if len(data) > 0 {
 			knobs = data[len(data)-1]
 		}
+		kernels := []Kernel{KernelAuto, KernelBitset, KernelSlice}
 		riPruning := PruningOptions{
 			Schedule:   []Schedule{ScheduleAuto, ScheduleFixed}[knobs&1],
 			ACPasses:   int(knobs >> 1 & 1),
 			DisableNLF: knobs>>2&1 == 1,
+			Kernel:     kernels[int(knobs>>4&3)%3],
 		}
 		ladPruning := PruningOptions{
 			Schedule:         []Schedule{ScheduleFixed, ScheduleAuto}[knobs&1],
 			DisableInducedAC: knobs>>3&1 == 1,
+			Kernel:           kernels[int(knobs>>6&3)%3],
 		}
 		var counts [3]int64
 		sems := []Semantics{InducedIso, SubgraphIso, Homomorphism}
@@ -328,6 +333,10 @@ func FuzzEdgeUpdates(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Materialize the bitset rows up front so every ApplyUpdates
+		// below exercises the incremental touched-row Rebuild path, whose
+		// result IndexEqual then compares against a from-scratch build.
+		tgt.state.Load().index.Rows(tgt.Graph())
 		oracle := g.Edges()
 		labels := nodeLabels(g)
 		for bi, ups := range batches {
@@ -351,6 +360,10 @@ func FuzzEdgeUpdates(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Build the rebuilt target's rows from scratch so IndexEqual's
+			// row comparison runs: incrementally-rebuilt bitset rows must
+			// be bit-identical to a clean build of the same logical graph.
+			rebuilt.state.Load().index.Rows(rebuilt.Graph())
 			if ok, diff := domain.IndexEqual(tgt.state.Load().index, rebuilt.state.Load().index); !ok {
 				t.Fatalf("batch %d: incremental index differs from rebuild: %s\nbase=%v ups=%v",
 					bi, diff, g.Edges(), ups)

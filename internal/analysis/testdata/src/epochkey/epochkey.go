@@ -35,6 +35,17 @@ type unmarked struct {
 	epoch uint64
 }
 
+// rowCache mirrors the engine's epoch-tagged bitset-row cache entry
+// (a pointer payload stamped with the index generation it was built
+// at): a forgotten epoch here silently serves stale adjacency rows
+// after an update, which is exactly what the analyzer exists to catch.
+//
+//sgelint:epochkey
+type rowCache struct {
+	rows  *[]uint64
+	epoch uint64
+}
+
 func construct(e uint64) []any {
 	good := cacheKey{id: "a", epoch: e}
 	positional := cacheKey{"b", e} // complete by construction: accepted
@@ -44,5 +55,8 @@ func construct(e uint64) []any {
 	f := flightKey{id: "e", gen: e}
 	fMissing := flightKey{id: "f"} // want `does not set "gen"`
 	plain := unmarked{id: "g"}     // unmarked struct: not checked
-	return []any{good, positional, missing, empty, byPtr, f, fMissing, plain}
+	rc := rowCache{rows: nil, epoch: e}
+	rcStale := rowCache{rows: nil} // want `does not set "epoch"`
+	rcEmpty := &rowCache{}         // want `does not set "epoch"`
+	return []any{good, positional, missing, empty, byPtr, f, fMissing, plain, rc, rcStale, rcEmpty}
 }

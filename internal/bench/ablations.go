@@ -2,6 +2,7 @@ package bench
 
 import (
 	"parsge/internal/datasets"
+	"parsge/internal/domain"
 	"parsge/internal/graph"
 	"parsge/internal/order"
 	"parsge/internal/ri"
@@ -20,6 +21,12 @@ type AblationRow struct {
 	MeanStates    float64
 	MeanPreproc   float64
 	WorkSpeedup   float64
+	// MeanAllocs is the mean match-phase heap allocation count (only
+	// measured on sequential RI runs, 0 elsewhere; see Record.Allocs).
+	MeanAllocs float64
+	// TotalMatches sums matches over the aggregated records — the exact
+	// count the kernel acceptance test compares across configurations.
+	TotalMatches int64
 }
 
 // AblationResult is a titled list of configurations.
@@ -34,6 +41,12 @@ func aggregate(name string, recs []Record) AblationRow {
 	for _, r := range recs {
 		ws = append(ws, r.WorkSpeedup())
 	}
+	var allocs []float64
+	var matches int64
+	for _, r := range recs {
+		allocs = append(allocs, float64(r.Allocs))
+		matches += r.Matches
+	}
 	return AblationRow{
 		Name:          name,
 		MeanMatchTime: meanSeconds(matchTimes(recs)),
@@ -42,16 +55,18 @@ func aggregate(name string, recs []Record) AblationRow {
 		MeanStates:    meanStates(recs),
 		MeanPreproc:   meanSeconds(preprocTimes(recs)),
 		WorkSpeedup:   stats.Mean(ws),
+		MeanAllocs:    stats.Mean(allocs),
+		TotalMatches:  matches,
 	}
 }
 
 func (s *Suite) printAblation(res AblationResult) {
 	s.printf("\n== Ablation: %s ==\n", res.Title)
 	w := s.tab()
-	row(w, "configuration\tmatch (s)\ttotal (s)\tsteals\tstates\tpreproc (s)\twork speedup")
+	row(w, "configuration\tmatch (s)\ttotal (s)\tsteals\tstates\tpreproc (s)\twork speedup\tallocs")
 	for _, r := range res.Rows {
-		row(w, "%s\t%.4f\t%.4f\t%.1f\t%.0f\t%.5f\t%.2f",
-			r.Name, r.MeanMatchTime, r.MeanTotalTime, r.MeanSteals, r.MeanStates, r.MeanPreproc, r.WorkSpeedup)
+		row(w, "%s\t%.4f\t%.4f\t%.1f\t%.0f\t%.5f\t%.2f\t%.0f",
+			r.Name, r.MeanMatchTime, r.MeanTotalTime, r.MeanSteals, r.MeanStates, r.MeanPreproc, r.WorkSpeedup, r.MeanAllocs)
 	}
 	flush(w)
 }
@@ -185,6 +200,15 @@ func (s *Suite) AblationPruningFilters() AblationResult {
 			res.Rows = append(res.Rows,
 				aggregate(PruningRowName(coll, sem, "VF2 pruned"), s.runAll(insts, vf2On)),
 				aggregate(PruningRowName(coll, sem, "VF2 baseline"), s.runAll(insts, vf2Off)))
+			// Kernel axis: the same full pipeline under the bitset vs the
+			// slice candidate-intersection kernel. Counts must agree
+			// exactly and bitset must not allocate more than slice — the
+			// acceptance criteria of the BitGraph kernel layer.
+			bitset, slice := base, base
+			bitset.kernel, slice.kernel = domain.KernelBitset, domain.KernelSlice
+			res.Rows = append(res.Rows,
+				aggregate(PruningRowName(coll, sem, "RI-DS bitset kernel"), s.runAll(insts, bitset)),
+				aggregate(PruningRowName(coll, sem, "RI-DS slice kernel"), s.runAll(insts, slice)))
 		}
 	}
 	s.printAblation(res)

@@ -270,6 +270,26 @@ func TestAblationPruningFilters(t *testing.T) {
 				t.Errorf("%s under %v: filters enlarged the RI-DS search space: on=%.0f off=%.0f states",
 					coll, sem, ron.MeanStates, roff.MeanStates)
 			}
+			// Kernel acceptance: the bitset and slice kernels are the
+			// same algorithm over different set representations — match
+			// counts must agree exactly, the search must not allocate
+			// more under bitset than slice (the row bit tests replace
+			// nothing that allocated, and the reusable-scratch fix
+			// applies to both), and the state count is kernel-invariant.
+			kb := row(coll, sem, "RI-DS bitset kernel")
+			ks := row(coll, sem, "RI-DS slice kernel")
+			if kb.TotalMatches != ks.TotalMatches {
+				t.Errorf("%s under %v: kernel count mismatch: bitset=%d slice=%d matches",
+					coll, sem, kb.TotalMatches, ks.TotalMatches)
+			}
+			if kb.MeanStates != ks.MeanStates {
+				t.Errorf("%s under %v: kernel state mismatch: bitset=%.0f slice=%.0f states",
+					coll, sem, kb.MeanStates, ks.MeanStates)
+			}
+			if kb.MeanAllocs > ks.MeanAllocs+1 {
+				t.Errorf("%s under %v: bitset kernel allocates more: bitset=%.1f slice=%.1f allocs",
+					coll, sem, kb.MeanAllocs, ks.MeanAllocs)
+			}
 		}
 	}
 	// Dense targets make induced non-edge constraints binding: the

@@ -154,9 +154,10 @@ func (s *Suite) csvAblation(res AblationResult) {
 		rows = append(rows, []string{
 			res.Title, r.Name, f64(r.MeanMatchTime), f64(r.MeanTotalTime),
 			f64(r.MeanSteals), f64(r.MeanStates), f64(r.MeanPreproc), f64(r.WorkSpeedup),
+			f64(r.MeanAllocs),
 		})
 	}
-	s.csvOut("ablation_"+sanitize(res.Title), []string{"ablation", "configuration", "match_s", "total_s", "steals", "states", "preproc_s", "work_speedup"}, rows)
+	s.csvOut("ablation_"+sanitize(res.Title), []string{"ablation", "configuration", "match_s", "total_s", "steals", "states", "preproc_s", "work_speedup", "allocs"}, rows)
 }
 
 // sanitize turns a title into a file-name-safe slug.

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -134,6 +135,11 @@ type Record struct {
 	Preproc         time.Duration
 	Match           time.Duration
 	TimedOut        bool
+	// Allocs is the number of heap allocations during the match phase,
+	// measured only on the sequential RI path (where preprocessing is
+	// cleanly separated from the search); 0 elsewhere. The kernel
+	// acceptance test pins bitset ≤ slice on this number.
+	Allocs int64
 }
 
 // Total returns preprocessing plus match time.
@@ -199,7 +205,11 @@ type runConfig struct {
 	semantics graph.Semantics
 	// orderStrategy overrides the node-ordering rule (ablation).
 	orderStrategy order.Strategy
-	seed          int64
+	// kernel selects the candidate-intersection implementation of the
+	// hot paths (zero value domain.KernelAuto; the kernel ablation pins
+	// KernelBitset vs KernelSlice).
+	kernel domain.Kernel
+	seed   int64
 }
 
 // runInstance measures one instance under one configuration.
@@ -227,6 +237,7 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 			SkipInducedAC: cfg.skipInducedAC,
 			ACPasses:      cfg.acPasses,
 			Schedule:      sched,
+			Kernel:        cfg.kernel,
 		})
 		rec.Matches = res.Matches
 		rec.States = res.States
@@ -245,13 +256,22 @@ func (s *Suite) runInstance(inst datasets.Instance, cfg runConfig) Record {
 		Semantics:     cfg.semantics,
 		OrderStrategy: cfg.orderStrategy,
 		Schedule:      sched,
+		Kernel:        cfg.kernel,
 	})
 	if err != nil {
 		panic(err) // harness-internal configurations are always valid
 	}
 
 	if cfg.workers <= 1 && !cfg.eagerCopy {
+		// Bracket the search with allocation counters: Prepare already
+		// ran, so the delta is the match phase alone (the allocs/op story
+		// of the kernel ablation). The harness is single-goroutine here,
+		// so no concurrent allocations pollute the reading.
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		res := prep.Run(ri.RunOptions{Ctx: ctx})
+		runtime.ReadMemStats(&m1)
+		rec.Allocs = int64(m1.Mallocs - m0.Mallocs)
 		rec.Matches = res.Matches
 		rec.States = res.States
 		rec.Preproc = res.PreprocTime

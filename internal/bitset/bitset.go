@@ -170,6 +170,53 @@ func (s *Set) Equal(other *Set) bool {
 	return true
 }
 
+// Intersects reports whether s and other share at least one set bit —
+// the word-parallel "non-empty intersection" test the kernel hot paths
+// use (arc-consistency support checks), without materializing the
+// intersection.
+func (s *Set) Intersects(other *Set) bool {
+	s.mustMatch(other)
+	for i := range s.words {
+		if s.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ExistsOutside reports whether s contains a member other than skip
+// that is set in neither a nor b. Either (or both) of a and b may be
+// nil, meaning "exclude nothing". Pass skip < 0 to exclude no member.
+// This is the word-parallel form of the induced non-edge support test:
+// "does the domain hold a candidate non-adjacent to v?" — one pass over
+// the words, no intersection materialized.
+func (s *Set) ExistsOutside(a, b *Set, skip int) bool {
+	if a != nil {
+		s.mustMatch(a)
+	}
+	if b != nil {
+		s.mustMatch(b)
+	}
+	for i, w := range s.words {
+		if a != nil {
+			w &^= a.words[i]
+		}
+		if b != nil {
+			w &^= b.words[i]
+		}
+		if w == 0 {
+			continue
+		}
+		if skip >= 0 && skip/wordBits == i {
+			w &^= 1 << uint(skip%wordBits)
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Subset reports whether every bit of s is also set in other.
 func (s *Set) Subset(other *Set) bool {
 	s.mustMatch(other)

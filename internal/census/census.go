@@ -64,8 +64,10 @@ const canonBudget = 1 << 12
 // denseAdjLimit is the node count up to which per-node adjacency
 // bitsets are precomputed (O(n²) bits total — 32 MiB at the limit).
 // Above it the walker falls back to sorted neighbor lists, trading the
-// word-parallel set algebra for O(degree) loops.
-const denseAdjLimit = 1 << 14
+// word-parallel set algebra for O(degree) loops. The limit is the
+// shared BitGraph kernel threshold: the dense rows themselves come from
+// graph.UnionRows, the same row construction the query kernels use.
+const denseAdjLimit = graph.DenseRowLimit
 
 // Options configures Run.
 type Options struct {
@@ -245,16 +247,10 @@ func buildAdjacency(g *graph.Graph) *adjacency {
 		}
 		a.lists[v] = l
 	}
-	if n <= denseAdjLimit {
-		a.dense = make([]*bitset.Set, n)
-		for v := 0; v < n; v++ {
-			s := bitset.New(n)
-			for _, u := range a.lists[v] {
-				s.Set(int(u))
-			}
-			a.dense[v] = s
-		}
-	}
+	// The dense rows are the shared BitGraph construction (out ∪ in,
+	// self-loops removed — exactly the undirected sense ESU walks); nil
+	// above denseAdjLimit, which is the same fallback rule.
+	a.dense = graph.UnionRows(g)
 	return a
 }
 

@@ -36,6 +36,7 @@ package domain
 import (
 	"fmt"
 	"slices"
+	"sync/atomic"
 	"time"
 
 	"parsge/internal/bitset"
@@ -75,6 +76,56 @@ type Index struct {
 	// maintenance (update.go) can adjust them for touched vertices only
 	// and still reproduce a rebuild bit-for-bit.
 	sumDeg, sumSqDeg int64
+	// gen is the index generation: 0 at construction, old.gen+1 for
+	// every ApplyUpdates derivative. It tags the lazily-built BitGraph
+	// row cache below so a seeded cache is only trusted for the
+	// generation it was built for.
+	gen uint64
+	// rowCache holds the lazily-built bitset adjacency rows (see Rows).
+	// The pointer itself is the only mutable state of an Index; racing
+	// builders store identical content, so last-store-wins is safe.
+	rowCache atomic.Pointer[bitRows]
+}
+
+// bitRows is the BitGraph row cache of an Index, tagged with the index
+// generation it was built for so incremental seeding can never leak
+// stale rows across an update.
+//
+//sgelint:epochkey
+type bitRows struct {
+	rows  *graph.BitGraph // nil when the target exceeds graph.DenseRowLimit
+	epoch uint64          // Index generation the rows were built from
+}
+
+// Rows returns the target's dense bitset adjacency rows, building them
+// on first use and caching them on the Index (the BitGraph kernel
+// layer). g must be the graph the Index was built for. Returns nil when
+// the target exceeds graph.DenseRowLimit nodes — the sorted-slice
+// fallback rule; callers must treat nil as "use the CSR paths".
+func (ix *Index) Rows(g *graph.Graph) *graph.BitGraph {
+	if c := ix.rowCache.Load(); c != nil && c.epoch == ix.gen {
+		return c.rows
+	}
+	bg := graph.NewBitGraph(g)
+	ix.rowCache.Store(&bitRows{rows: bg, epoch: ix.gen})
+	return bg
+}
+
+// cachedRows returns the row cache if it was built for this generation,
+// without building anything.
+func (ix *Index) cachedRows() *graph.BitGraph {
+	if c := ix.rowCache.Load(); c != nil && c.epoch == ix.gen {
+		return c.rows
+	}
+	return nil
+}
+
+// HasRows reports whether the BitGraph row cache is built for the
+// current generation (tests and IndexEqual use it; laziness means an
+// unbuilt cache is not a difference).
+func (ix *Index) HasRows() bool {
+	c := ix.rowCache.Load()
+	return c != nil && c.epoch == ix.gen
 }
 
 // NewIndex buckets the target's nodes by label and precomputes the
@@ -255,6 +306,13 @@ type Options struct {
 	// scanning every target node, and supplies precomputed target NLF
 	// signatures. Results are identical either way.
 	Index *Index
+	// Kernel selects the candidate-intersection implementation of the
+	// propagation hot paths (classic AC support scans and the induced
+	// non-edge pass): KernelBitset rewires them onto dense BitGraph
+	// rows (cached on Index when one is supplied), KernelSlice keeps
+	// the CSR scans, KernelAuto resolves by target size. Results are
+	// identical for every kernel.
+	Kernel Kernel
 	// Semantics adjusts the filters to the matching semantics: under
 	// graph.Homomorphism the degree bounds are dropped (several pattern
 	// edges may collapse onto one target edge, so "image degree ≥
@@ -418,8 +476,24 @@ func ComputeWithStats(gp, gt *graph.Graph, opts Options) (*Domains, ComputeStats
 
 	stats.UnaryTime = time.Since(unaryStart)
 	stats.AfterUnary = d.TotalSize()
+
+	// Resolve the kernel and materialize the BitGraph rows the
+	// propagation passes (and, via stats.Rows, the engines) run on.
+	// With an Index the rows are cached across queries; without one
+	// they are built here only when arc consistency will actually use
+	// them.
+	var rows *graph.BitGraph
+	if ResolveKernel(opts.Kernel, nt) == KernelBitset {
+		if ix != nil {
+			rows = ix.Rows(gt)
+		} else if !opts.SkipAC {
+			rows = graph.NewBitGraph(gt)
+		}
+	}
+	stats.Rows = rows
+
 	if !opts.SkipAC {
-		d.arcConsistency(gp, gt, opts.ACPasses, stats.Plan.ACAdaptive, induced && !opts.SkipInducedAC, &stats)
+		d.arcConsistency(gp, gt, rows, opts.ACPasses, stats.Plan.ACAdaptive, induced && !opts.SkipInducedAC, &stats)
 	}
 	stats.Final = d.TotalSize()
 	return d, stats
@@ -456,12 +530,19 @@ func patternSelfLoops(gp *graph.Graph) [][]graph.Label {
 // cap is lifted and the sweeps continue to fixpoint (the second-stage
 // AutoTune rule). The outcome is written back to st.Plan.ACPasses so the
 // reported plan shows the decision actually taken.
-func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, induced bool, st *ComputeStats) {
+func (d *Domains) arcConsistency(gp, gt *graph.Graph, rows *graph.BitGraph, maxPasses int, adaptive, induced bool, st *ComputeStats) {
 	np := gp.NumNodes()
 	start := time.Now()
 	defer func() {
 		st.ACTime = time.Since(start) - st.InducedACTime
 	}()
+	// Under the bitset kernel with per-label rows, the support test
+	// "some labeled neighbor of v_t lies in D(w_p)" is one word-parallel
+	// intersection against the (direction, label) row. The row slices
+	// are hoisted per pattern node so the candidate loop does no map
+	// lookups; a nil slice means the label has no target edge at all.
+	labelRows := rows != nil && rows.HasLabelRows()
+	var outRows, inRows [][]*bitset.Set
 	for pass := 0; maxPasses == 0 || pass < maxPasses; pass++ {
 		changed := false
 		for vp := int32(0); vp < int32(np); vp++ {
@@ -473,6 +554,16 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, i
 			outL := gp.OutEdgeLabels(vp)
 			inP := gp.InNeighbors(vp)
 			inL := gp.InEdgeLabels(vp)
+			if labelRows {
+				outRows = outRows[:0]
+				for _, l := range outL {
+					outRows = append(outRows, rows.OutLab[l])
+				}
+				inRows = inRows[:0]
+				for _, l := range inL {
+					inRows = append(inRows, rows.InLab[l])
+				}
+			}
 
 			var drop []int
 			dom.ForEach(func(vti int) bool {
@@ -480,6 +571,19 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, i
 				for i, wp := range outP {
 					if wp == vp {
 						continue // self-loops are a unary constraint
+					}
+					if labelRows {
+						if r := outRows[i]; r == nil || !d.sets[wp].Intersects(r[vt]) {
+							drop = append(drop, vti)
+							return true
+						}
+						continue
+					}
+					if rows != nil && !rows.Out[vt].Intersects(d.sets[wp]) {
+						// Direction-row prefilter: no out-neighbor of
+						// v_t lies in the domain under any label.
+						drop = append(drop, vti)
+						return true
 					}
 					if !hasSupport(gt.OutNeighbors(vt), gt.OutEdgeLabels(vt), outL[i], d.sets[wp]) {
 						drop = append(drop, vti)
@@ -489,6 +593,17 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, i
 				for i, wp := range inP {
 					if wp == vp {
 						continue
+					}
+					if labelRows {
+						if r := inRows[i]; r == nil || !d.sets[wp].Intersects(r[vt]) {
+							drop = append(drop, vti)
+							return true
+						}
+						continue
+					}
+					if rows != nil && !rows.In[vt].Intersects(d.sets[wp]) {
+						drop = append(drop, vti)
+						return true
 					}
 					if !hasSupport(gt.InNeighbors(vt), gt.InEdgeLabels(vt), inL[i], d.sets[wp]) {
 						drop = append(drop, vti)
@@ -504,7 +619,7 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, i
 		}
 		if induced {
 			ipStart := time.Now()
-			ipChanged := d.inducedPass(gp, gt)
+			ipChanged := d.inducedPass(gp, gt, rows)
 			st.InducedACTime += time.Since(ipStart)
 			if ipChanged {
 				changed = true
@@ -540,7 +655,7 @@ func (d *Domains) arcConsistency(gp, gt *graph.Graph, maxPasses int, adaptive, i
 // InDegree(v_t) an edge to v_t, plus v_t itself — a domain larger than
 // that necessarily contains a support, so only small domains are
 // scanned. It returns whether any domain changed.
-func (d *Domains) inducedPass(gp, gt *graph.Graph) bool {
+func (d *Domains) inducedPass(gp, gt *graph.Graph, rows *graph.BitGraph) bool {
 	np := gp.NumNodes()
 	changed := false
 	for vp := int32(0); vp < int32(np); vp++ {
@@ -571,6 +686,21 @@ func (d *Domains) inducedPass(gp, gt *graph.Graph) bool {
 				}
 				if sizeW > bound {
 					return true // pigeonhole: a non-adjacent support exists
+				}
+				if rows != nil {
+					// Bitset kernel: "some w_t ∈ D(w_p) \ {v_t} avoids
+					// v_t's out/in rows" is one word-parallel pass.
+					var a, b *bitset.Set
+					if needOut {
+						a = rows.Out[vt]
+					}
+					if needIn {
+						b = rows.In[vt]
+					}
+					if !domW.ExistsOutside(a, b, vti) {
+						drop = append(drop, vti)
+					}
+					return true
 				}
 				supported := false
 				domW.ForEach(func(wti int) bool {

@@ -1,0 +1,50 @@
+package domain
+
+import "parsge/internal/graph"
+
+// Kernel selects the candidate-intersection implementation of the
+// enumeration hot paths: dense bitset adjacency rows (word-parallel set
+// ops via graph.BitGraph) or the classic sorted-slice CSR scans. The
+// zero value Auto lets the scheduler pick per query.
+type Kernel int
+
+const (
+	// KernelAuto picks per query: bitset rows whenever the target fits
+	// graph.DenseRowLimit, the slice paths otherwise.
+	KernelAuto Kernel = iota
+	// KernelBitset forces the bitset rows. Above graph.DenseRowLimit
+	// rows cannot be built and the engines silently fall back to the
+	// slice paths (the documented fallback rule) — results are
+	// identical either way.
+	KernelBitset
+	// KernelSlice forces the sorted-slice CSR paths, disabling the
+	// BitGraph everywhere. The ablation baseline.
+	KernelSlice
+)
+
+// String names the kernel for logs and bench tables.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelBitset:
+		return "bitset"
+	case KernelSlice:
+		return "slice"
+	default:
+		return "kernel(?)"
+	}
+}
+
+// ResolveKernel normalizes Auto against the target size: bitset rows
+// are worth building exactly when the target fits the dense-row
+// threshold. Explicit choices pass through untouched.
+func ResolveKernel(k Kernel, targetNodes int) Kernel {
+	if k != KernelAuto {
+		return k
+	}
+	if targetNodes <= graph.DenseRowLimit {
+		return KernelBitset
+	}
+	return KernelSlice
+}

@@ -125,6 +125,10 @@ type ComputeStats struct {
 	// is the size after the first arc-consistency sweep — the signal the
 	// adaptive second-stage rule reads (0 when AC did not run).
 	AfterUnary, AfterPass1, Final int
+	// Rows carries the BitGraph adjacency rows the propagation passes
+	// used (nil under the slice kernel, or when the target exceeds
+	// graph.DenseRowLimit), so engines reuse them instead of rebuilding.
+	Rows *graph.BitGraph
 }
 
 // TargetStats are the target-side statistics the adaptive schedule
@@ -311,6 +315,7 @@ func AutoTune(opts Options, gp, gt *graph.Graph) Options {
 		dense := st.Density >= inducedDenseDensity || st.MeanDegree >= inducedDenseMeanDegree
 		opts.SkipInducedAC = !dense || !patternHasNonEdge(gp)
 	}
+	opts.Kernel = ResolveKernel(opts.Kernel, st.Nodes)
 	return opts
 }
 

@@ -36,6 +36,14 @@ func (ix *Index) ApplyUpdates(oldG, newG *graph.Graph, touched []int32) *Index {
 	nix := &Index{
 		byLabel: ix.byLabel, // node labels are immutable under edge updates
 		nt:      ix.nt,
+		gen:     ix.gen + 1,
+	}
+	if c := ix.rowCache.Load(); c != nil && c.epoch == ix.gen {
+		// The old index had BitGraph rows for its generation: seed the new
+		// index with an incremental rebuild (touched rows only, untouched
+		// rows shared), tagged with the new generation. A stale or absent
+		// cache is simply not carried — Rows rebuilds lazily on demand.
+		nix.rowCache.Store(&bitRows{rows: c.rows.Rebuild(newG, touched), epoch: nix.gen})
 	}
 	sumDeg, sumSqDeg := ix.sumDeg, ix.sumSqDeg
 	for _, v := range touched {
@@ -138,6 +146,14 @@ func IndexEqual(a, b *Index) (bool, string) {
 	}
 	if a.nt != b.nt {
 		return false, fmt.Sprintf("node count %d vs %d", a.nt, b.nt)
+	}
+	if a.HasRows() && b.HasRows() {
+		// Rows are built lazily, so a one-sided cache is not a difference;
+		// when both sides have current-generation rows they must encode
+		// identical adjacency (the incremental-vs-rebuild row hook).
+		if ok, why := graph.BitGraphEqual(a.cachedRows(), b.cachedRows()); !ok {
+			return false, "bitset rows: " + why
+		}
 	}
 	if a.stats != b.stats {
 		return false, fmt.Sprintf("stats %+v vs %+v", a.stats, b.stats)

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"fmt"
+
+	"parsge/internal/bitset"
+)
+
+// BitGraph is the dense bitset-adjacency kernel layer: one bitset row
+// per vertex and direction, so the enumeration hot paths (back-edge
+// verification, induced non-edge checks, per-direction neighborhood
+// subtraction, arc-consistency support tests) become word-parallel set
+// ops instead of per-neighbor binary searches. When the edge-label
+// alphabet is small a per-(direction, label) row variant rides along,
+// making labeled adjacency tests exact without touching the CSR.
+//
+// A BitGraph is immutable after construction and safe for concurrent
+// readers, like the Graph it mirrors. It is a cache, not a replacement:
+// rows record edge *existence* only (parallel edges collapse), which is
+// exactly what the hot-path predicates ask.
+type BitGraph struct {
+	n int
+	// Out[v] / In[v] hold the out-/in-neighbors of v (self-loops
+	// included), one bit per target vertex.
+	Out, In []*bitset.Set
+	// OutLab[l][v] / InLab[l][v] hold the neighbors reachable over an
+	// edge labeled l, built only when the edge-label alphabet has at
+	// most MaxLabelRows members and n ≤ LabelRowLimit. When present the
+	// maps cover the alphabet exactly: a label missing from the map has
+	// no edge in the graph.
+	OutLab, InLab map[Label][]*bitset.Set
+}
+
+// DenseRowLimit is the node count up to which dense bitset adjacency
+// rows are built (O(n²) bits — 32 MiB per direction at the limit).
+// Above it NewBitGraph returns nil and every kernel consumer falls back
+// to the sorted-slice CSR paths. The census's dense-adjacency heuristic
+// is this same constant (it predates the BitGraph and was lifted here).
+const DenseRowLimit = 1 << 14
+
+// LabelRowLimit is the tighter node-count bound for the per-edge-label
+// row variant: label rows multiply the O(n²) bit cost by the alphabet
+// size, so they stop at 2^12 nodes (2 MiB per label and direction).
+const LabelRowLimit = 1 << 12
+
+// MaxLabelRows bounds the edge-label alphabet for which per-label rows
+// are built.
+const MaxLabelRows = 4
+
+// NewBitGraph builds the dense adjacency rows of g, or returns nil when
+// g exceeds DenseRowLimit nodes (the sorted-slice fallback rule).
+func NewBitGraph(g *Graph) *BitGraph {
+	n := g.NumNodes()
+	if n > DenseRowLimit {
+		return nil
+	}
+	bg := &BitGraph{n: n, Out: make([]*bitset.Set, n), In: make([]*bitset.Set, n)}
+	labels, ok := edgeLabelAlphabet(g)
+	if ok && n <= LabelRowLimit {
+		bg.OutLab = make(map[Label][]*bitset.Set, len(labels))
+		bg.InLab = make(map[Label][]*bitset.Set, len(labels))
+		for _, l := range labels {
+			bg.OutLab[l] = make([]*bitset.Set, n)
+			bg.InLab[l] = make([]*bitset.Set, n)
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		bg.buildRows(g, v)
+	}
+	return bg
+}
+
+// NumNodes returns the number of vertices the rows cover.
+func (bg *BitGraph) NumNodes() int { return bg.n }
+
+// HasLabelRows reports whether the per-(direction, label) variant was
+// built; when true, a label absent from OutLab/InLab has no edge.
+func (bg *BitGraph) HasLabelRows() bool { return bg.OutLab != nil }
+
+// buildRows (re)builds every row of vertex v from g: the out/in
+// direction rows and, when label rows are enabled, v's row under every
+// label of the alphabet.
+func (bg *BitGraph) buildRows(g *Graph, v int32) {
+	out, in := bitset.New(bg.n), bitset.New(bg.n)
+	for _, u := range g.OutNeighbors(v) {
+		out.Set(int(u))
+	}
+	for _, u := range g.InNeighbors(v) {
+		in.Set(int(u))
+	}
+	bg.Out[v], bg.In[v] = out, in
+	if bg.OutLab == nil {
+		return
+	}
+	for l := range bg.OutLab {
+		bg.OutLab[l][v] = bitset.New(bg.n)
+		bg.InLab[l][v] = bitset.New(bg.n)
+	}
+	outN, outL := g.OutNeighbors(v), g.OutEdgeLabels(v)
+	for i, u := range outN {
+		bg.OutLab[outL[i]][v].Set(int(u))
+	}
+	inN, inL := g.InNeighbors(v), g.InEdgeLabels(v)
+	for i, u := range inN {
+		bg.InLab[inL[i]][v].Set(int(u))
+	}
+}
+
+// Rebuild returns a BitGraph for g2, sharing every row of bg whose
+// vertex is untouched and rebuilding only the touched vertices' rows —
+// the incremental-maintenance step under Target.ApplyUpdates. Both
+// endpoints of every changed arc appear in touched, so per-vertex
+// rebuilds cover every changed row. The label-row variant covers the
+// edge-label alphabet exactly (a label absent from the maps has no
+// edge), so ANY alphabet change — a new label, or a label vanishing
+// with its last edge — invalidates the row structure, not just row
+// contents; Rebuild recomputes the alphabet and falls back to a
+// from-scratch NewBitGraph when it no longer matches (likewise on a
+// node-count change). Correctness never depends on the incremental
+// path, and the result is always bit-identical to a clean build of g2.
+func (bg *BitGraph) Rebuild(g2 *Graph, touched []int32) *BitGraph {
+	if bg == nil || g2.NumNodes() != bg.n {
+		return NewBitGraph(g2)
+	}
+	labels, ok := edgeLabelAlphabet(g2)
+	switch {
+	case bg.OutLab == nil:
+		// No label rows yet; a clean build of g2 would create them iff
+		// its alphabet is small enough, so only that case forces one.
+		if ok && bg.n <= LabelRowLimit {
+			return NewBitGraph(g2)
+		}
+	case !ok || len(labels) != len(bg.OutLab):
+		return NewBitGraph(g2)
+	default:
+		for _, l := range labels {
+			if _, have := bg.OutLab[l]; !have {
+				return NewBitGraph(g2)
+			}
+		}
+	}
+	n2 := &BitGraph{n: bg.n, Out: make([]*bitset.Set, bg.n), In: make([]*bitset.Set, bg.n)}
+	copy(n2.Out, bg.Out)
+	copy(n2.In, bg.In)
+	if bg.OutLab != nil {
+		n2.OutLab = make(map[Label][]*bitset.Set, len(bg.OutLab))
+		n2.InLab = make(map[Label][]*bitset.Set, len(bg.InLab))
+		for l, rows := range bg.OutLab {
+			nr := make([]*bitset.Set, bg.n)
+			copy(nr, rows)
+			n2.OutLab[l] = nr
+		}
+		for l, rows := range bg.InLab {
+			nr := make([]*bitset.Set, bg.n)
+			copy(nr, rows)
+			n2.InLab[l] = nr
+		}
+	}
+	for _, v := range touched {
+		n2.buildRows(g2, v)
+	}
+	return n2
+}
+
+// BitGraphEqual reports whether two BitGraphs encode identical
+// adjacency (rows and label rows), with a short human-readable
+// diagnosis of the first difference — the differential hook
+// domain.IndexEqual uses to pin incremental row maintenance against a
+// from-scratch rebuild.
+func BitGraphEqual(a, b *BitGraph) (bool, string) {
+	if (a == nil) != (b == nil) {
+		return false, "one BitGraph is nil"
+	}
+	if a == nil {
+		return true, ""
+	}
+	if a.n != b.n {
+		return false, "node counts differ"
+	}
+	for v := 0; v < a.n; v++ {
+		if !a.Out[v].Equal(b.Out[v]) {
+			return false, fmt.Sprintf("out row differs at vertex %d", v)
+		}
+		if !a.In[v].Equal(b.In[v]) {
+			return false, fmt.Sprintf("in row differs at vertex %d", v)
+		}
+	}
+	if (a.OutLab == nil) != (b.OutLab == nil) || len(a.OutLab) != len(b.OutLab) {
+		return false, "label-row alphabets differ"
+	}
+	for l, rows := range a.OutLab {
+		or, ok := b.OutLab[l]
+		ir := b.InLab[l]
+		if !ok {
+			return false, "label-row alphabets differ"
+		}
+		for v := 0; v < a.n; v++ {
+			if !rows[v].Equal(or[v]) {
+				return false, fmt.Sprintf("label %d out row differs at vertex %d", l, v)
+			}
+			if !a.InLab[l][v].Equal(ir[v]) {
+				return false, fmt.Sprintf("label %d in row differs at vertex %d", l, v)
+			}
+		}
+	}
+	return true, ""
+}
+
+// UnionRows returns per-vertex undirected adjacency rows — out ∪ in
+// neighbors with self-loops removed — or nil above DenseRowLimit. This
+// is the census walker's neighbor structure (connectivity ignores
+// direction, multiplicity and self-loops), derived from the same
+// per-direction row construction as the query kernels so there is one
+// adjacency-row implementation.
+func UnionRows(g *Graph) []*bitset.Set {
+	n := g.NumNodes()
+	if n > DenseRowLimit {
+		return nil
+	}
+	rows := make([]*bitset.Set, n)
+	for v := int32(0); v < int32(n); v++ {
+		s := bitset.New(n)
+		for _, u := range g.OutNeighbors(v) {
+			s.Set(int(u))
+		}
+		for _, u := range g.InNeighbors(v) {
+			s.Set(int(u))
+		}
+		s.Clear(int(v))
+		rows[v] = s
+	}
+	return rows
+}
+
+// edgeLabelAlphabet collects the distinct edge labels of g, giving up
+// (ok=false) as soon as the alphabet exceeds MaxLabelRows.
+func edgeLabelAlphabet(g *Graph) ([]Label, bool) {
+	seen := make(map[Label]bool, MaxLabelRows)
+	var labels []Label
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		for _, l := range g.OutEdgeLabels(v) {
+			if !seen[l] {
+				if len(labels) == MaxLabelRows {
+					return nil, false
+				}
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+	}
+	return labels, true
+}

@@ -59,6 +59,12 @@ type Options struct {
 	// (see domain.AutoTune); domain.ScheduleFixed runs the full fixed
 	// pipeline. The resolved plan is reported in Result.PreprocStats.
 	Schedule domain.Schedule
+	// Kernel selects the candidate-intersection implementation of the
+	// per-state propagation: under the bitset kernel the neighborhood
+	// intersections and induced subtractions are word-parallel row ops
+	// on graph.BitGraph instead of per-neighbor bit edits. The zero
+	// value, domain.KernelAuto, picks by target size.
+	Kernel domain.Kernel
 	// Semantics selects the matching semantics (zero value: normalized
 	// to non-induced subgraph isomorphism). Under graph.Homomorphism
 	// the AllDifferent propagation is skipped (no injectivity); under
@@ -98,6 +104,13 @@ type solver struct {
 	opts      Options
 	injective bool
 	induced   bool
+	// rows are the target's bitset adjacency rows under the bitset
+	// kernel (nil otherwise); propagation uses them for word-parallel
+	// neighborhood intersection and induced subtraction.
+	rows *graph.BitGraph
+	// scratch is the reusable target-sized set filterNeighbors builds
+	// label-compatible neighborhoods in on the slice path.
+	scratch *bitset.Set
 
 	// domains[d] is the domain vector valid at depth d (one bitset per
 	// pattern node). domains[0] comes from preprocessing; deeper levels
@@ -127,6 +140,7 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		ACPasses:      opts.ACPasses,
 		SkipNLF:       opts.SkipNLF,
 		SkipInducedAC: opts.SkipInducedAC,
+		Kernel:        opts.Kernel,
 		Semantics:     opts.Semantics,
 	}
 	if opts.Schedule == domain.ScheduleAuto {
@@ -164,9 +178,18 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		opts:      opts,
 		injective: opts.Semantics.Injective(),
 		induced:   opts.Semantics.Induced(),
+		rows:      dstats.Rows,
+		scratch:   bitset.New(gt.NumNodes()),
 		domains:   make([][]*bitset.Set, n+1),
 		mapped:    make([]int32, n),
 		nodeMap:   make([]int32, n),
+	}
+	if s.rows == nil && domain.ResolveKernel(opts.Kernel, gt.NumNodes()) == domain.KernelBitset {
+		if opts.Index != nil && opts.Index.NumNodes() == gt.NumNodes() {
+			s.rows = opts.Index.Rows(gt)
+		} else {
+			s.rows = graph.NewBitGraph(gt)
+		}
 	}
 	if opts.Ctx != nil {
 		s.done = opts.Ctx.Done()
@@ -287,13 +310,21 @@ func (s *solver) propagate(pos int, u, vt int32) bool {
 				continue
 			}
 			if !s.gp.HasEdge(u, w) {
-				for _, wt := range s.gt.OutNeighbors(vt) {
-					next[w].Clear(int(wt))
+				if s.rows != nil {
+					next[w].AndNot(s.rows.Out[vt])
+				} else {
+					for _, wt := range s.gt.OutNeighbors(vt) {
+						next[w].Clear(int(wt))
+					}
 				}
 			}
 			if !s.gp.HasEdge(w, u) {
-				for _, wt := range s.gt.InNeighbors(vt) {
-					next[w].Clear(int(wt))
+				if s.rows != nil {
+					next[w].AndNot(s.rows.In[vt])
+				} else {
+					for _, wt := range s.gt.InNeighbors(vt) {
+						next[w].Clear(int(wt))
+					}
 				}
 			}
 		}
@@ -302,10 +333,14 @@ func (s *solver) propagate(pos int, u, vt int32) bool {
 	// Arc consistency along every pattern edge incident to u: unassigned
 	// out-neighbors must lie in vt's out-neighborhood with a matching
 	// edge label; symmetrically for in-neighbors.
-	if !s.filterNeighbors(next, pos, s.gp.OutNeighbors(u), s.gp.OutEdgeLabels(u), s.gt.OutNeighbors(vt), s.gt.OutEdgeLabels(vt)) {
+	var outLabRows, inLabRows map[graph.Label][]*bitset.Set
+	if s.rows != nil && s.rows.HasLabelRows() {
+		outLabRows, inLabRows = s.rows.OutLab, s.rows.InLab
+	}
+	if !s.filterNeighbors(next, pos, vt, s.gp.OutNeighbors(u), s.gp.OutEdgeLabels(u), s.gt.OutNeighbors(vt), s.gt.OutEdgeLabels(vt), outLabRows) {
 		return false
 	}
-	if !s.filterNeighbors(next, pos, s.gp.InNeighbors(u), s.gp.InEdgeLabels(u), s.gt.InNeighbors(vt), s.gt.InEdgeLabels(vt)) {
+	if !s.filterNeighbors(next, pos, vt, s.gp.InNeighbors(u), s.gp.InEdgeLabels(u), s.gt.InNeighbors(vt), s.gt.InEdgeLabels(vt), inLabRows) {
 		return false
 	}
 	// Wipe-out check over all unassigned domains.
@@ -318,11 +353,14 @@ func (s *solver) propagate(pos int, u, vt int32) bool {
 }
 
 // filterNeighbors intersects the domains of u's unassigned pattern
-// neighbors with the edge-label-compatible neighborhood of vt.
-func (s *solver) filterNeighbors(next []*bitset.Set, pos int, pAdj []int32, pLabs []graph.Label,
-	tAdj []int32, tLabs []graph.Label) bool {
+// neighbors with the edge-label-compatible neighborhood of vt. Under the
+// bitset kernel's label rows (labRows non-nil) the compatible
+// neighborhood is a precomputed row and the intersection is a single
+// And; otherwise it is built per edge label in the solver's reusable
+// scratch set.
+func (s *solver) filterNeighbors(next []*bitset.Set, pos int, vt int32, pAdj []int32, pLabs []graph.Label,
+	tAdj []int32, tLabs []graph.Label, labRows map[graph.Label][]*bitset.Set) bool {
 
-	scratch := bitset.New(s.gt.NumNodes())
 	for i, w := range pAdj {
 		if s.ord.Pos[w] <= int32(pos) {
 			// Already assigned: consistency was enforced when w was
@@ -331,13 +369,26 @@ func (s *solver) filterNeighbors(next []*bitset.Set, pos int, pAdj []int32, pLab
 			continue
 		}
 		want := pLabs[i]
-		scratch.ClearAll()
+		if labRows != nil {
+			rows := labRows[want]
+			if rows == nil {
+				// Label absent from the target alphabet: the compatible
+				// neighborhood is empty, wiping out w's domain.
+				return false
+			}
+			next[w].And(rows[vt])
+			if next[w].Empty() {
+				return false
+			}
+			continue
+		}
+		s.scratch.ClearAll()
 		for k, wt := range tAdj {
 			if tLabs[k] == want {
-				scratch.Set(int(wt))
+				s.scratch.Set(int(wt))
 			}
 		}
-		next[w].And(scratch)
+		next[w].And(s.scratch)
 		if next[w].Empty() {
 			return false
 		}

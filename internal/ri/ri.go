@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"parsge/internal/bitset"
 	"parsge/internal/domain"
 	"parsge/internal/graph"
 	"parsge/internal/order"
@@ -88,6 +89,12 @@ type Options struct {
 	// ACPasses/Skip* knobs are respected under both. The chosen plan is
 	// recorded in Prepared.PreprocStats.
 	Schedule domain.Schedule
+	// Kernel selects the candidate-intersection implementation of the
+	// feasibility hot path (and of domain propagation): the zero value,
+	// domain.KernelAuto, picks bitset adjacency rows whenever the target
+	// fits graph.DenseRowLimit; KernelBitset/KernelSlice force one side
+	// (the differential battery and the kernel ablation run both).
+	Kernel domain.Kernel
 	// Semantics selects the matching semantics; the zero value
 	// (graph.SemanticsUnset) normalizes to the paper's non-induced
 	// subgraph isomorphism (§2.1). InducedIso adds per-direction
@@ -156,11 +163,35 @@ func (r Result) TotalTime() time.Duration { return r.PreprocTime + r.MatchTime }
 // backEdge records a pattern edge from the node at some position to a
 // node at an earlier position; the search validates all of them for every
 // candidate ("introducing additional constraints as early as possible").
+// Under the bitset kernel each back edge is pre-bound to the adjacency
+// rows that answer it (mode/rows), so the hot loop is a single word
+// indexed bit test instead of a binary search over the CSR.
 type backEdge struct {
 	pos   int32       // earlier ordering position
 	label graph.Label // required edge label
 	out   bool        // true: pattern edge (current → earlier); false: (earlier → current)
+	mode  uint8       // row binding, see the row* constants
+	// rows is indexed by the candidate target node vt: under rowExact
+	// the per-(direction, label) rows, under rowPrefilter the direction
+	// rows. rows[vt].Test(w) asks "does the required arc exist?" (exact)
+	// or "does any arc exist?" (prefilter).
+	rows []*bitset.Set
 }
+
+const (
+	// rowNone: no BitGraph rows (slice kernel or target above
+	// graph.DenseRowLimit) — the CSR HasEdgeLabeled path.
+	rowNone uint8 = iota
+	// rowExact: per-label rows are built and the edge's label is in the
+	// target alphabet; the bit test is the whole check.
+	rowExact
+	// rowAbsent: per-label rows are built but the edge's label never
+	// occurs in the target — no candidate can satisfy this position.
+	rowAbsent
+	// rowPrefilter: only direction rows exist; a row miss is definitive,
+	// a row hit still confirms the edge label against the CSR.
+	rowPrefilter
+)
 
 // Prepared is the immutable product of preprocessing: everything the
 // sequential and parallel searches share. It is safe for concurrent use
@@ -178,6 +209,10 @@ type Prepared struct {
 	Doms *domain.Domains // nil for VariantRI
 	// Idx is the optional shared target label index (nil without one).
 	Idx *domain.Index
+	// rows are the target's dense bitset adjacency rows under the bitset
+	// kernel (nil under the slice kernel or above graph.DenseRowLimit);
+	// the back-edge and induced checks read them instead of the CSR.
+	rows *graph.BitGraph
 
 	back [][]backEdge
 	// selfLoops[i] lists the labels of pattern self-loops at Seq[i]; the
@@ -237,6 +272,7 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 			SkipNLF:       opts.SkipNLF,
 			SkipInducedAC: opts.SkipInducedAC,
 			Index:         p.Idx,
+			Kernel:        opts.Kernel,
 			Semantics:     opts.Semantics,
 		}
 		if opts.Schedule == domain.ScheduleAuto {
@@ -258,6 +294,19 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 		}
 	}
 
+	if !p.Unsat && domain.ResolveKernel(opts.Kernel, gt.NumNodes()) == domain.KernelBitset {
+		// Reuse the rows domain propagation built; otherwise build (or
+		// fetch from the shared index's cache) the kernel layer here, so
+		// plain RI and skip-AC ablations run the bitset hot path too.
+		if p.PreprocStats != nil && p.PreprocStats.Rows != nil {
+			p.rows = p.PreprocStats.Rows
+		} else if p.Idx != nil {
+			p.rows = p.Idx.Rows(gt)
+		} else {
+			p.rows = graph.NewBitGraph(gt)
+		}
+	}
+
 	oopts := order.Options{Strategy: opts.OrderStrategy}
 	if p.Doms != nil {
 		oopts.DomainSizes = p.Doms.Sizes()
@@ -269,6 +318,7 @@ func Prepare(gp, gt *graph.Graph, opts Options) (*Prepared, error) {
 	}
 	p.Ord = ord
 	p.buildBackEdges()
+	p.bindBackEdgeRows()
 	if opts.Semantics.Induced() {
 		p.buildInducedTables()
 	}
@@ -331,6 +381,40 @@ func (p *Prepared) buildBackEdges() {
 	}
 }
 
+// bindBackEdgeRows binds every back edge to the bitset rows that answer
+// it (see the row* constants). A no-op under the slice kernel.
+func (p *Prepared) bindBackEdgeRows() {
+	if p.rows == nil {
+		return
+	}
+	labelRows := p.rows.HasLabelRows()
+	for i := range p.back {
+		for k := range p.back[i] {
+			be := &p.back[i][k]
+			if labelRows {
+				var rows []*bitset.Set
+				if be.out {
+					rows = p.rows.OutLab[be.label]
+				} else {
+					rows = p.rows.InLab[be.label]
+				}
+				if rows == nil {
+					be.mode = rowAbsent
+				} else {
+					be.mode, be.rows = rowExact, rows
+				}
+				continue
+			}
+			if be.out {
+				be.rows = p.rows.Out
+			} else {
+				be.rows = p.rows.In
+			}
+			be.mode = rowPrefilter
+		}
+	}
+}
+
 // NumPositions returns the depth of a complete mapping.
 func (p *Prepared) NumPositions() int { return len(p.Ord.Seq) }
 
@@ -386,8 +470,23 @@ func (p *Prepared) Feasible(pos int, vt int32, mapped []int32, used []bool) bool
 			return false
 		}
 	}
-	for _, be := range p.back[pos] {
+	for i := range p.back[pos] {
+		be := &p.back[pos][i]
 		w := mapped[be.pos]
+		switch be.mode {
+		case rowExact:
+			if !be.rows[vt].Test(int(w)) {
+				return false
+			}
+			continue
+		case rowAbsent:
+			return false
+		case rowPrefilter:
+			if !be.rows[vt].Test(int(w)) {
+				return false
+			}
+			// Some arc exists; fall through to confirm its label.
+		}
 		if be.out {
 			if !p.Target.HasEdgeLabeled(vt, w, be.label) {
 				return false
@@ -399,6 +498,23 @@ func (p *Prepared) Feasible(pos int, vt int32, mapped []int32, used []bool) bool
 		}
 	}
 	if p.induced {
+		if rows := p.rows; rows != nil {
+			outRow, inRow := rows.Out[vt], rows.In[vt]
+			if !p.hasSelfLoop[pos] && outRow.Test(int(vt)) {
+				return false
+			}
+			noOut, noIn := p.noOut[pos], p.noIn[pos]
+			for j := 0; j < pos; j++ {
+				w := int(mapped[j])
+				if noOut[j] && outRow.Test(w) {
+					return false
+				}
+				if noIn[j] && inRow.Test(w) {
+					return false
+				}
+			}
+			return true
+		}
 		if !p.hasSelfLoop[pos] && p.Target.HasEdge(vt, vt) {
 			return false
 		}

@@ -60,6 +60,12 @@ type Options struct {
 	// (see domain.AutoTune); domain.ScheduleFixed runs the full fixed
 	// pipeline. The resolved plan is reported in Result.PreprocStats.
 	Schedule domain.Schedule
+	// Kernel selects the candidate-pool filtering implementation: under
+	// the bitset kernel the per-candidate edge and induced non-edge
+	// checks are bit tests on graph.BitGraph adjacency rows instead of
+	// CSR binary searches. The zero value, domain.KernelAuto, picks by
+	// target size.
+	Kernel domain.Kernel
 	// Semantics selects the matching semantics (zero value: normalized
 	// to non-induced subgraph isomorphism, identical to internal/ri's
 	// default, so the engines stay interchangeable oracles across all
@@ -89,6 +95,9 @@ type state struct {
 	gp, gt *graph.Graph
 	opts   Options
 	doms   *domain.Domains // nil with SkipDomains
+	// rows are the target's bitset adjacency rows under the bitset
+	// kernel (nil otherwise); feasible reads them instead of the CSR.
+	rows *graph.BitGraph
 
 	core      []int32 // pattern node → target node or -1
 	used      []bool  // target node used
@@ -126,6 +135,7 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 			ACPasses:      opts.ACPasses,
 			SkipNLF:       opts.SkipNLF,
 			SkipInducedAC: opts.SkipInducedAC,
+			Kernel:        opts.Kernel,
 			Semantics:     opts.Semantics,
 		}
 		if opts.Schedule == domain.ScheduleAuto {
@@ -133,11 +143,19 @@ func Enumerate(gp, gt *graph.Graph, opts Options) Result {
 		}
 		var dstats domain.ComputeStats
 		s.doms, dstats = domain.ComputeWithStats(gp, gt, dopts)
+		s.rows = dstats.Rows
 		res.PreprocStats = &dstats
 		res.PreprocTime = time.Since(start)
 		if gp.NumNodes() > 0 && s.doms.AnyEmpty() {
 			res.Unsatisfiable = true
 			return res
+		}
+	}
+	if s.rows == nil && domain.ResolveKernel(opts.Kernel, gt.NumNodes()) == domain.KernelBitset {
+		if opts.Index != nil && opts.Index.NumNodes() == gt.NumNodes() {
+			s.rows = opts.Index.Rows(gt)
+		} else {
+			s.rows = graph.NewBitGraph(gt)
 		}
 	}
 	for i := range s.core {
@@ -238,11 +256,25 @@ func (s *state) feasible(u, v int32) bool {
 			return false
 		}
 	}
-	// Every mapped pattern neighbor must be consistent now.
+	// Every mapped pattern neighbor must be consistent now. Under the
+	// bitset kernel the edge tests are row bit tests: exact when
+	// per-label rows exist, direction-row prefilter (miss is definitive,
+	// hit confirms the label) otherwise.
+	labelRows := s.rows != nil && s.rows.HasLabelRows()
 	adj := s.gp.OutNeighbors(u)
 	labs := s.gp.OutEdgeLabels(u)
 	for i, w := range adj {
 		if tw := s.core[w]; tw >= 0 {
+			if labelRows {
+				r := s.rows.OutLab[labs[i]]
+				if r == nil || !r[v].Test(int(tw)) {
+					return false
+				}
+				continue
+			}
+			if s.rows != nil && !s.rows.Out[v].Test(int(tw)) {
+				return false
+			}
 			if !s.gt.HasEdgeLabeled(v, tw, labs[i]) {
 				return false
 			}
@@ -256,6 +288,16 @@ func (s *state) feasible(u, v int32) bool {
 	labs = s.gp.InEdgeLabels(u)
 	for i, w := range adj {
 		if tw := s.core[w]; tw >= 0 && w != u {
+			if labelRows {
+				r := s.rows.InLab[labs[i]]
+				if r == nil || !r[v].Test(int(tw)) {
+					return false
+				}
+				continue
+			}
+			if s.rows != nil && !s.rows.In[v].Test(int(tw)) {
+				return false
+			}
 			if !s.gt.HasEdgeLabeled(tw, v, labs[i]) {
 				return false
 			}
@@ -264,6 +306,25 @@ func (s *state) feasible(u, v int32) bool {
 	if s.induced {
 		// Pattern non-edges (per direction, any label) must map onto
 		// target non-edges, self-loops included.
+		if rows := s.rows; rows != nil {
+			outRow, inRow := rows.Out[v], rows.In[v]
+			if !s.gp.HasEdge(u, u) && outRow.Test(int(v)) {
+				return false
+			}
+			for w := int32(0); w < int32(s.gp.NumNodes()); w++ {
+				tw := s.core[w]
+				if tw < 0 || w == u {
+					continue
+				}
+				if !s.gp.HasEdge(u, w) && outRow.Test(int(tw)) {
+					return false
+				}
+				if !s.gp.HasEdge(w, u) && inRow.Test(int(tw)) {
+					return false
+				}
+			}
+			return true
+		}
 		if !s.gp.HasEdge(u, u) && s.gt.HasEdge(v, v) {
 			return false
 		}

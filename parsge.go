@@ -253,6 +253,27 @@ const (
 	ScheduleFixed = domain.ScheduleFixed
 )
 
+// Kernel selects the candidate-intersection implementation of the
+// enumeration hot paths; see the constants below. Like Schedule, every
+// kernel yields identical match counts (the kernel differential battery
+// pins bitset against slice across engines and semantics) — kernels
+// differ only in constant factors and allocation behavior.
+type Kernel = domain.Kernel
+
+const (
+	// KernelAuto (the default) picks per query: bitset adjacency rows
+	// whenever the target fits the dense-row threshold (2^14 nodes),
+	// the classic sorted-slice paths otherwise.
+	KernelAuto = domain.KernelAuto
+	// KernelBitset forces the dense bitset adjacency rows (word-parallel
+	// candidate intersection). Above the dense-row threshold the rows
+	// cannot be built and the engines fall back to the slice paths.
+	KernelBitset = domain.KernelBitset
+	// KernelSlice forces the sorted-slice CSR paths — the ablation
+	// baseline the bitset kernel is measured against.
+	KernelSlice = domain.KernelSlice
+)
+
 // NLFMode selects the representation of a Target index's NLF
 // signatures; see TargetOptions.NLF.
 type NLFMode = domain.NLFMode
@@ -295,6 +316,12 @@ type PruningOptions struct {
 	// propagation (InducedIso only: pattern non-edges shrink the
 	// domains before the search).
 	DisableInducedAC bool
+	// Kernel selects the candidate-intersection implementation of the
+	// enumeration hot paths: KernelAuto (the zero value) picks bitset
+	// adjacency rows for targets up to the dense-row threshold,
+	// KernelBitset/KernelSlice force one side (kernel ablations and the
+	// differential battery run both).
+	Kernel Kernel
 }
 
 // resolveSemantics folds the legacy Induced flag into the Semantics

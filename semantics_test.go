@@ -44,6 +44,15 @@ var engineConfigs = []struct {
 	{"RI-DS-SI-FC/ac1", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{Schedule: ScheduleFixed, ACPasses: 1}}},
 	{"LAD/fixed", Options{Algorithm: LAD, Pruning: PruningOptions{Schedule: ScheduleFixed}}},
 	{"VF2/ac1", Options{Algorithm: VF2, Pruning: PruningOptions{ACPasses: 1}}},
+	// Kernel-space points: KernelAuto resolves to the bitset rows on
+	// test-sized targets, so the explicit slice configurations keep the
+	// classic CSR hot paths differentially covered, and the explicit
+	// bitset configurations pin the forced side (fallback rules and all).
+	{"RI-DS-SI-FC/sliceKernel", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{Kernel: KernelSlice}}},
+	{"RI-DS-SI-FC/bitsetKernel", Options{Algorithm: RIDSSIFC, Pruning: PruningOptions{Kernel: KernelBitset}}},
+	{"parallel-RI-DS-SI-FC/sliceKernel", Options{Algorithm: RIDSSIFC, Workers: 4, TaskGroupSize: 2, Pruning: PruningOptions{Kernel: KernelSlice}}},
+	{"VF2/sliceKernel", Options{Algorithm: VF2, Pruning: PruningOptions{Kernel: KernelSlice}}},
+	{"LAD/sliceKernel", Options{Algorithm: LAD, Pruning: PruningOptions{Kernel: KernelSlice}}},
 }
 
 // countAllEngines runs every engine configuration under sem and fails the
@@ -160,46 +169,50 @@ func directedCycle(n int) *Graph {
 	return b.MustBuild()
 }
 
+// goldenMotifCases are the hand-computed motif tables
+// TestGoldenMotifCounts pins; the kernel differential battery re-runs
+// them with the bitset kernel forced on every engine.
+var goldenMotifCases = []struct {
+	name               string
+	pattern, target    *Graph
+	iso, induced, homo int64
+}{
+	// Every vertex triple of K4 induces a triangle: 4·3·2 ordered
+	// embeddings, and homomorphic images of a triangle must be
+	// pairwise-adjacent, hence distinct — all three counts agree.
+	{"triangle-in-K4", cycleGraph(3), cliqueGraph(4), 24, 24, 24},
+	// Ordered P3 paths in a triangle: 3 centers × 2 endpoint
+	// orders. None induced (the endpoints are always adjacent).
+	// Homs additionally fold endpoints together: 3 centers × 2 × 2
+	// independent endpoint choices.
+	{"P3-in-C3", pathGraph(3), cycleGraph(3), 6, 0, 12},
+	// P3 in P3: the pattern center must map to the target center
+	// (ends have degree 1); the ends are non-adjacent, so both
+	// embeddings are induced. Homs are walks of length 2: 1+4+1.
+	{"P3-in-P3", pathGraph(3), pathGraph(3), 2, 2, 6},
+	// P4 runs in C6: 6 start points × 2 directions; all chordless
+	// in a 6-cycle, hence induced. Homs are walks of length 3:
+	// 6 starts × 2^3 step choices.
+	{"P4-in-C6", pathGraph(4), cycleGraph(6), 12, 12, 48},
+	// Claw (star with 3 leaves) in K4: center 4 × 3! leaf orders;
+	// never induced (leaves are adjacent in K4); homs pick each
+	// leaf independently from the center's 3 neighbors.
+	{"claw-in-K4", starGraph(3), cliqueGraph(4), 24, 0, 108},
+	// A directed 3-cycle in itself: the 3 rotations, which are also
+	// induced (no extra arcs exist); homs add nothing (images of a
+	// directed cycle in a directed cycle of equal length are the
+	// rotations).
+	{"C3->C3-directed", directedCycle(3), directedCycle(3), 3, 3, 3},
+	// A directed 3-cycle has no homomorphism into a single arc
+	// (the target has no closed walk).
+	{"C3->arc-directed", directedCycle(3), pathArc(), 0, 0, 0},
+}
+
 // TestGoldenMotifCounts pins classic motif counts with hand-computed
 // expected values per semantics. Counts are ordered embeddings (divide
 // by Automorphisms for occurrences).
 func TestGoldenMotifCounts(t *testing.T) {
-	cases := []struct {
-		name               string
-		pattern, target    *Graph
-		iso, induced, homo int64
-	}{
-		// Every vertex triple of K4 induces a triangle: 4·3·2 ordered
-		// embeddings, and homomorphic images of a triangle must be
-		// pairwise-adjacent, hence distinct — all three counts agree.
-		{"triangle-in-K4", cycleGraph(3), cliqueGraph(4), 24, 24, 24},
-		// Ordered P3 paths in a triangle: 3 centers × 2 endpoint
-		// orders. None induced (the endpoints are always adjacent).
-		// Homs additionally fold endpoints together: 3 centers × 2 × 2
-		// independent endpoint choices.
-		{"P3-in-C3", pathGraph(3), cycleGraph(3), 6, 0, 12},
-		// P3 in P3: the pattern center must map to the target center
-		// (ends have degree 1); the ends are non-adjacent, so both
-		// embeddings are induced. Homs are walks of length 2: 1+4+1.
-		{"P3-in-P3", pathGraph(3), pathGraph(3), 2, 2, 6},
-		// P4 runs in C6: 6 start points × 2 directions; all chordless
-		// in a 6-cycle, hence induced. Homs are walks of length 3:
-		// 6 starts × 2^3 step choices.
-		{"P4-in-C6", pathGraph(4), cycleGraph(6), 12, 12, 48},
-		// Claw (star with 3 leaves) in K4: center 4 × 3! leaf orders;
-		// never induced (leaves are adjacent in K4); homs pick each
-		// leaf independently from the center's 3 neighbors.
-		{"claw-in-K4", starGraph(3), cliqueGraph(4), 24, 0, 108},
-		// A directed 3-cycle in itself: the 3 rotations, which are also
-		// induced (no extra arcs exist); homs add nothing (images of a
-		// directed cycle in a directed cycle of equal length are the
-		// rotations).
-		{"C3->C3-directed", directedCycle(3), directedCycle(3), 3, 3, 3},
-		// A directed 3-cycle has no homomorphism into a single arc
-		// (the target has no closed walk).
-		{"C3->arc-directed", directedCycle(3), pathArc(), 0, 0, 0},
-	}
-	for _, c := range cases {
+	for _, c := range goldenMotifCases {
 		t.Run(c.name, func(t *testing.T) {
 			wants := map[Semantics]int64{
 				SubgraphIso:  c.iso,

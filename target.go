@@ -262,6 +262,7 @@ func (t *Target) enumerateOn(st *targetState, ctx context.Context, pattern *Grap
 				SkipInducedAC: opts.Pruning.DisableInducedAC,
 				ACPasses:      opts.Pruning.ACPasses,
 				Schedule:      opts.Pruning.Schedule,
+				Kernel:        opts.Pruning.Kernel,
 				Semantics:     sem,
 			})
 			return Result{
@@ -283,6 +284,7 @@ func (t *Target) enumerateOn(st *targetState, ctx context.Context, pattern *Grap
 			SkipInducedAC: opts.Pruning.DisableInducedAC,
 			ACPasses:      opts.Pruning.ACPasses,
 			Schedule:      opts.Pruning.Schedule,
+			Kernel:        opts.Pruning.Kernel,
 			Semantics:     sem,
 		})
 		return Result{
@@ -306,6 +308,7 @@ func (t *Target) enumerateOn(st *targetState, ctx context.Context, pattern *Grap
 		SkipInducedAC: opts.Pruning.DisableInducedAC,
 		ACPasses:      opts.Pruning.ACPasses,
 		Schedule:      opts.Pruning.Schedule,
+		Kernel:        opts.Pruning.Kernel,
 		TargetIndex:   st.index,
 	})
 	if err != nil {

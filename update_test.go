@@ -138,6 +138,10 @@ func TestApplyUpdatesDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Materialize the bitset rows so every batch below goes
+			// through the incremental touched-row Rebuild, which the
+			// IndexEqual comparison then pins against a clean build.
+			tgt.state.Load().index.Rows(tgt.Graph())
 			oracle := g.Edges()
 			labels := nodeLabels(g)
 			wantEpoch := uint64(0)
@@ -182,6 +186,7 @@ func TestApplyUpdatesDifferential(t *testing.T) {
 					t.Fatal(err)
 				}
 				si, sr := tgt.state.Load(), rebuilt.state.Load()
+				sr.index.Rows(rebuilt.Graph())
 				if ok, diff := domain.IndexEqual(si.index, sr.index); !ok {
 					t.Fatalf("undirected=%v trial %d batch %d: incremental index differs from rebuild: %s", undirected, trial, batch, diff)
 				}
@@ -206,9 +211,14 @@ func TestMetamorphicUpdates(t *testing.T) {
 		opts Options
 	}{
 		{"ri", Options{Algorithm: RIDSSIFC, Workers: 1}},
+		{"ri/bitset", Options{Algorithm: RIDSSIFC, Workers: 1, Pruning: PruningOptions{Kernel: KernelBitset}}},
+		{"ri/slice", Options{Algorithm: RIDSSIFC, Workers: 1, Pruning: PruningOptions{Kernel: KernelSlice}}},
 		{"steal", Options{Algorithm: RIDSSIFC, Workers: 4}},
+		{"steal/bitset", Options{Algorithm: RIDSSIFC, Workers: 4, Pruning: PruningOptions{Kernel: KernelBitset}}},
 		{"vf2", Options{Algorithm: VF2}},
+		{"vf2/slice", Options{Algorithm: VF2, Pruning: PruningOptions{Kernel: KernelSlice}}},
 		{"lad", Options{Algorithm: LAD}},
+		{"lad/slice", Options{Algorithm: LAD, Pruning: PruningOptions{Kernel: KernelSlice}}},
 	}
 	for trial := 0; trial < 30; trial++ {
 		g := randomUpdateTarget(rng, trial%2 == 0)
@@ -216,6 +226,10 @@ func TestMetamorphicUpdates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Force the bitset rows up front so every batch exercises the
+		// incremental Rebuild; after each batch they must be bit-identical
+		// to rows built from scratch on the same logical graph.
+		tgt.state.Load().index.Rows(tgt.Graph())
 		oracle := g.Edges()
 		labels := nodeLabels(g)
 		for batch := 0; batch < 3; batch++ {
@@ -224,6 +238,14 @@ func TestMetamorphicUpdates(t *testing.T) {
 				t.Fatal(err)
 			}
 			oracle = applyOracle(oracle, ups)
+			scratch, err := NewTarget(graphFromEdges(t, labels, oracle), TargetOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch.state.Load().index.Rows(scratch.Graph())
+			if ok, diff := domain.IndexEqual(tgt.state.Load().index, scratch.state.Load().index); !ok {
+				t.Fatalf("trial %d batch %d: incremental rows differ from rebuild: %s", trial, batch, diff)
+			}
 		}
 		og := graphFromEdges(t, labels, oracle)
 		rebuilt, err := NewTarget(og, TargetOptions{})
