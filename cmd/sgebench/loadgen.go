@@ -58,6 +58,13 @@ type loadgenConfig struct {
 	// (k cycling 3..4) instead of pattern queries, mixing the service's
 	// heaviest always-large workload into the stream.
 	CensusFrac float64
+	// ExplosiveFrac is the fraction of requests issued as a
+	// deliberately explosive probe: a star pattern rooted at the
+	// target's max-degree vertex, matched under homomorphism, whose
+	// count blows up combinatorially. A cost-model server sheds these
+	// with 429 (counted, not errored); a static server burns its full
+	// timeout on each one.
+	ExplosiveFrac float64
 	// Targets, when non-empty, switches to multi-target mode: queries
 	// and censuses round-robin across these named targets via
 	// /targets/{name}/..., and /stats is decoded as router stats.
@@ -73,6 +80,7 @@ type loadgenConfig struct {
 
 type loadgenResult struct {
 	requests, errors, cacheHits, streams, censuses int64
+	explosives, sheds                              int64 // explosive probes issued; requests shed with 429
 	updates                                        int64 // applied update batches
 	lastEpoch                                      uint64
 	latencies                                      []float64 // ms, successful requests
@@ -81,10 +89,13 @@ type loadgenResult struct {
 
 // queryTarget is one round-robin destination: base is the URL prefix the
 // /query and /census paths hang off ("" name = single-target mode).
+// explosive is the serialized star probe for this target (empty when the
+// explosive mix is off).
 type queryTarget struct {
-	name  string
-	base  string
-	texts []string
+	name      string
+	base      string
+	texts     []string
+	explosive string
 }
 
 func runLoadgen(cfg loadgenConfig) error {
@@ -140,6 +151,19 @@ func runLoadgen(cfg loadgenConfig) error {
 				return err
 			}
 			qts = append(qts, queryTarget{name: name, base: cfg.URL + "/targets/" + name, texts: texts})
+		}
+	}
+	if cfg.ExplosiveFrac > 0 {
+		for i := range qts {
+			g := graphs[0].Graph
+			if qts[i].name != "" {
+				g = byName[qts[i].name]
+			}
+			text, err := explosivePattern(g, table)
+			if err != nil {
+				return err
+			}
+			qts[i].explosive = text
 		}
 	}
 	var updateGraph *parsge.Graph
@@ -200,12 +224,30 @@ func runLoadgen(cfg loadgenConfig) error {
 					mu.Unlock()
 					continue
 				}
+				if qt.explosive != "" && crng.Float64() < cfg.ExplosiveFrac {
+					start := time.Now()
+					_, _, _, shed, err := issueQuery(client, qt.base, qt.explosive, "hom", false, false)
+					lat := float64(time.Since(start)) / float64(time.Millisecond)
+					mu.Lock()
+					res.requests++
+					res.explosives++
+					if err != nil {
+						res.errors++
+					} else {
+						res.latencies = append(res.latencies, lat)
+						if shed {
+							res.sheds++
+						}
+					}
+					mu.Unlock()
+					continue
+				}
 				pi := crng.Intn(len(qt.texts))
 				sem := semantics[(c+i)%len(semantics)]
 				stream := crng.Intn(16) == 0
 				withMappings := !stream && crng.Intn(8) == 0
 				start := time.Now()
-				matches, epoch, hit, err := issueQuery(client, qt.base, qt.texts[pi], sem, withMappings, stream)
+				matches, epoch, hit, shed, err := issueQuery(client, qt.base, qt.texts[pi], sem, withMappings, stream)
 				lat := float64(time.Since(start)) / float64(time.Millisecond)
 				mu.Lock()
 				res.requests++
@@ -215,6 +257,9 @@ func runLoadgen(cfg loadgenConfig) error {
 					res.latencies = append(res.latencies, lat)
 					if hit {
 						res.cacheHits++
+					}
+					if shed {
+						res.sheds++
 					}
 					if stream {
 						res.streams++
@@ -247,11 +292,20 @@ func runLoadgen(cfg loadgenConfig) error {
 	var stats service.Stats
 	var rstats service.RouterStats
 	var statsErr error
-	if multi {
-		rstats, statsErr = fetchRouterStats(client, cfg.URL)
-		stats = mergeRouterStats(rstats, cfg.Targets)
-	} else {
-		stats, statsErr = fetchStats(client, cfg.URL)
+	// Token release on streaming queries trails the HTTP response by a
+	// hair; give the server a few polls to report an idle pool before
+	// asserting zero worker pinning.
+	for attempt := 0; ; attempt++ {
+		if multi {
+			rstats, statsErr = fetchRouterStats(client, cfg.URL)
+			stats = mergeRouterStats(rstats, cfg.Targets)
+		} else {
+			stats, statsErr = fetchStats(client, cfg.URL)
+		}
+		if statsErr != nil || stats.TokensInUse == 0 || attempt >= 20 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	report(cfg, res, stats)
 	if multi && statsErr == nil {
@@ -270,6 +324,10 @@ func runLoadgen(cfg loadgenConfig) error {
 		return fmt.Errorf("stats: %v", statsErr)
 	case len(stats.Session.Plans.Buckets) == 0:
 		return fmt.Errorf("server reports an empty plan histogram")
+	case stats.TokensInUse != 0:
+		return fmt.Errorf("server still pins %d worker tokens after drain", stats.TokensInUse)
+	case cfg.ExplosiveFrac > 0 && res.sheds == 0 && stats.Deprioritized == 0:
+		return fmt.Errorf("explosive mix (%d probes) produced no sheds and no deprioritizations — cost model not engaging", res.explosives)
 	}
 	if cfg.UpdateTarget != "" {
 		ust := rstats.PerTarget[cfg.UpdateTarget]
@@ -300,6 +358,58 @@ func patternPool(rng *rand.Rand, g *parsge.Graph, n int, table *graphio.LabelTab
 		texts = append(texts, buf.String())
 	}
 	return texts, nil
+}
+
+// explosivePattern builds the star probe for one target: the max-degree
+// vertex with up to 12 of its distinct neighbors, arcs copied verbatim
+// (labels and directions included) so the pattern is guaranteed
+// satisfiable. Under homomorphism every leaf independently ranges over
+// the center candidate's whole neighborhood, so the match count scales
+// like sum over centers of degree^leaves — combinatorial explosion with
+// large, healthy-looking domains. Exactly the query shape the cost
+// model exists to shed.
+func explosivePattern(g *parsge.Graph, table *graphio.LabelTable) (string, error) {
+	center := int32(0)
+	for v := int32(1); v < int32(g.NumNodes()); v++ {
+		if g.Degree(v) > g.Degree(center) {
+			center = v
+		}
+	}
+	const maxLeaves = 12
+	b := parsge.NewBuilder(1+maxLeaves, maxLeaves)
+	b.AddNode(g.NodeLabel(center))
+	taken := map[int32]bool{center: true}
+	leaves := 0
+	addLeaf := func(w int32, lab parsge.Label, out bool) {
+		if leaves >= maxLeaves || taken[w] {
+			return
+		}
+		taken[w] = true
+		leaf := b.AddNode(g.NodeLabel(w))
+		if out {
+			b.AddEdge(0, leaf, lab)
+		} else {
+			b.AddEdge(leaf, 0, lab)
+		}
+		leaves++
+	}
+	outs, outLabs := g.OutNeighbors(center), g.OutEdgeLabels(center)
+	for k, w := range outs {
+		addLeaf(w, outLabs[k], true)
+	}
+	ins, inLabs := g.InNeighbors(center), g.InEdgeLabels(center)
+	for k, w := range ins {
+		addLeaf(w, inLabs[k], false)
+	}
+	gp, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := graphio.Write(&buf, "lg-explosive", gp, table); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
 }
 
 // runUpdater trickles small edge-update batches at the update target
@@ -359,9 +469,12 @@ func waitHealthy(client *http.Client, url string, patience time.Duration) error 
 }
 
 // issueQuery posts one query and returns the match count, the epoch the
-// reply executed against, and whether it was a cache hit. Streams are
-// drained line by line to their terminal record.
-func issueQuery(client *http.Client, base, pattern, sem string, mappings, stream bool) (int64, uint64, bool, error) {
+// reply executed against, whether it was a cache hit, and whether the
+// server shed it as predicted-explosive (HTTP 429 — an expected outcome
+// under the cost model, not an error; the count is -1 and excluded from
+// the consistency check). Streams are drained line by line to their
+// terminal record.
+func issueQuery(client *http.Client, base, pattern, sem string, mappings, stream bool) (int64, uint64, bool, bool, error) {
 	body, _ := json.Marshal(map[string]any{
 		"pattern":    pattern,
 		"semantics":  sem,
@@ -371,11 +484,14 @@ func issueQuery(client *http.Client, base, pattern, sem string, mappings, stream
 	})
 	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, false, err
+		return 0, 0, false, false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return -1, 0, false, true, nil
+	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, false, fmt.Errorf("status %s", resp.Status)
+		return 0, 0, false, false, fmt.Errorf("status %s", resp.Status)
 	}
 	if stream {
 		sc := bufio.NewScanner(resp.Body)
@@ -395,25 +511,25 @@ func issueQuery(client *http.Client, base, pattern, sem string, mappings, stream
 				Error     string  `json:"error"`
 			}
 			if err := json.Unmarshal([]byte(line), &rec); err != nil {
-				return 0, 0, false, err
+				return 0, 0, false, false, err
 			}
 			if rec.Done {
 				if rec.Error != "" {
-					return 0, 0, false, fmt.Errorf("stream error: %s", rec.Error)
+					return 0, 0, false, false, fmt.Errorf("stream error: %s", rec.Error)
 				}
 				if rec.Truncated {
 					// A truncated stream has a lower-bound count; do not
 					// feed it to the consistency check.
-					return -1, rec.Epoch, false, nil
+					return -1, rec.Epoch, false, false, nil
 				}
 				if rec.Matches != streamed {
-					return 0, 0, false, fmt.Errorf("stream delivered %d mappings, terminal says %d", streamed, rec.Matches)
+					return 0, 0, false, false, fmt.Errorf("stream delivered %d mappings, terminal says %d", streamed, rec.Matches)
 				}
-				return rec.Matches, rec.Epoch, false, sc.Err()
+				return rec.Matches, rec.Epoch, false, false, sc.Err()
 			}
 			streamed++
 		}
-		return 0, 0, false, fmt.Errorf("stream ended without terminal record: %v", sc.Err())
+		return 0, 0, false, false, fmt.Errorf("stream ended without terminal record: %v", sc.Err())
 	}
 	var rec struct {
 		Matches   int64  `json:"matches"`
@@ -422,12 +538,12 @@ func issueQuery(client *http.Client, base, pattern, sem string, mappings, stream
 		CacheHit  bool   `json:"cache_hit"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
-		return 0, 0, false, err
+		return 0, 0, false, false, err
 	}
 	if rec.Truncated {
-		return -1, rec.Epoch, rec.CacheHit, nil
+		return -1, rec.Epoch, rec.CacheHit, false, nil
 	}
-	return rec.Matches, rec.Epoch, rec.CacheHit, nil
+	return rec.Matches, rec.Epoch, rec.CacheHit, false, nil
 }
 
 // issueCensus posts one census request and returns the subgraph total
@@ -532,6 +648,12 @@ func mergeRouterStats(rs service.RouterStats, targets []string) service.Stats {
 		out.Updates += st.Updates
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses
+		out.ShedExplosive += st.ShedExplosive
+		out.Deprioritized += st.Deprioritized
+		out.MispredictSmall += st.MispredictSmall
+		out.MispredictLarge += st.MispredictLarge
+		out.EstimateHits += st.EstimateHits
+		out.EstimateMisses += st.EstimateMisses
 		out.Session.Plans.Planned += st.Session.Plans.Planned
 		out.Session.Plans.NoPlan += st.Session.Plans.NoPlan
 		for _, b := range st.Session.Plans.Buckets {
@@ -565,8 +687,17 @@ func report(cfg loadgenConfig, res *loadgenResult, stats service.Stats) {
 		fmt.Printf("loadgen: latency ms p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 			pct(0.50), pct(0.95), pct(0.99), res.latencies[ok-1])
 	}
+	if res.explosives > 0 || res.sheds > 0 {
+		fmt.Printf("loadgen: %d explosive probes issued, %d requests shed with 429\n",
+			res.explosives, res.sheds)
+	}
 	fmt.Printf("loadgen: server: %d queries, %d singleflight-shared, %d shed, %d queue timeouts, %d/%d seq/par runs\n",
 		stats.Queries, stats.Shared, stats.Shed, stats.QueueTimeouts, stats.Sequential, stats.Parallel)
+	if stats.ShedExplosive > 0 || stats.Deprioritized > 0 || stats.MispredictSmall+stats.MispredictLarge > 0 {
+		fmt.Printf("loadgen: server: %d shed explosive, %d deprioritized, %d/%d mispredicted small/large, %d/%d estimate hits/misses\n",
+			stats.ShedExplosive, stats.Deprioritized, stats.MispredictSmall, stats.MispredictLarge,
+			stats.EstimateHits, stats.EstimateMisses)
+	}
 	if stats.Census > 0 {
 		fmt.Printf("loadgen: server: %d censuses (%d/%d census-cache hits/misses)\n",
 			stats.Census, stats.CensusCacheHits, stats.CensusCacheMisses)

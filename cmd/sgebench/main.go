@@ -44,6 +44,7 @@ var ablations = map[string]func(*bench.Suite) bench.AblationResult{
 	"ordering":  (*bench.Suite).AblationOrdering,
 	"pruning":   (*bench.Suite).AblationPruningFilters,
 	"adaptive":  (*bench.Suite).AblationAdaptiveSchedule,
+	"admission": (*bench.Suite).AblationAdmission,
 }
 
 func ablationNames() []string {
@@ -77,6 +78,7 @@ func main() {
 		loadgenDuration = flag.Duration("duration", 10*time.Second, "loadgen run length")
 		loadgenPatterns = flag.Int("patterns", 12, "distinct patterns in the loadgen pool")
 		censusFrac      = flag.Float64("census-frac", 0, "fraction of loadgen requests issued as /census (0..1)")
+		explosiveFrac   = flag.Float64("explosive-frac", 0, "fraction of loadgen requests issued as predicted-explosive star probes under hom (0..1)")
 		loadgenTargets  = flag.String("loadgen-targets", "", "comma-separated target names on a multi-target server (sgeserve -targets) to round-robin the workload across")
 		updateTarget    = flag.String("update-target", "", "target name that receives a steady stream of edge-update batches during the run (needs -loadgen-targets)")
 		scale           = flag.Float64("scale", 0.03, "dataset scale relative to the paper's Table 1")
@@ -91,15 +93,16 @@ func main() {
 
 	if *loadgen != "" {
 		exitOn(runLoadgen(loadgenConfig{
-			URL:          strings.TrimRight(*loadgen, "/"),
-			TargetFile:   *loadgenTarget,
-			Clients:      *loadgenClients,
-			Duration:     *loadgenDuration,
-			Patterns:     *loadgenPatterns,
-			Seed:         *seed,
-			CensusFrac:   *censusFrac,
-			Targets:      splitNames(*loadgenTargets),
-			UpdateTarget: *updateTarget,
+			URL:           strings.TrimRight(*loadgen, "/"),
+			TargetFile:    *loadgenTarget,
+			Clients:       *loadgenClients,
+			Duration:      *loadgenDuration,
+			Patterns:      *loadgenPatterns,
+			Seed:          *seed,
+			CensusFrac:    *censusFrac,
+			ExplosiveFrac: *explosiveFrac,
+			Targets:       splitNames(*loadgenTargets),
+			UpdateTarget:  *updateTarget,
 		}))
 		return
 	}

@@ -59,12 +59,29 @@ func main() {
 		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max admission queue wait")
 		cacheBudget  = flag.Int64("cache", 1<<20, "result cache budget in match-count units (-1 disables)")
 		defTimeout   = flag.Duration("default-timeout", 30*time.Second, "timeout applied to queries that set none (0 = unbounded)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "clamp every query/census timeout to this server budget (0 = no clamp)")
+		smallBudget  = flag.Duration("small-budget", 0, "predicted cost under which a query runs sequentially (0 = 25ms)")
+		explosiveBud = flag.Duration("explosive-budget", 0, "predicted cost at which a query is shed/deprioritized (0 = max-timeout or 30s; negative disables)")
+		explosivePol = flag.String("explosive-policy", "shed", "what happens to predicted-explosive queries: shed (HTTP 429) or deprioritize (low-priority queue)")
+		smallLogDom  = flag.Float64("small-logdomain", 0, "domain score below which a history-less query runs sequentially (0 = 22)")
+		explLogDom   = flag.Float64("explosive-logdomain", 0, "domain score at which a query is shed regardless of plan history (0 = 44)")
+		staticCls    = flag.Bool("static-classify", false, "disable the cost model; classify on pattern size x mean degree (the pre-cost-model heuristic)")
 		semantics    = flag.String("default-semantics", "", "semantics for queries that choose none: iso, induced or hom (empty = iso)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight queries on shutdown")
 		maxPattern   = flag.Int("max-pattern-nodes", 64, "reject patterns larger than this")
 		maxHot       = flag.Int("max-hot-indexes", 0, "with -targets: max targets holding their label index at once (LRU eviction; 0 = unbounded)")
 	)
 	flag.Parse()
+
+	var policy service.ExplosivePolicy
+	switch *explosivePol {
+	case "shed":
+		policy = service.ExplosiveShed
+	case "deprioritize":
+		policy = service.ExplosiveDeprioritize
+	default:
+		exitOn(fmt.Errorf("unknown -explosive-policy %q (want shed or deprioritize)", *explosivePol))
+	}
 
 	table := graphio.NewLabelTable()
 
@@ -92,13 +109,20 @@ func main() {
 		named, err := loadTargets(*targetFile, *collection, *scale, *seed, table)
 		exitOn(err)
 		router = service.NewRouter(service.RouterConfig{
-			Workers:         *workers,
-			ParallelWorkers: *parallel,
-			MaxQueue:        *maxQueue,
-			QueueTimeout:    *queueTimeout,
-			CacheMaxMatches: *cacheBudget,
-			DefaultTimeout:  *defTimeout,
-			MaxHotIndexes:   *maxHot,
+			Workers:            *workers,
+			ParallelWorkers:    *parallel,
+			MaxQueue:           *maxQueue,
+			QueueTimeout:       *queueTimeout,
+			CacheMaxMatches:    *cacheBudget,
+			DefaultTimeout:     *defTimeout,
+			MaxTimeout:         *maxTimeout,
+			SmallBudget:        *smallBudget,
+			ExplosiveBudget:    *explosiveBud,
+			SmallLogDomain:     *smallLogDom,
+			ExplosiveLogDomain: *explLogDom,
+			ExplosivePolicy:    policy,
+			DisableCostModel:   *staticCls,
+			MaxHotIndexes:      *maxHot,
 		})
 		for _, nt := range named {
 			exitOn(router.AddTarget(nt.name, nt.g, parsge.TargetOptions{DefaultSemantics: defSem}))
@@ -114,13 +138,20 @@ func main() {
 		tgt, err := parsge.NewTarget(g, parsge.TargetOptions{DefaultSemantics: defSem})
 		exitOn(err)
 		svc, err = service.New(service.Config{
-			Target:          tgt,
-			Workers:         *workers,
-			ParallelWorkers: *parallel,
-			MaxQueue:        *maxQueue,
-			QueueTimeout:    *queueTimeout,
-			CacheMaxMatches: *cacheBudget,
-			DefaultTimeout:  *defTimeout,
+			Target:             tgt,
+			Workers:            *workers,
+			ParallelWorkers:    *parallel,
+			MaxQueue:           *maxQueue,
+			QueueTimeout:       *queueTimeout,
+			CacheMaxMatches:    *cacheBudget,
+			DefaultTimeout:     *defTimeout,
+			MaxTimeout:         *maxTimeout,
+			SmallBudget:        *smallBudget,
+			ExplosiveBudget:    *explosiveBud,
+			SmallLogDomain:     *smallLogDom,
+			ExplosiveLogDomain: *explLogDom,
+			ExplosivePolicy:    policy,
+			DisableCostModel:   *staticCls,
 		})
 		exitOn(err)
 		handler = service.NewServer(svc, table)
@@ -166,22 +197,24 @@ func main() {
 			log.Printf("sgeserve: router drain incomplete: %v", err)
 		}
 		rst := router.Stats()
-		var queries, hits, updates int64
+		var queries, hits, updates, shedExpl, mispred int64
 		for _, ts := range rst.PerTarget {
 			queries += ts.Queries
 			hits += ts.CacheHits
 			updates += ts.Updates
+			shedExpl += ts.ShedExplosive
+			mispred += ts.MispredictSmall + ts.MispredictLarge
 		}
-		log.Printf("sgeserve: shut down after %d queries (%d cache hits, %d updates, %d shed)",
-			queries, hits, updates, rst.Shed)
+		log.Printf("sgeserve: shut down after %d queries (%d cache hits, %d updates, %d shed, %d shed explosive, %d mispredicted)",
+			queries, hits, updates, rst.Shed, shedExpl, mispred)
 		return
 	}
 	if err := svc.Close(ctx); err != nil {
 		log.Printf("sgeserve: service drain incomplete: %v", err)
 	}
 	st := svc.Stats()
-	log.Printf("sgeserve: shut down after %d queries (%d cache hits, %d shed)",
-		st.Queries, st.CacheHits, st.Shed)
+	log.Printf("sgeserve: shut down after %d queries (%d cache hits, %d shed, %d shed explosive, %d mispredicted)",
+		st.Queries, st.CacheHits, st.Shed, st.ShedExplosive, st.MispredictSmall+st.MispredictLarge)
 }
 
 // namedGraph is one router target read from disk or generated.

@@ -297,6 +297,7 @@ func (s *Suite) Ablations() []AblationResult {
 		s.AblationOrdering(),
 		s.AblationPruningFilters(),
 		s.AblationAdaptiveSchedule(),
+		s.AblationAdmission(),
 	}
 }
 

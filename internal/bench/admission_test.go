@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAblationAdmission is the acceptance gate for the cost-model
+// admission path: on the mixed workload with explosive star probes, the
+// cost-model service must never be slower than the static heuristic
+// (which burns the full probe timeout on every explosive query), it must
+// actually shed, and the second replay — classified from EWMA history —
+// must not mispredict more than the first.
+func TestAblationAdmission(t *testing.T) {
+	var out bytes.Buffer
+	res := tinySuite(&out).AblationAdmission()
+	if len(res.Rows) != 4 {
+		t.Fatalf("admission ablation rows = %d, want 4 (2 configs × 2 passes)", len(res.Rows))
+	}
+	rows := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		rows[r.Name] = r
+	}
+	get := func(config string) AblationRow {
+		name := AdmissionRowName("PPIS32", config)
+		r, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing row %q in %v", name, res.Rows)
+		}
+		return r
+	}
+
+	for pass := 1; pass <= 2; pass++ {
+		p := "pass " + string(rune('0'+pass))
+		static, cost := get("static heuristic "+p), get("cost model "+p)
+		// Wall clock (MeanTotalTime, see admissionRow): shedding the
+		// probes must never be slower than running them into their
+		// timeouts. 10% slack absorbs scheduler noise on the served
+		// share of the workload.
+		if cost.MeanTotalTime > static.MeanTotalTime*1.10 {
+			t.Errorf("%s: cost model wall %.4fs > static %.4fs",
+				p, cost.MeanTotalTime, static.MeanTotalTime)
+		}
+		// The explosive probes separate from the collection patterns by
+		// an order of magnitude in domain bound, so the calibrated
+		// threshold must shed them (MeanSteals carries the shed count).
+		if cost.MeanSteals == 0 {
+			t.Errorf("%s: cost model shed nothing", p)
+		}
+		if static.MeanSteals != 0 {
+			t.Errorf("%s: static heuristic reported %v sheds", p, static.MeanSteals)
+		}
+	}
+
+	// Feedback: pass 2 classifies from pass 1's EWMA history, so its
+	// misprediction count (MeanStates) must not exceed pass 1's.
+	if p1, p2 := get("cost model pass 1"), get("cost model pass 2"); p2.MeanStates > p1.MeanStates {
+		t.Errorf("mispredictions grew across replays: pass1=%v pass2=%v",
+			p1.MeanStates, p2.MeanStates)
+	}
+
+	if !strings.Contains(out.String(), "cost-model admission") {
+		t.Error("ablation printed no table")
+	}
+}

@@ -211,8 +211,8 @@ func TestFig12(t *testing.T) {
 func TestAblations(t *testing.T) {
 	var out bytes.Buffer
 	res := tinySuite(&out).Ablations()
-	if len(res) != 7 {
-		t.Fatalf("ablations = %d, want 7", len(res))
+	if len(res) != 8 {
+		t.Fatalf("ablations = %d, want 8", len(res))
 	}
 	for _, a := range res {
 		if len(a.Rows) < 2 {

@@ -35,6 +35,7 @@ package domain
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sync/atomic"
 	"time"
@@ -496,6 +497,9 @@ func ComputeWithStats(gp, gt *graph.Graph, opts Options) (*Domains, ComputeStats
 		d.arcConsistency(gp, gt, rows, opts.ACPasses, stats.Plan.ACAdaptive, induced && !opts.SkipInducedAC, &stats)
 	}
 	stats.Final = d.TotalSize()
+	if lp, empty := d.LogProduct(); !empty {
+		stats.LogDomainProduct = lp
+	}
 	return d, stats
 }
 
@@ -839,6 +843,26 @@ func (d *Domains) TotalSize() int {
 		t += s.Count()
 	}
 	return t
+}
+
+// LogProduct returns log2 of the product of domain cardinalities — the
+// staged upper bound on the number of candidate assignments the search
+// could enumerate — summed in log space so huge products don't overflow.
+// Empty domains are skipped in the sum; the second return reports
+// whether any domain was empty (the instance is then unsatisfiable and
+// the bound is moot).
+func (d *Domains) LogProduct() (float64, bool) {
+	var sum float64
+	empty := false
+	for _, s := range d.sets {
+		c := s.Count()
+		if c == 0 {
+			empty = true
+			continue
+		}
+		sum += math.Log2(float64(c))
+	}
+	return sum, empty
 }
 
 // String summarizes domain sizes for debugging.

@@ -125,6 +125,11 @@ type ComputeStats struct {
 	// is the size after the first arc-consistency sweep — the signal the
 	// adaptive second-stage rule reads (0 when AC did not run).
 	AfterUnary, AfterPass1, Final int
+	// LogDomainProduct is log2 of the product of final domain sizes —
+	// the staged upper bound on candidate assignments (see
+	// Domains.LogProduct), the cheap cost signal the service's admission
+	// model classifies on. Zero when some domain ran empty.
+	LogDomainProduct float64
 	// Rows carries the BitGraph adjacency rows the propagation passes
 	// used (nil under the slice kernel, or when the target exceeds
 	// graph.DenseRowLimit), so engines reuse them instead of rebuilding.

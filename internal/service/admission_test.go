@@ -12,7 +12,7 @@ func TestAdmissionBasic(t *testing.T) {
 	a := newAdmission(4, 8)
 	ctx := context.Background()
 	for i := 0; i < 4; i++ {
-		if _, err := a.acquire(ctx, "", 1, 0); err != nil {
+		if _, err := a.acquire(ctx, "", 1, 0, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -22,7 +22,7 @@ func TestAdmissionBasic(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := a.acquire(ctx, "", 1, 0); err != nil {
+			if _, err := a.acquire(ctx, "", 1, 0, false); err != nil {
 				t.Error(err)
 				return
 			}
@@ -55,12 +55,12 @@ func TestAdmissionBasic(t *testing.T) {
 func TestAdmissionHeadOfLine(t *testing.T) {
 	a := newAdmission(4, 8)
 	ctx := context.Background()
-	if _, err := a.acquire(ctx, "", 3, 0); err != nil { // 3 of 4 in use
+	if _, err := a.acquire(ctx, "", 3, 0, false); err != nil { // 3 of 4 in use
 		t.Fatal(err)
 	}
 	largeDone := make(chan struct{})
 	go func() {
-		if _, err := a.acquire(ctx, "", 4, 0); err != nil { // must wait for all 4
+		if _, err := a.acquire(ctx, "", 4, 0, false); err != nil { // must wait for all 4
 			t.Error(err)
 		}
 		close(largeDone)
@@ -73,7 +73,7 @@ func TestAdmissionHeadOfLine(t *testing.T) {
 	}
 	smallDone := make(chan struct{})
 	go func() {
-		if _, err := a.acquire(ctx, "", 1, 0); err != nil { // would fit, but queues behind large
+		if _, err := a.acquire(ctx, "", 1, 0, false); err != nil { // would fit, but queues behind large
 			t.Error(err)
 		}
 		close(smallDone)
@@ -103,13 +103,13 @@ func TestAdmissionHeadOfLine(t *testing.T) {
 func TestAdmissionAbandon(t *testing.T) {
 	a := newAdmission(1, 8)
 	bg := context.Background()
-	if _, err := a.acquire(bg, "", 1, 0); err != nil {
+	if _, err := a.acquire(bg, "", 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(bg)
 	errc := make(chan error, 1)
 	go func() {
-		_, err := a.acquire(ctx, "", 1, 0)
+		_, err := a.acquire(ctx, "", 1, 0, false)
 		errc <- err
 	}()
 	for {
@@ -129,7 +129,7 @@ func TestAdmissionAbandon(t *testing.T) {
 	// a fresh waiter, not the abandoned one.
 	okc := make(chan struct{})
 	go func() {
-		if _, err := a.acquire(bg, "", 1, 0); err != nil {
+		if _, err := a.acquire(bg, "", 1, 0, false); err != nil {
 			t.Error(err)
 		}
 		close(okc)
@@ -147,12 +147,12 @@ func TestAdmissionAbandon(t *testing.T) {
 func TestAdmissionShedAndTimeout(t *testing.T) {
 	a := newAdmission(1, 1)
 	ctx := context.Background()
-	if _, err := a.acquire(ctx, "", 1, 0); err != nil {
+	if _, err := a.acquire(ctx, "", 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	errc := make(chan error, 1)
 	go func() {
-		_, err := a.acquire(ctx, "", 1, 40*time.Millisecond)
+		_, err := a.acquire(ctx, "", 1, 40*time.Millisecond, false)
 		errc <- err
 	}()
 	for {
@@ -161,7 +161,7 @@ func TestAdmissionShedAndTimeout(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := a.acquire(ctx, "", 1, 0); err != ErrOverloaded {
+	if _, err := a.acquire(ctx, "", 1, 0, false); err != ErrOverloaded {
 		t.Fatalf("queue-full acquire: %v, want ErrOverloaded", err)
 	}
 	if err := <-errc; err != ErrQueueTimeout {

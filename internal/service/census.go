@@ -150,7 +150,7 @@ func (s *Service) Census(ctx context.Context, req CensusRequest) (CensusReply, e
 // life of the service.
 func (s *Service) runCensusLeader(ctx context.Context, req CensusRequest) (CensusReply, *parsge.CensusResult, error) {
 	need := int64(s.cfg.ParallelWorkers)
-	waited, err := s.adm.acquire(ctx, s.cls, need, s.cfg.QueueTimeout)
+	waited, err := s.adm.acquire(ctx, s.cls, need, s.cfg.QueueTimeout, false)
 	if err != nil {
 		return CensusReply{}, nil, err
 	}
@@ -162,6 +162,9 @@ func (s *Service) runCensusLeader(ctx context.Context, req CensusRequest) (Censu
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
+	}
+	if mt := s.cfg.MaxTimeout; mt > 0 && (timeout == 0 || timeout > mt) {
+		timeout = mt // a census is bound by the server budget like any query
 	}
 	res, err := s.tgt.Census(ctx, parsge.CensusOptions{
 		K:       req.K,

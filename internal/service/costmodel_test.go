@@ -1,0 +1,304 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"parsge"
+	"parsge/internal/graph"
+)
+
+// clique builds an unlabeled (shared-label) complete graph on n nodes.
+func clique(n int32) *graph.Graph {
+	b := graph.NewBuilder(int(n), int(n*(n-1)))
+	b.AddNodes(int(n))
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdgeBoth(i, j, graph.NoLabel)
+		}
+	}
+	return b.MustBuild()
+}
+
+// star builds an unlabeled undirected star: one center, leaves leaves.
+func star(leaves int) *graph.Graph {
+	b := graph.NewBuilder(1+leaves, 2*leaves)
+	b.AddNodes(1 + leaves)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdgeBoth(0, int32(i), graph.NoLabel)
+	}
+	return b.MustBuild()
+}
+
+// TestMaxTimeoutClampsClientTimeout: Config.MaxTimeout must bound every
+// query and census however generous the client's own timeout is — a
+// client asking for an hour must not hold a worker for an hour. The
+// regression this pins: before the clamp, the serving path trusted
+// Options.Timeout verbatim, so one hostile request could pin the pool
+// for its full client-side budget.
+func TestMaxTimeoutClampsClientTimeout(t *testing.T) {
+	t.Parallel()
+	// Query path: a 7-leaf star over K12 under homomorphism has
+	// 12·11^7 ≈ 2.3e8 embeddings — far more than 100 ms of search.
+	tgt, err := parsge.NewTarget(clique(12), parsge.TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Target: tgt, MaxTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	reply, err := svc.Count(context.Background(), Query{
+		Pattern: star(7),
+		Options: parsge.Options{Semantics: parsge.Homomorphism, Timeout: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Result.TimedOut {
+		t.Fatalf("hour-long query not truncated by MaxTimeout (matches=%d)", reply.Result.Matches)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("clamped query still took %v", d)
+	}
+
+	// Census path: connected 6-subgraphs of K40 number C(40,6) ≈ 3.8M —
+	// well past a 20 ms budget. The clamp must apply to census runs
+	// too (the original bug let census bypass it entirely).
+	ctgt, err := parsge.NewTarget(clique(40), parsge.TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvc, err := New(Config{Target: ctgt, MaxTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	crep, err := csvc.Census(context.Background(), CensusRequest{K: 6, Timeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crep.Result.TimedOut {
+		t.Fatalf("hour-long census not truncated by MaxTimeout (subgraphs=%d)", crep.Result.Subgraphs)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("clamped census still took %v", d)
+	}
+}
+
+// TestAdmissionClassDifferential pins the cost model's verdicts on a
+// fixed constructed workload: each query's (class, shed/served, epoch)
+// against explicit thresholds. The workload spans every class —
+// unsatisfiable (free), small, large, and explosive under both
+// policies.
+func TestAdmissionClassDifferential(t *testing.T) {
+	t.Parallel()
+	gt := clique(20)
+	tgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholds sized to the K20 target: an 8-node unlabeled pattern
+	// has log2 bound 8·log2(20) ≈ 34.6 (explosive), a 3-node one
+	// ≈ 13 (between small and explosive: large), and a pattern with a
+	// label absent from the target is unsatisfiable (small).
+	cfg := Config{
+		Target:             tgt,
+		SmallLogDomain:     8,
+		ExplosiveLogDomain: 30,
+		CacheMaxMatches:    -1,
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	labeled := graph.NewBuilder(2, 2)
+	labeled.AddNode(7) // label 7 does not occur in the unlabeled target
+	labeled.AddNode(7)
+	labeled.AddEdgeBoth(0, 1, graph.NoLabel)
+	unsat := labeled.MustBuild()
+
+	epoch := tgt.Epoch()
+	cases := []struct {
+		name    string
+		pattern *graph.Graph
+		class   AdmissionClass
+		shed    bool
+	}{
+		{"unsatisfiable", unsat, ClassSmall, false},
+		{"large path", star(2), ClassLarge, false}, // 3 nodes: score ≈ 13
+		{"explosive star", star(7), classUnset, true},
+	}
+	for _, tc := range cases {
+		reply, err := svc.Count(context.Background(), Query{
+			Pattern: tc.pattern,
+			Options: parsge.Options{Semantics: parsge.Homomorphism, Timeout: 5 * time.Second},
+		})
+		if tc.shed {
+			if !errors.Is(err, ErrPredictedExplosive) {
+				t.Fatalf("%s: want ErrPredictedExplosive, got %v", tc.name, err)
+			}
+			var ex *ExplosiveError
+			if !errors.As(err, &ex) {
+				t.Fatalf("%s: shed error is not an *ExplosiveError: %v", tc.name, err)
+			}
+			if ex.Plan == "" || ex.LogDomainProduct < cfg.ExplosiveLogDomain {
+				t.Fatalf("%s: shed verdict under-specified: %+v", tc.name, ex)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if reply.Class != tc.class {
+			t.Fatalf("%s: class %v, want %v", tc.name, reply.Class, tc.class)
+		}
+		if reply.ClassEpoch != epoch {
+			t.Fatalf("%s: class epoch %d, want %d", tc.name, reply.ClassEpoch, epoch)
+		}
+	}
+	st := svc.Stats()
+	if st.ShedExplosive != 1 {
+		t.Fatalf("ShedExplosive = %d, want 1", st.ShedExplosive)
+	}
+
+	// The same explosive query under ExplosiveDeprioritize is served —
+	// truncated by its timeout on the low-priority tier, not shed.
+	dtgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := cfg
+	dcfg.Target = dtgt
+	dcfg.ExplosivePolicy = ExplosiveDeprioritize
+	dsvc, err := New(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := dsvc.Count(context.Background(), Query{
+		Pattern: star(7),
+		Options: parsge.Options{Semantics: parsge.Homomorphism, Timeout: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("deprioritized explosive: %v", err)
+	}
+	if reply.Class != ClassExplosive {
+		t.Fatalf("deprioritized explosive: class %v, want %v", reply.Class, ClassExplosive)
+	}
+	if st := dsvc.Stats(); st.Deprioritized != 1 || st.ShedExplosive != 0 {
+		t.Fatalf("deprioritized=%d shedExplosive=%d, want 1/0", st.Deprioritized, st.ShedExplosive)
+	}
+}
+
+// TestMispredictionFeedbackFlips: a fast query forced to classify large
+// by a near-zero SmallLogDomain must flip to small once the per-plan
+// EWMA has estimatorMinSamples observations — and the pass that
+// misclassified it must show up in MispredictLarge. The cache is
+// disabled so every iteration really enumerates and feeds the
+// estimator.
+func TestMispredictionFeedbackFlips(t *testing.T) {
+	t.Parallel()
+	tgt, err := parsge.NewTarget(clique(6), parsge.TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{
+		Target:          tgt,
+		SmallLogDomain:  0.001, // everything satisfiable scores above this
+		CacheMaxMatches: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Pattern: star(2), // hom 3-path over K6: 6·5·5 = 150 matches, microseconds
+		Options: parsge.Options{Semantics: parsge.Homomorphism, Timeout: 5 * time.Second},
+	}
+	var flippedAt int
+	for i := 1; i <= estimatorMinSamples+3; i++ {
+		reply, err := svc.Count(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case i == 1 && reply.Class != ClassLarge:
+			t.Fatalf("iteration 1: class %v, want %v (no history yet)", reply.Class, ClassLarge)
+		case reply.Class == ClassSmall && flippedAt == 0:
+			flippedAt = i
+		case reply.Class == ClassLarge && flippedAt != 0:
+			t.Fatalf("iteration %d: flipped back to large after going small at %d", i, flippedAt)
+		}
+	}
+	if flippedAt == 0 || flippedAt > estimatorMinSamples+2 {
+		t.Fatalf("EWMA never flipped the class to small within %d iterations (flip at %d)",
+			estimatorMinSamples+3, flippedAt)
+	}
+	st := svc.Stats()
+	if st.MispredictLarge == 0 {
+		t.Fatal("misclassified-large iterations recorded no MispredictLarge")
+	}
+	if st.MispredictLarge >= int64(estimatorMinSamples+3) {
+		t.Fatalf("MispredictLarge = %d: feedback never stopped the mispredictions", st.MispredictLarge)
+	}
+}
+
+// TestClassEpochPinnedUnderUpdates hammers classification against
+// concurrent target mutations under -race: every reply's ClassEpoch
+// must be a snapshot that existed (≤ the epoch the query ran against —
+// epochs are monotonic, and classification happens before the run).
+func TestClassEpochPinnedUnderUpdates(t *testing.T) {
+	t.Parallel()
+	gt := clique(8)
+	tgt, err := parsge.NewTarget(gt, parsge.TargetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Target: tgt, CacheMaxMatches: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Oscillate one arc so the graph never drifts while epochs
+		// advance continuously.
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			up := parsge.EdgeUpdate{From: 0, To: 1, Remove: i%2 == 0}
+			if _, err := svc.Update(context.Background(), []parsge.EdgeUpdate{up}); err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+		}
+	}()
+	q := Query{
+		Pattern: star(2),
+		Options: parsge.Options{Semantics: parsge.Homomorphism, Timeout: 5 * time.Second},
+	}
+	for i := 0; i < 200; i++ {
+		reply, err := svc.Count(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Class == classUnset {
+			t.Fatalf("iteration %d: reply carries no admission class", i)
+		}
+		if reply.ClassEpoch > reply.Result.Epoch {
+			t.Fatalf("iteration %d: class epoch %d from the future (run epoch %d)",
+				i, reply.ClassEpoch, reply.Result.Epoch)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

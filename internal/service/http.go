@@ -141,19 +141,26 @@ type queryRequest struct {
 }
 
 type queryResponse struct {
-	Matches       int64     `json:"matches"`
-	Epoch         uint64    `json:"epoch"`
-	States        int64     `json:"states"`
-	Truncated     bool      `json:"truncated,omitempty"`
-	Unsatisfiable bool      `json:"unsatisfiable,omitempty"`
-	CacheHit      bool      `json:"cache_hit"`
-	Shared        bool      `json:"shared,omitempty"`
-	Large         bool      `json:"large,omitempty"`
-	QueueWaitMS   float64   `json:"queue_wait_ms"`
-	PreprocMS     float64   `json:"preproc_ms"`
-	MatchMS       float64   `json:"match_ms"`
-	Plan          string    `json:"plan,omitempty"`
-	Mappings      [][]int32 `json:"mappings,omitempty"`
+	Matches       int64   `json:"matches"`
+	Epoch         uint64  `json:"epoch"`
+	States        int64   `json:"states"`
+	Truncated     bool    `json:"truncated,omitempty"`
+	Unsatisfiable bool    `json:"unsatisfiable,omitempty"`
+	CacheHit      bool    `json:"cache_hit"`
+	Shared        bool    `json:"shared,omitempty"`
+	Large         bool    `json:"large,omitempty"`
+	QueueWaitMS   float64 `json:"queue_wait_ms"`
+	PreprocMS     float64 `json:"preproc_ms"`
+	MatchMS       float64 `json:"match_ms"`
+	Plan          string  `json:"plan,omitempty"`
+	// Class is the cost model's admission verdict ("small", "large",
+	// "explosive"; empty for cache hits and singleflight followers),
+	// ClassEpoch the target epoch the decision was pinned at, and
+	// PredictedMS the model's cost estimate when plan history backed one.
+	Class       string    `json:"class,omitempty"`
+	ClassEpoch  uint64    `json:"class_epoch,omitempty"`
+	PredictedMS float64   `json:"predicted_ms,omitempty"`
+	Mappings    [][]int32 `json:"mappings,omitempty"`
 }
 
 // streamLine is one NDJSON line of a streaming reply. The terminal
@@ -225,16 +232,39 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 // errorCode maps service errors to HTTP statuses: overload signals get
-// retryable 5xx codes, everything else is the client's fault.
+// retryable 5xx codes, a cost-model shed is 429 (retry later, smaller,
+// or with a longer budget), everything else is the client's fault.
 func errorCode(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueTimeout):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrPredictedExplosive):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// queryError writes a query-path error reply. A cost-model shed gets a
+// Retry-After header and a body carrying the estimate that triggered it,
+// so clients can back off proportionally instead of blind-retrying.
+func queryError(w http.ResponseWriter, err error) {
+	var ex *ExplosiveError
+	if errors.As(err, &ex) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":              err.Error(),
+			"predicted_ms":       float64(ex.Predicted) / float64(time.Millisecond),
+			"plan":               ex.Plan,
+			"log_domain_product": ex.LogDomainProduct,
+		})
+		return
+	}
+	httpError(w, errorCode(err), err)
 }
 
 func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request, svc *Service) {
@@ -285,7 +315,7 @@ func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request, svc *Servic
 		reply, err = svc.Count(r.Context(), q)
 	}
 	if err != nil {
-		httpError(w, errorCode(err), err)
+		queryError(w, err)
 		return
 	}
 	resp := queryResponse{
@@ -301,6 +331,9 @@ func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request, svc *Servic
 		PreprocMS:     float64(reply.Result.PreprocTime) / float64(time.Millisecond),
 		MatchMS:       float64(reply.Result.MatchTime) / float64(time.Millisecond),
 		Plan:          reply.Result.Plan.String(),
+		Class:         reply.Class.String(),
+		ClassEpoch:    reply.ClassEpoch,
+		PredictedMS:   float64(reply.PredictedCost) / float64(time.Millisecond),
 		Mappings:      reply.Mappings,
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -314,7 +347,7 @@ func (h *Server) handleQuery(w http.ResponseWriter, r *http.Request, svc *Servic
 func (h *Server) streamQuery(w http.ResponseWriter, r *http.Request, q Query, svc *Service) {
 	matches, end, err := svc.Stream(r.Context(), q)
 	if err != nil {
-		httpError(w, errorCode(err), err)
+		queryError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -54,12 +54,24 @@ type RouterConfig struct {
 	CacheMaxMappingsPerEntry int
 	// DefaultTimeout is applied to queries that set none.
 	DefaultTimeout time.Duration
+	// MaxTimeout clamps every query and census timeout to the server
+	// budget (0 = no clamp); see Config.MaxTimeout.
+	MaxTimeout time.Duration
+	// SmallBudget, ExplosiveBudget, SmallLogDomain, ExplosiveLogDomain,
+	// ExplosivePolicy and DisableCostModel configure each target's
+	// cost-model admission (per-target estimators over the shared
+	// budget); see the Config fields of the same names.
+	SmallBudget                        time.Duration
+	ExplosiveBudget                    time.Duration
+	SmallLogDomain, ExplosiveLogDomain float64
+	ExplosivePolicy                    ExplosivePolicy
+	DisableCostModel                   bool
 	// MaxHotIndexes bounds how many targets may hold their label/NLF
 	// index at once; beyond it the least-recently-used target's index
 	// is released and rebuilt on demand. 0 means unbounded (no
 	// eviction).
 	MaxHotIndexes int
-	// Classify overrides the large-query heuristic for every target.
+	// Classify overrides classification for every target.
 	Classify func(pattern *parsge.Graph, opts parsge.Options) bool
 }
 
@@ -73,6 +85,13 @@ func (c RouterConfig) svcConfig(tgt *parsge.Target) Config {
 		CacheMaxMatches:          c.CacheMaxMatches,
 		CacheMaxMappingsPerEntry: c.CacheMaxMappingsPerEntry,
 		DefaultTimeout:           c.DefaultTimeout,
+		MaxTimeout:               c.MaxTimeout,
+		SmallBudget:              c.SmallBudget,
+		ExplosiveBudget:          c.ExplosiveBudget,
+		SmallLogDomain:           c.SmallLogDomain,
+		ExplosiveLogDomain:       c.ExplosiveLogDomain,
+		ExplosivePolicy:          c.ExplosivePolicy,
+		DisableCostModel:         c.DisableCostModel,
 		Classify:                 c.Classify,
 	}.withDefaults()
 }

@@ -270,7 +270,7 @@ func TestRouterIndexLRU(t *testing.T) {
 func TestAdmissionClassFairness(t *testing.T) {
 	a := newAdmission(1, 64)
 	ctx := context.Background()
-	if _, err := a.acquire(ctx, "hold", 1, 0); err != nil {
+	if _, err := a.acquire(ctx, "hold", 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -282,7 +282,7 @@ func TestAdmissionClassFairness(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := a.acquire(ctx, class, 1, 0); err != nil {
+			if _, err := a.acquire(ctx, class, 1, 0, false); err != nil {
 				t.Error(err)
 				return
 			}

@@ -65,12 +65,35 @@ type Config struct {
 	// own (0 keeps them unbounded). A robustness valve for serving
 	// untrusted patterns.
 	DefaultTimeout time.Duration
-	// Classify overrides the large-query heuristic: return true to give
-	// the query the parallel pool, false to run it sequentially. The
-	// default classifier sends a query to the pool when the client asked
-	// for parallelism (Workers > 1 or AutoWorkers), or when the pattern
-	// is big (≥ 6 nodes), or moderately big (≥ 4 nodes) on a dense
-	// target (mean degree ≥ 8) where the search fans out.
+	// MaxTimeout clamps every query and census timeout — client-supplied
+	// or defaulted — to the server's budget (0 = no clamp). Without it a
+	// client asking for an hour bypasses DefaultTimeout entirely.
+	MaxTimeout time.Duration
+	// SmallBudget is the cost under which a query is classified small
+	// (one sequential token). Default: 25ms.
+	SmallBudget time.Duration
+	// ExplosiveBudget is the predicted cost at or above which a query is
+	// classified explosive (shed or deprioritized, per ExplosivePolicy).
+	// Default: MaxTimeout when set, else 30s; negative disables the
+	// explosive class entirely (everything expensive is just large).
+	ExplosiveBudget time.Duration
+	// SmallLogDomain and ExplosiveLogDomain are the history-free
+	// fallback thresholds on the domain upper bound (log2 of the product
+	// of domain sizes, density-adjusted): at or below SmallLogDomain the
+	// query is small, at or above ExplosiveLogDomain explosive.
+	// Defaults: 22 and 44.
+	SmallLogDomain, ExplosiveLogDomain float64
+	// ExplosivePolicy selects shed (default) or deprioritize for
+	// explosive-classified queries.
+	ExplosivePolicy ExplosivePolicy
+	// DisableCostModel reverts classification to the pre-cost-model
+	// static heuristic (pattern size × mean degree, epoch-pinned). The
+	// ablation baseline; also the escape hatch if the model misbehaves.
+	DisableCostModel bool
+	// Classify overrides classification entirely: return true to give
+	// the query the parallel pool, false to run it sequentially. No
+	// query is shed and the cost model is bypassed — the full-override
+	// escape hatch predating the cost model.
 	Classify func(pattern *parsge.Graph, opts parsge.Options) bool
 }
 
@@ -105,6 +128,25 @@ func (c Config) withDefaults() Config {
 	if c.CacheMaxMappingsPerEntry <= 0 {
 		c.CacheMaxMappingsPerEntry = 4096
 	}
+	if c.SmallBudget <= 0 {
+		c.SmallBudget = 25 * time.Millisecond
+	}
+	if c.ExplosiveBudget == 0 {
+		if c.MaxTimeout > 0 {
+			c.ExplosiveBudget = c.MaxTimeout
+		} else {
+			c.ExplosiveBudget = 30 * time.Second
+		}
+	}
+	if c.ExplosiveBudget < 0 {
+		c.ExplosiveBudget = 0 // explosive class disabled
+	}
+	if c.SmallLogDomain == 0 {
+		c.SmallLogDomain = 22
+	}
+	if c.ExplosiveLogDomain == 0 {
+		c.ExplosiveLogDomain = 44
+	}
 	return c
 }
 
@@ -135,6 +177,16 @@ type Reply struct {
 	// parallel pool. QueueWait is the time spent in the admission queue.
 	Large     bool
 	QueueWait time.Duration
+	// Class is the cost model's admission verdict; the zero value marks
+	// replies served without an admission decision (cache hits,
+	// singleflight followers). ClassEpoch is the target mutation epoch
+	// the decision was pinned at — compare it with Result.Epoch to audit
+	// whether an update landed between classification and run.
+	// PredictedCost is the model's cost estimate (0 when no plan history
+	// backed one).
+	Class         AdmissionClass
+	ClassEpoch    uint64
+	PredictedCost time.Duration
 }
 
 // flightKey identifies one singleflight rendezvous: the result cache
@@ -184,13 +236,26 @@ type Service struct {
 	censusHits    int64
 	censusMisses  int64
 
-	statMu     sync.Mutex
-	queries    int64
-	shared     int64
-	sequential int64
-	parallel   int64
-	census     int64
-	updates    int64
+	// est is the per-plan realized-cost EWMA the cost model feeds back
+	// into; estMu guards the per-epoch cost-estimate cache behind it.
+	est       estimator
+	estMu     sync.Mutex
+	estCache  map[estKey]parsge.CostEstimate
+	estEpoch  uint64
+	estHits   int64
+	estMisses int64
+
+	statMu          sync.Mutex
+	queries         int64
+	shared          int64
+	sequential      int64
+	parallel        int64
+	census          int64
+	updates         int64
+	shedExplosive   int64
+	deprioritized   int64
+	mispredictSmall int64
+	mispredictLarge int64
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -281,28 +346,17 @@ func (s *Service) validate(q Query) (sem parsge.Semantics, perm []int32, key str
 	return sem, perm, cacheKey(canon, sem, q.Options), nil
 }
 
-// classify decides the admission class of a query.
-func (s *Service) classify(q Query) bool {
-	if s.cfg.Classify != nil {
-		return s.cfg.Classify(q.Pattern, q.Options)
-	}
-	if q.Options.Workers > 1 || q.Options.Workers == parsge.AutoWorkers {
-		return true
-	}
-	np := q.Pattern.NumNodes()
-	if np >= 6 {
-		return true
-	}
-	return np >= 4 && s.tgt.MeanDegree() >= 8
-}
-
 // prepared returns the options a query actually runs with: the service
-// owns parallelism and result delivery, and folds in DefaultTimeout.
+// owns parallelism and result delivery, folds in DefaultTimeout, and
+// clamps every timeout — client-supplied or defaulted — to MaxTimeout.
 func (s *Service) prepared(opts parsge.Options, workers int) parsge.Options {
 	opts.Workers = workers
 	opts.Visit = nil
 	if opts.Timeout == 0 {
 		opts.Timeout = s.cfg.DefaultTimeout
+	}
+	if mt := s.cfg.MaxTimeout; mt > 0 && (opts.Timeout == 0 || opts.Timeout > mt) {
+		opts.Timeout = mt
 	}
 	return opts
 }
@@ -407,36 +461,62 @@ func (s *Service) do(ctx context.Context, q Query, needMappings bool) (Reply, er
 	}
 }
 
-// admit classifies q, acquires its admission tokens, and counts the
-// run. On success the caller runs with `workers` parallelism and must
-// call release when the query (or stream) ends.
-func (s *Service) admit(ctx context.Context, q Query) (large bool, workers int, waited time.Duration, release func(), err error) {
-	large = s.classify(q)
+// admit classifies q via the cost model, acquires its admission tokens,
+// and counts the run. An explosive verdict under ExplosiveShed returns
+// an *ExplosiveError without touching the token pool; under
+// ExplosiveDeprioritize the query takes pool tokens through the
+// low-priority tier. On success the caller runs with `workers`
+// parallelism and must call release when the query (or stream) ends.
+func (s *Service) admit(ctx context.Context, q Query, key string) (rec admitRecord, workers int, waited time.Duration, release func(), err error) {
+	rec, err = s.classifyQuery(ctx, q, key)
+	if err != nil {
+		return rec, 0, 0, nil, err
+	}
 	need := int64(1)
 	workers = 1
-	if large {
+	low := false
+	switch rec.class {
+	case ClassLarge:
 		need = int64(s.cfg.ParallelWorkers)
 		workers = s.cfg.ParallelWorkers
+	case ClassExplosive:
+		if s.cfg.ExplosivePolicy == ExplosiveShed {
+			s.statMu.Lock()
+			s.shedExplosive++
+			s.statMu.Unlock()
+			return rec, 0, 0, nil, &ExplosiveError{
+				Predicted:        rec.predicted,
+				Plan:             rec.planKey,
+				LogDomainProduct: rec.logProd,
+			}
+		}
+		need = int64(s.cfg.ParallelWorkers)
+		workers = s.cfg.ParallelWorkers
+		low = true
 	}
-	waited, err = s.adm.acquire(ctx, s.cls, need, s.cfg.QueueTimeout)
+	waited, err = s.adm.acquire(ctx, s.cls, need, s.cfg.QueueTimeout, low)
 	if err != nil {
-		return large, 0, waited, nil, err
+		return rec, 0, waited, nil, err
 	}
 	s.statMu.Lock()
-	if large {
+	switch {
+	case low:
+		s.deprioritized++
 		s.parallel++
-	} else {
+	case rec.class == ClassLarge:
+		s.parallel++
+	default:
 		s.sequential++
 	}
 	s.statMu.Unlock()
-	return large, workers, waited, func() { s.adm.release(need) }, nil
+	return rec, workers, waited, func() { s.adm.release(need) }, nil
 }
 
 // runLeader acquires admission and runs the query for real. On a
 // complete (un-truncated) run it builds the canonical cache entry,
 // caches it, and returns it for singleflight sharing.
 func (s *Service) runLeader(ctx context.Context, q Query, sem parsge.Semantics, perm []int32, key string, needMappings bool) (Reply, *entry, error) {
-	large, workers, waited, release, err := s.admit(ctx, q)
+	rec, workers, waited, release, err := s.admit(ctx, q, key)
 	if err != nil {
 		return Reply{}, nil, err
 	}
@@ -458,7 +538,16 @@ func (s *Service) runLeader(ctx context.Context, q Query, sem parsge.Semantics, 
 	if err != nil {
 		return Reply{}, nil, err
 	}
-	reply := Reply{Result: res, Mappings: mappings, Large: large, QueueWait: waited}
+	s.observe(rec, &res)
+	reply := Reply{
+		Result:        res,
+		Mappings:      mappings,
+		Large:         rec.class != ClassSmall,
+		QueueWait:     waited,
+		Class:         rec.class,
+		ClassEpoch:    rec.epoch,
+		PredictedCost: rec.predicted,
+	}
 	if res.TimedOut || key == "" {
 		// Truncated (Matches is a lower bound) or uncacheable: correct
 		// for this caller, but not a result identical queries may reuse.
@@ -559,7 +648,7 @@ func (s *Service) Stream(ctx context.Context, q Query) (<-chan parsge.Match, <-c
 		return matches, end, nil
 	}
 
-	_, workers, _, release, err := s.admit(ctx, q)
+	rec, workers, _, release, err := s.admit(ctx, q, key)
 	if err != nil {
 		s.wg.Done()
 		return nil, nil, err
@@ -593,6 +682,9 @@ func (s *Service) Stream(ctx context.Context, q Query) (<-chan parsge.Match, <-c
 			}
 		}
 		e := <-innerEnd
+		if e.Err == nil {
+			s.observe(rec, &e.Result)
+		}
 		close(matches)
 		if e.Err == nil && !e.Result.TimedOut && !dead && key != "" {
 			ent := &entry{key: key, res: e.Result, epoch: e.Result.Epoch}
@@ -620,7 +712,7 @@ func (s *Service) Update(ctx context.Context, updates []parsge.EdgeUpdate) (pars
 		return parsge.UpdateResult{}, err
 	}
 	defer s.wg.Done()
-	if _, err := s.adm.acquire(ctx, s.cls, 1, s.cfg.QueueTimeout); err != nil {
+	if _, err := s.adm.acquire(ctx, s.cls, 1, s.cfg.QueueTimeout, false); err != nil {
 		return parsge.UpdateResult{}, err
 	}
 	defer s.adm.release(1)
@@ -665,6 +757,19 @@ type Stats struct {
 	Shed           int64
 	QueueTimeouts  int64
 	TotalQueueWait time.Duration
+	// Cost-model counters. ShedExplosive counts queries rejected with
+	// ErrPredictedExplosive; Deprioritized those admitted through the
+	// low-priority tier. MispredictSmall counts predicted-small queries
+	// that timed out, MispredictLarge predicted-large/explosive ones
+	// that finished under SmallBudget — the misprediction rate is
+	// (MispredictSmall+MispredictLarge) over the model-classified runs.
+	// EstimateHits/EstimateMisses are the cost-estimate cache counters.
+	ShedExplosive   int64
+	Deprioritized   int64
+	MispredictSmall int64
+	MispredictLarge int64
+	EstimateHits    int64
+	EstimateMisses  int64
 	// Session aggregates everything the Target executed — for queries
 	// answered from the cache no new execution happens, which is why
 	// Session.Queries can be far below Queries under a hot cache.
@@ -678,6 +783,9 @@ func (s *Service) Stats() Stats {
 	s.censusMu.Lock()
 	censusHits, censusMisses := s.censusHits, s.censusMisses
 	s.censusMu.Unlock()
+	s.estMu.Lock()
+	estHits, estMisses := s.estHits, s.estMisses
+	s.estMu.Unlock()
 	s.statMu.Lock()
 	st := Stats{
 		Queries:           s.queries,
@@ -700,6 +808,12 @@ func (s *Service) Stats() Stats {
 		Shed:              shed,
 		QueueTimeouts:     timedOut,
 		TotalQueueWait:    totalWait,
+		ShedExplosive:     s.shedExplosive,
+		Deprioritized:     s.deprioritized,
+		MispredictSmall:   s.mispredictSmall,
+		MispredictLarge:   s.mispredictLarge,
+		EstimateHits:      estHits,
+		EstimateMisses:    estMisses,
 	}
 	s.statMu.Unlock()
 	st.Session = s.tgt.Stats()

@@ -29,11 +29,24 @@ type PlanBucket struct {
 	// Epoch is the target mutation epoch the bucket's queries ran
 	// against.
 	Epoch uint64
-	// Count is the number of queries that resolved to this plan.
+	// Count is the number of queries that resolved to this plan and ran
+	// to completion. Truncated runs (timed out or aborted) are counted
+	// separately — see Truncated — so mean costs derived from this bucket
+	// are not biased optimistic by partial timings.
 	Count int64
 	// UnaryTime, ACTime and InducedACTime are summed over the bucket's
 	// queries, so Time/Count gives the mean per-filter cost of the plan.
 	UnaryTime, ACTime, InducedACTime time.Duration
+	// MatchTime is the summed search wall time of the bucket's *completed*
+	// queries; MatchTime/Count is the plan's historical mean match cost —
+	// the signal the service's admission estimator reads.
+	MatchTime time.Duration
+	// Truncated counts runs that timed out or were aborted mid-search;
+	// TruncatedTime sums their partial match wall times. A truncated
+	// timing is a cost *floor* (the query cost at least that much), never
+	// a sample, which is why it is kept out of Count/MatchTime.
+	Truncated     int64
+	TruncatedTime time.Duration
 	// DomainAfterUnary and DomainFinal are summed staged domain sizes —
 	// the aggregate pruning trace of the plan.
 	DomainAfterUnary, DomainFinal int64
@@ -66,6 +79,9 @@ func (h *PlanHistogram) Bucket(plan string) PlanBucket {
 		out.UnaryTime += b.UnaryTime
 		out.ACTime += b.ACTime
 		out.InducedACTime += b.InducedACTime
+		out.MatchTime += b.MatchTime
+		out.Truncated += b.Truncated
+		out.TruncatedTime += b.TruncatedTime
 		out.DomainAfterUnary += b.DomainAfterUnary
 		out.DomainFinal += b.DomainFinal
 	}
@@ -143,10 +159,19 @@ func (s *sessionStats) record(res *Result) {
 		return
 	}
 	b := s.bucket(res.Epoch, p.String())
+	if res.TimedOut {
+		// A truncated run's match time is a cost floor, not a sample:
+		// folding it into Count/MatchTime would bias per-plan means
+		// optimistic (the run was cut off *because* it was expensive).
+		b.Truncated++
+		b.TruncatedTime += res.MatchTime
+		return
+	}
 	b.Count++
 	b.UnaryTime += p.UnaryTime
 	b.ACTime += p.ACTime
 	b.InducedACTime += p.InducedACTime
+	b.MatchTime += res.MatchTime
 	b.DomainAfterUnary += int64(p.DomainAfterUnary)
 	b.DomainFinal += int64(p.DomainFinal)
 }
@@ -168,7 +193,14 @@ func (s *sessionStats) recordCensus(res *CensusResult) {
 	}
 	s.match += res.Duration
 	s.steals += res.Steals
-	s.bucket(res.Epoch, fmt.Sprintf("census:k=%d", res.K)).Count++
+	b := s.bucket(res.Epoch, fmt.Sprintf("census:k=%d", res.K))
+	if res.TimedOut {
+		b.Truncated++
+		b.TruncatedTime += res.Duration
+		return
+	}
+	b.Count++
+	b.MatchTime += res.Duration
 }
 
 // bucket returns (creating on demand) the accumulator bucket for one
@@ -204,7 +236,7 @@ func (s *sessionStats) snapshot() SessionStats {
 		Plans:         PlanHistogram{NoPlan: s.noPlan},
 	}
 	for _, b := range s.buckets {
-		out.Plans.Planned += b.Count
+		out.Plans.Planned += b.Count + b.Truncated
 		out.Plans.Buckets = append(out.Plans.Buckets, *b)
 	}
 	sort.Slice(out.Plans.Buckets, func(i, j int) bool {
@@ -224,3 +256,48 @@ func (s *sessionStats) snapshot() SessionStats {
 // including the plan histogram. Safe for concurrent use with queries;
 // concurrent queries not yet completed are not included.
 func (t *Target) Stats() SessionStats { return t.stats.snapshot() }
+
+// PlanCost is the historical cost summary of one (epoch, plan) bucket,
+// the estimator-facing view of the plan histogram: completed samples
+// with their mean search time, plus truncated runs whose mean partial
+// time is a cost *floor* (each truncated run cost at least that much).
+type PlanCost struct {
+	// Samples is the number of completed queries in the bucket.
+	Samples int64
+	// MeanMatch is the mean search wall time over completed queries
+	// (zero when Samples is zero).
+	MeanMatch time.Duration
+	// Truncated counts timed-out/aborted runs; TruncatedMean is the mean
+	// of their partial search times (zero when Truncated is zero).
+	Truncated     int64
+	TruncatedMean time.Duration
+}
+
+// planCost reads one bucket's cost summary without building a full
+// snapshot — the hot-path accessor the service's admission estimator
+// calls per query.
+func (s *sessionStats) planCost(epoch uint64, plan string) PlanCost {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[fmt.Sprintf("%d|%s", epoch, plan)]
+	if b == nil {
+		return PlanCost{}
+	}
+	out := PlanCost{Samples: b.Count, Truncated: b.Truncated}
+	if b.Count > 0 {
+		out.MeanMatch = b.MatchTime / time.Duration(b.Count)
+	}
+	if b.Truncated > 0 {
+		out.TruncatedMean = b.TruncatedTime / time.Duration(b.Truncated)
+	}
+	return out
+}
+
+// PlanCost returns the historical cost summary of the plan's histogram
+// bucket at one target mutation epoch (use the epoch a CostEstimate was
+// pinned at, so pre-mutation history never prices post-mutation
+// queries). A zero PlanCost means no query with that plan has finished
+// at that epoch.
+func (t *Target) PlanCost(epoch uint64, plan string) PlanCost {
+	return t.stats.planCost(epoch, plan)
+}
